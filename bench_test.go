@@ -1,0 +1,435 @@
+// Benchmarks regenerating the paper's evaluation, one per table and figure,
+// plus ablations of the design choices called out in DESIGN.md. Full-size
+// reproduction output comes from cmd/benchtables; these testing.B benches
+// run reduced inputs so `go test -bench=.` finishes in minutes and report
+// the papers' headline metrics via ReportMetric.
+package lrcrace_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"lrcrace"
+	"lrcrace/internal/costmodel"
+	"lrcrace/internal/harness"
+	"lrcrace/internal/instr"
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/vc"
+)
+
+const benchScale = 0.25 // reduced inputs for bench runs
+
+// pairFor runs one baseline/detection pair and reports paper-shaped metrics.
+func pairFor(b *testing.B, app string, procs int) (*harness.Result, *harness.Result) {
+	b.Helper()
+	scale := benchScale * harness.PaperScaleFactors[app]
+	base, det, err := harness.Pair(harness.RunConfig{App: app, Scale: scale, Procs: procs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return base, det
+}
+
+// BenchmarkTable1 regenerates Table 1's slowdown and intervals-per-barrier
+// columns per application.
+func BenchmarkTable1(b *testing.B) {
+	for _, app := range lrcrace.Apps() {
+		b.Run(app, func(b *testing.B) {
+			var slow, ipb float64
+			for i := 0; i < b.N; i++ {
+				base, det := pairFor(b, app, 4)
+				slow = harness.Slowdown(base, det)
+				ipb = det.IntervalsPerBarrier()
+			}
+			b.ReportMetric(slow, "slowdown")
+			b.ReportMetric(ipb, "intervals/barrier")
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: the ATOM-model classifier over the
+// synthesized application binaries.
+func BenchmarkTable2(b *testing.B) {
+	for _, app := range lrcrace.Apps() {
+		prof := instr.PaperProfiles[app]
+		b.Run(app, func(b *testing.B) {
+			var elim float64
+			for i := 0; i < b.N; i++ {
+				st := instr.Classify(instr.Synthesize(prof))
+				elim = st.PercentEliminated()
+			}
+			b.ReportMetric(elim, "%eliminated")
+		})
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3's dynamic metrics per application.
+func BenchmarkTable3(b *testing.B) {
+	for _, app := range lrcrace.Apps() {
+		b.Run(app, func(b *testing.B) {
+			var iu, bu, mo float64
+			for i := 0; i < b.N; i++ {
+				_, det := pairFor(b, app, 4)
+				iu = det.IntervalsUsedPct()
+				bu = det.BitmapsUsedPct()
+				mo = det.MsgOverheadPct()
+			}
+			b.ReportMetric(iu, "%intervals-used")
+			b.ReportMetric(bu, "%bitmaps-used")
+			b.ReportMetric(mo, "%msg-overhead")
+		})
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3's overhead decomposition.
+func BenchmarkFigure3(b *testing.B) {
+	for _, app := range lrcrace.Apps() {
+		b.Run(app, func(b *testing.B) {
+			var o harness.Overheads
+			for i := 0; i < b.N; i++ {
+				base, det := pairFor(b, app, 4)
+				o = harness.Breakdown(base, det)
+			}
+			b.ReportMetric(o.CVMMods, "%cvm-mods")
+			b.ReportMetric(o.ProcCall, "%proc-call")
+			b.ReportMetric(o.AccessCheck, "%access-check")
+			b.ReportMetric(o.Intervals, "%intervals")
+			b.ReportMetric(o.Bitmaps, "%bitmaps")
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: slowdown at 2, 4 and 8 processors.
+func BenchmarkFigure4(b *testing.B) {
+	for _, app := range lrcrace.Apps() {
+		for _, procs := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/procs=%d", app, procs), func(b *testing.B) {
+				var slow float64
+				for i := 0; i < b.N; i++ {
+					base, det := pairFor(b, app, procs)
+					slow = harness.Slowdown(base, det)
+				}
+				b.ReportMetric(slow, "slowdown")
+			})
+		}
+	}
+}
+
+// --- ablations ---
+
+// syntheticEpoch builds an epoch of interval records with random notices.
+func syntheticEpoch(nproc, perProc, pages, noticeLen int, seed int64) []*interval.Record {
+	r := rand.New(rand.NewSource(seed))
+	var recs []*interval.Record
+	for p := 0; p < nproc; p++ {
+		for i := 1; i <= perProc; i++ {
+			rec := &interval.Record{
+				ID: vc.IntervalID{Proc: p, Index: vc.Index(i)},
+				VC: vc.New(nproc),
+			}
+			rec.VC[p] = vc.Index(i)
+			for k := 0; k < noticeLen; k++ {
+				rec.WriteNotices = append(rec.WriteNotices, mem.PageID(r.Intn(pages)))
+				rec.ReadNotices = append(rec.ReadNotices, mem.PageID(r.Intn(pages)))
+			}
+			interval.SortPages(rec.WriteNotices)
+			interval.SortPages(rec.ReadNotices)
+			recs = append(recs, rec)
+		}
+	}
+	return recs
+}
+
+// BenchmarkAblationPageOverlap compares the two §6.2 page-list overlap
+// implementations: sorted-list merge (default) versus system-page bitmaps.
+func BenchmarkAblationPageOverlap(b *testing.B) {
+	l, _ := mem.NewLayout(512*mem.DefaultPageSize, mem.DefaultPageSize)
+	for _, noticeLen := range []int{4, 32, 128} {
+		recs := syntheticEpoch(8, 8, 512, noticeLen, 42)
+		b.Run(fmt.Sprintf("lists/notices=%d", noticeLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := race.NewDetector(l, race.Options{})
+				d.BuildCheckList(recs)
+			}
+		})
+		b.Run(fmt.Sprintf("bitmaps/notices=%d", noticeLen), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d := race.NewDetector(l, race.Options{PageBitmapOverlap: true, NumPages: 512})
+				d.BuildCheckList(recs)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProtocol compares the single-writer protocol the paper
+// ran against the §6.5 multi-writer diff protocol, and the diff-derived
+// write detection variant, on the Water workload.
+func BenchmarkAblationProtocol(b *testing.B) {
+	cfgs := []struct {
+		name string
+		cfg  harness.RunConfig
+	}{
+		{"single-writer", harness.RunConfig{App: "Water", Scale: 1, Procs: 4, Detect: true}},
+		{"multi-writer", harness.RunConfig{App: "Water", Scale: 1, Procs: 4, Detect: true, Protocol: lrcrace.MultiWriter}},
+		{"multi-writer-diff-detect", harness.RunConfig{App: "Water", Scale: 1, Procs: 4, Detect: true, Protocol: lrcrace.MultiWriter, WritesFromDiffs: true}},
+	}
+	for _, c := range cfgs {
+		b.Run(c.name, func(b *testing.B) {
+			var vt float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Run(c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vt = float64(res.VirtualNS) / 1e6
+			}
+			b.ReportMetric(vt, "virtual-ms")
+		})
+	}
+}
+
+// BenchmarkAblationFirstOnly measures the cost/benefit of §6.4 filtering on
+// a many-epoch racy workload.
+func BenchmarkAblationFirstOnly(b *testing.B) {
+	run := func(b *testing.B, firstOnly bool) {
+		var reports float64
+		for i := 0; i < b.N; i++ {
+			sys, err := lrcrace.New(lrcrace.Config{
+				NumProcs: 4, SharedSize: 64 * 1024, PageSize: 1024,
+				Detect: true, FirstOnly: firstOnly,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			base, _ := sys.Alloc("arr", 64*1024-1024)
+			if err := sys.Run(func(p *lrcrace.Proc) {
+				for e := 0; e < 8; e++ {
+					p.Write(base+lrcrace.Addr(e*1024), uint64(p.ID()))
+					p.Barrier()
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+			reports = float64(len(sys.Races()))
+		}
+		b.ReportMetric(reports, "reports")
+	}
+	b.Run("all-races", func(b *testing.B) { run(b, false) })
+	b.Run("first-only", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationLRCvsERC compares the lazy protocol against eager
+// release consistency on a lock-intensive workload: messages per run and
+// virtual time. The LRC advantage (no per-release broadcast) is the paper's
+// §3.1 foundation.
+func BenchmarkAblationLRCvsERC(b *testing.B) {
+	run := func(b *testing.B, proto lrcrace.Protocol) {
+		var msgs, vms float64
+		for i := 0; i < b.N; i++ {
+			sys, err := lrcrace.New(lrcrace.Config{
+				NumProcs: 4, SharedSize: 16 * 1024, Protocol: proto,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctr, _ := sys.AllocWords("ctr", 1)
+			if err := sys.Run(func(p *lrcrace.Proc) {
+				for k := 0; k < 25; k++ {
+					p.Lock(1)
+					p.Write(ctr, p.Read(ctr)+1)
+					p.Unlock(1)
+				}
+			}); err != nil {
+				b.Fatal(err)
+			}
+			msgs = float64(sys.NetStats().TotalMessages())
+			vms = float64(sys.VirtualTime()) / 1e6
+		}
+		b.ReportMetric(msgs, "messages")
+		b.ReportMetric(vms, "virtual-ms")
+	}
+	b.Run("lrc-single-writer", func(b *testing.B) { run(b, lrcrace.SingleWriter) })
+	b.Run("eager-rc", func(b *testing.B) { run(b, lrcrace.EagerRC) })
+}
+
+// BenchmarkAblationOnlineVsPostmortem measures what the paper's online
+// approach eliminates: the per-access storage of the post-mortem trace
+// pipeline (§7), alongside the online run on the same workload.
+func BenchmarkAblationOnlineVsPostmortem(b *testing.B) {
+	workload := func(sys *lrcrace.System) (lrcrace.Addr, func(p *lrcrace.Proc)) {
+		racy, _ := sys.AllocWords("racy", 1)
+		locked, _ := sys.AllocWords("locked", 1)
+		return racy, func(p *lrcrace.Proc) {
+			for i := 0; i < 20; i++ {
+				p.Lock(0)
+				p.Write(locked, p.Read(locked)+1)
+				p.Unlock(0)
+				p.Write(racy, uint64(p.ID()))
+				p.Barrier()
+			}
+		}
+	}
+	b.Run("online", func(b *testing.B) {
+		var n float64
+		for i := 0; i < b.N; i++ {
+			sys, err := lrcrace.New(lrcrace.Config{NumProcs: 4, SharedSize: 16 * 1024, Detect: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, w := workload(sys)
+			if err := sys.Run(w); err != nil {
+				b.Fatal(err)
+			}
+			n = float64(len(lrcrace.DedupRaces(sys.Races())))
+		}
+		b.ReportMetric(n, "distinct-races")
+		b.ReportMetric(0, "trace-bytes")
+	})
+	b.Run("postmortem", func(b *testing.B) {
+		var n, sz float64
+		for i := 0; i < b.N; i++ {
+			var log bytes.Buffer
+			tw, err := lrcrace.NewTraceWriter(&log, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys, err := lrcrace.New(lrcrace.Config{NumProcs: 4, SharedSize: 16 * 1024, Tracer: tw})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, w := workload(sys)
+			if err := sys.Run(w); err != nil {
+				b.Fatal(err)
+			}
+			if err := tw.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			addrs, err := lrcrace.AnalyzeTrace(bytes.NewReader(log.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			n = float64(len(addrs))
+			sz = float64(tw.Bytes())
+		}
+		b.ReportMetric(n, "distinct-races")
+		b.ReportMetric(sz, "trace-bytes")
+	})
+}
+
+// --- microbenchmarks of the constant-time primitives the paper leans on ---
+
+// BenchmarkVectorConcurrencyCheck: the two-integer-comparison concurrency
+// test at the heart of the detector.
+func BenchmarkVectorConcurrencyCheck(b *testing.B) {
+	a := vc.IntervalID{Proc: 0, Index: 5}
+	c := vc.IntervalID{Proc: 1, Index: 7}
+	avc := vc.VC{5, 2, 9, 1}
+	cvc := vc.VC{4, 7, 3, 0}
+	for i := 0; i < b.N; i++ {
+		if !vc.Concurrent(a, avc, c, cvc) {
+			b.Fatal("should be concurrent")
+		}
+	}
+}
+
+// BenchmarkBitmapCompare: the word-bitmap intersection (constant in page
+// size) that decides false versus true sharing.
+func BenchmarkBitmapCompare(b *testing.B) {
+	x := mem.NewBitmap(1024)
+	y := mem.NewBitmap(1024)
+	for i := 0; i < 1024; i += 7 {
+		x.Set(i)
+	}
+	for i := 3; i < 1024; i += 11 {
+		y.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Intersects(y)
+	}
+}
+
+// BenchmarkMessageRoundTrip: wire encode+decode of a notice-carrying
+// message (the bandwidth unit behind Table 3).
+func BenchmarkMessageRoundTrip(b *testing.B) {
+	rec := &interval.Record{
+		ID:           vc.IntervalID{Proc: 3, Index: 17},
+		VC:           vc.VC{1, 2, 3, 17, 0, 0, 0, 9},
+		WriteNotices: []mem.PageID{2, 9, 77},
+		ReadNotices:  []mem.PageID{1, 2, 3, 50, 51, 52, 53},
+	}
+	m := &msg.AcquireGrant{Lock: 5, Intervals: []*interval.Record{rec, rec, rec}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := msg.Marshal(m)
+		if _, err := msg.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAccessCheck: the runtime analysis-routine bounds check that every
+// instrumented access pays (the "Access Check" column of Figure 3). The
+// virtual-time model charges it at costmodel.Default().AccessCheck.
+func BenchmarkAccessCheck(b *testing.B) {
+	c := &instr.Checker{Lo: 1 << 16, Hi: 1 << 24}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Check(uint64(i) * 64)
+	}
+	_ = costmodel.Default()
+}
+
+// BenchmarkAblationPairScan compares the paper's simple all-pairs interval
+// scan with the index-pruned variant, on epochs where lock chains order
+// most pairs (the situation the paper says makes "the number of comparisons
+// usually quite small").
+func BenchmarkAblationPairScan(b *testing.B) {
+	l, _ := mem.NewLayout(512*mem.DefaultPageSize, mem.DefaultPageSize)
+	// Chained epoch: proc p's interval i has seen everything up to (p,i).
+	mkChained := func(nproc, perProc int) []*interval.Record {
+		var recs []*interval.Record
+		cur := vc.New(nproc)
+		for i := 1; i <= perProc; i++ {
+			for p := 0; p < nproc; p++ {
+				cur[p] = vc.Index(i)
+				recs = append(recs, &interval.Record{
+					ID: vc.IntervalID{Proc: p, Index: vc.Index(i)},
+					VC: cur.Copy(),
+				})
+			}
+		}
+		return recs
+	}
+	for _, shape := range []struct {
+		name string
+		recs []*interval.Record
+	}{
+		{"chained-8x32", mkChained(8, 32)},
+		{"independent-8x32", syntheticEpoch(8, 32, 512, 2, 7)},
+	} {
+		b.Run("all-pairs/"+shape.name, func(b *testing.B) {
+			var cmp float64
+			for i := 0; i < b.N; i++ {
+				d := race.NewDetector(l, race.Options{})
+				d.BuildCheckList(shape.recs)
+				cmp = float64(d.Stats().PairComparisons)
+			}
+			b.ReportMetric(cmp, "comparisons")
+		})
+		b.Run("pruned/"+shape.name, func(b *testing.B) {
+			var cmp float64
+			for i := 0; i < b.N; i++ {
+				d := race.NewDetector(l, race.Options{PrunedPairs: true})
+				d.BuildCheckList(shape.recs)
+				cmp = float64(d.Stats().PairComparisons)
+			}
+			b.ReportMetric(cmp, "comparisons")
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation: Table 1 (application characteristics and slowdown), Table 2
+// (static instrumentation statistics), Table 3 (dynamic metrics), Figure 3
+// (overhead breakdown) and Figure 4 (slowdown versus processors), plus the
+// §5 race findings. Paper reference values are printed alongside.
+//
+// Usage:
+//
+//	benchtables                # everything, paper-scale inputs, 8 procs
+//	benchtables -table 2       # just the static classifier table
+//	benchtables -figure 4 -procs 2,4,8
+//	benchtables -scale 0.25    # quick small-input pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"lrcrace"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1, "problem scale multiplier (1 = near-paper inputs)")
+	procs := flag.Int("procs", 8, "processes for tables 1/3 and figure 3")
+	table := flag.Int("table", 0, "print only this table (1, 2 or 3)")
+	figure := flag.Int("figure", 0, "print only this figure (3 or 4)")
+	races := flag.Bool("races", false, "print only the race findings")
+	enhance := flag.Bool("enhancements", false, "print only the §6.5 enhancement predictions")
+	figProcs := flag.String("figprocs", "2,4,8", "processor counts for figure 4")
+	flag.Parse()
+
+	suite := lrcrace.NewSuite(*scale, *procs)
+	all := *table == 0 && *figure == 0 && !*races && !*enhance
+
+	out := os.Stdout
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if all || *table == 1 {
+		run("table 1", func() error { return suite.Table1(out) })
+	}
+	if all || *table == 2 {
+		lrcrace.WriteTable2(out)
+		fmt.Fprintln(out)
+	}
+	if all || *table == 3 {
+		run("table 3", func() error { return suite.Table3(out) })
+	}
+	if all || *figure == 3 {
+		run("figure 3", func() error { return suite.Figure3(out) })
+	}
+	if all || *figure == 4 {
+		var counts []int
+		for _, s := range strings.Split(*figProcs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				log.Fatalf("bad -figprocs value %q", s)
+			}
+			counts = append(counts, n)
+		}
+		run("figure 4", func() error { return suite.Figure4(out, counts) })
+	}
+	if all || *races {
+		run("races", func() error { return suite.RacesReport(out) })
+	}
+	if all || *enhance {
+		run("enhancements", func() error { return suite.EnhancementsTable(out) })
+	}
+}

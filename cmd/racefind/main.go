@@ -1,0 +1,147 @@
+// Command racefind runs one of the paper's benchmark applications on the
+// LRC DSM with on-the-fly race detection and prints every distinct race
+// with its shared-variable name, plus the detector's work statistics —
+// the tool-shaped version of the paper's §5 experiments.
+//
+// Usage:
+//
+//	racefind -app TSP -procs 8
+//	racefind -app Water -procs 4 -protocol mw
+//	racefind -app SOR -first
+//	racefind -app Water -trace water.trc     # also write a post-mortem log
+//	racefind -analyze water.trc              # offline analysis of a log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"lrcrace"
+)
+
+func main() {
+	app := flag.String("app", "TSP", "application: FFT, SOR, TSP, Water")
+	procs := flag.Int("procs", 8, "number of DSM processes")
+	scale := flag.Float64("scale", 1, "problem scale (1 = laptop default)")
+	protocol := flag.String("protocol", "sw", "coherence protocol: sw (single-writer) or mw (multi-writer)")
+	first := flag.Bool("first", false, "report only first races (§6.4)")
+	diffs := flag.Bool("diff-writes", false, "derive write bitmaps from diffs (§6.5; implies -protocol mw)")
+	explain := flag.Bool("explain", false, "print the happens-before derivation for each distinct race")
+	traceOut := flag.String("trace", "", "also write a post-mortem trace log to this file (§7 baseline)")
+	analyze := flag.String("analyze", "", "skip running: analyze an existing trace log offline")
+	flag.Parse()
+
+	if *analyze != "" {
+		f, err := os.Open(*analyze)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		addrs, err := lrcrace.AnalyzeTrace(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("post-mortem analysis of %s: %d racy address(es)\n", *analyze, len(addrs))
+		for _, a := range addrs {
+			fmt.Printf("  0x%x\n", uint64(a))
+		}
+		return
+	}
+
+	cfg := lrcrace.ExperimentConfig{
+		App:       canonical(*app),
+		Scale:     *scale,
+		Procs:     *procs,
+		Detect:    true,
+		FirstOnly: *first,
+	}
+	if *protocol == "mw" || *diffs {
+		cfg.Protocol = lrcrace.MultiWriter
+	}
+	cfg.WritesFromDiffs = *diffs
+
+	var tw *lrcrace.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tw, err = lrcrace.NewTraceWriter(f, *procs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Tracer = tw
+	}
+
+	res, err := lrcrace.RunExperiment(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace log: %s (%d events, %d bytes)\n", *traceOut, tw.Events(), tw.Bytes())
+	}
+
+	fmt.Printf("%s (%s, %s) on %d processes, %s protocol\n",
+		res.App.Name(), res.App.InputDesc(), res.App.SyncKinds(),
+		*procs, cfg.Protocol)
+	fmt.Printf("result verified; virtual runtime %.1f ms\n\n",
+		float64(res.VirtualNS)/1e6)
+
+	distinct := lrcrace.DedupRaces(res.Races)
+	if len(distinct) == 0 {
+		fmt.Println("no data races detected")
+	} else {
+		fmt.Printf("%d dynamic race reports, %d distinct:\n", len(res.Races), len(distinct))
+		for _, r := range distinct {
+			name := fmt.Sprintf("0x%x", uint64(r.Addr))
+			if sym, ok := res.Sys.SymbolAt(r.Addr); ok {
+				name = sym.Name
+			}
+			kind := "read-write"
+			if r.WriteWrite() {
+				kind = "write-write"
+			}
+			fmt.Printf("  %-11s race on %-10q (addr 0x%x, epoch %d)\n",
+				kind, name, uint64(r.Addr), r.Epoch)
+			if *explain {
+				if text, ok := res.Sys.ExplainRace(r); ok {
+					fmt.Println(indent(text, "      "))
+				}
+			}
+		}
+	}
+
+	d := res.Det
+	fmt.Printf("\ndetector: %d epochs, %d intervals, %d vector comparisons,\n",
+		d.Epochs, d.IntervalsTotal, d.PairComparisons)
+	fmt.Printf("          %d concurrent pairs, %d with page overlap, %d bitmaps compared\n",
+		d.ConcurrentPairs, d.OverlappingPairs, d.BitmapsCompared)
+	if d.SuppressedReports > 0 {
+		fmt.Printf("          %d later-epoch reports suppressed by first-race filtering\n", d.SuppressedReports)
+	}
+}
+
+func indent(text, prefix string) string {
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+func canonical(app string) string {
+	for _, a := range lrcrace.Apps() {
+		if strings.EqualFold(a, app) {
+			return a
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown app %q (have %v)\n", app, lrcrace.Apps())
+	os.Exit(2)
+	return ""
+}

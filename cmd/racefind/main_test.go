@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestIndent(t *testing.T) {
+	got := indent("a\nb\n", "> ")
+	if got != "> a\n> b" {
+		t.Errorf("indent = %q", got)
+	}
+	if got := indent("x", "  "); got != "  x" {
+		t.Errorf("single line = %q", got)
+	}
+}
+
+func TestCanonical(t *testing.T) {
+	for in, want := range map[string]string{
+		"tsp": "TSP", "TSP": "TSP", "water": "Water", "fft": "FFT", "sor": "SOR",
+	} {
+		if got := canonical(in); got != want {
+			t.Errorf("canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

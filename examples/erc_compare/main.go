@@ -1,0 +1,63 @@
+// Command erc_compare contrasts lazy release consistency with the eager
+// variant it improves on (§3.1): the same lock-based workload runs under
+// both protocols, and the message counts show the per-release invalidation
+// broadcast that LRC defers — the deferral that produces the ordering
+// metadata the race detector gets for free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lrcrace"
+)
+
+const (
+	procs = 4
+	iters = 25
+)
+
+func run(proto lrcrace.Protocol) (*lrcrace.System, error) {
+	sys, err := lrcrace.New(lrcrace.Config{
+		NumProcs:   procs,
+		SharedSize: 16 * 1024,
+		Protocol:   proto,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctr, err := sys.AllocWords("ctr", 1)
+	if err != nil {
+		return nil, err
+	}
+	err = sys.Run(func(p *lrcrace.Proc) {
+		for i := 0; i < iters; i++ {
+			p.Lock(1)
+			p.Write(ctr, p.Read(ctr)+1)
+			p.Unlock(1)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if got := sys.SnapshotWord(ctr); got != procs*iters {
+		return nil, fmt.Errorf("%v: counter = %d, want %d", proto, got, procs*iters)
+	}
+	return sys, nil
+}
+
+func main() {
+	fmt.Printf("workload: %d processes × %d locked increments\n\n", procs, iters)
+	fmt.Printf("%-16s %10s %12s %14s\n", "protocol", "messages", "wire bytes", "virtual time")
+	for _, proto := range []lrcrace.Protocol{lrcrace.SingleWriter, lrcrace.EagerRC} {
+		sys, err := run(proto)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := sys.NetStats()
+		fmt.Printf("%-16s %10d %12d %11.1f ms\n",
+			proto, st.TotalMessages(), st.TotalBytes(), float64(sys.VirtualTime())/1e6)
+	}
+	fmt.Println("\nERC pays a broadcast round (P-1 invalidations + acks) at every release;")
+	fmt.Println("LRC piggybacks the same information on the lock grants it sends anyway.")
+}

@@ -1,0 +1,76 @@
+// Command postmortem runs the same racy program twice through the two
+// detection pipelines the paper compares (§7): the online LRC-metadata
+// detector, and a full event trace analyzed after the fact. Both find the
+// same race; the trace's size is the storage the online approach never
+// needs.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"lrcrace"
+)
+
+const procs = 4
+
+func worker(racy, locked lrcrace.Addr) func(p *lrcrace.Proc) {
+	return func(p *lrcrace.Proc) {
+		for i := 0; i < 10; i++ {
+			p.Lock(0)
+			p.Write(locked, p.Read(locked)+1)
+			p.Unlock(0)
+			p.Write(racy, uint64(p.ID()))
+			p.Barrier()
+		}
+	}
+}
+
+func main() {
+	// Pipeline 1: online detection (the paper's contribution).
+	sys, err := lrcrace.New(lrcrace.Config{NumProcs: procs, SharedSize: 16 * 1024, Detect: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	racy, _ := sys.AllocWords("racy", 1)
+	locked, _ := sys.AllocWords("locked", 1)
+	if err := sys.Run(worker(racy, locked)); err != nil {
+		log.Fatal(err)
+	}
+	online := lrcrace.DedupRaces(sys.Races())
+	fmt.Printf("online detector: %d distinct race(s), zero bytes of trace\n", len(online))
+	for _, r := range online {
+		sym, _ := sys.SymbolAt(r.Addr)
+		fmt.Printf("  %q at 0x%x\n", sym.Name, uint64(r.Addr))
+	}
+
+	// Pipeline 2: trace everything, analyze offline (Adve et al.).
+	var logBuf bytes.Buffer
+	tw, err := lrcrace.NewTraceWriter(&logBuf, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys2, err := lrcrace.New(lrcrace.Config{NumProcs: procs, SharedSize: 16 * 1024, Tracer: tw})
+	if err != nil {
+		log.Fatal(err)
+	}
+	racy2, _ := sys2.AllocWords("racy", 1)
+	locked2, _ := sys2.AllocWords("locked", 1)
+	if err := sys2.Run(worker(racy2, locked2)); err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	addrs, err := lrcrace.AnalyzeTrace(bytes.NewReader(logBuf.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npost-mortem analyzer: %d racy address(es), from a %d-byte trace (%d events)\n",
+		len(addrs), tw.Bytes(), tw.Events())
+	for _, a := range addrs {
+		fmt.Printf("  0x%x\n", uint64(a))
+	}
+	fmt.Println("\nSame findings; the trace bytes are what the online approach eliminates.")
+}

@@ -1,0 +1,3 @@
+module lrcrace
+
+go 1.22

@@ -1,0 +1,74 @@
+// Package apps defines the common harness interface implemented by the four
+// benchmark applications of the paper's evaluation — FFT, SOR, TSP and
+// Water — and a registry to construct them by name.
+//
+// Each application is a full Go implementation against the DSM API,
+// preserving the synchronization structure (barrier-only, lock-only, or
+// mixed) and the sharing patterns of the originals, including TSP's
+// intentional unsynchronized reads of the global tour bound and Water's
+// seeded write-write race (the Splash2 bug the paper found). Input sizes
+// are configurable; defaults are laptop-scale, with the paper's sizes
+// available through each package's Paper... constructors.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"lrcrace/internal/dsm"
+)
+
+// App is one benchmark application.
+type App interface {
+	// Name returns the application's name as used in the paper's tables.
+	Name() string
+	// InputDesc describes the input set (Table 1 column 1).
+	InputDesc() string
+	// SyncKinds names the synchronization used (Table 1 column 2).
+	SyncKinds() string
+	// SharedBytes returns the shared-segment size the app needs.
+	SharedBytes() int
+	// Setup allocates shared variables and initializes shared data. It is
+	// called once, before Run, with Alloc available.
+	Setup(sys *dsm.System) error
+	// Worker is the per-process body.
+	Worker(p *dsm.Proc)
+	// Verify checks the computation's result after the run, reading final
+	// state through the system (not the DSM API). It must not depend on
+	// benign races' outcomes.
+	Verify(sys *dsm.System) error
+}
+
+// Factory builds an App at the given problem scale. Scale 1.0 is the
+// default laptop-scale input; each app documents what its paper-scale
+// factor is.
+type Factory func(scale float64) App
+
+var registry = map[string]Factory{}
+
+// Register adds a factory under name; called from app package init.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("apps: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// New builds the named app (case-sensitive: "FFT", "SOR", "TSP", "Water").
+func New(name string, scale float64) (App, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q (have %v)", name, Names())
+	}
+	return f(scale), nil
+}
+
+// Names lists registered applications in stable order.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,70 @@
+package apps_test
+
+import (
+	"testing"
+
+	"lrcrace/internal/apps"
+	"lrcrace/internal/apps/fft"
+	"lrcrace/internal/apps/sor"
+	"lrcrace/internal/apps/tsp"
+	"lrcrace/internal/apps/water"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := apps.Names()
+	want := []string{"FFT", "SOR", "TSP", "Water"}
+	if len(names) != len(want) {
+		t.Fatalf("Names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range apps.Names() {
+		app, err := apps.New(name, 1)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if app.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, app.Name())
+		}
+		if app.SharedBytes() <= 0 {
+			t.Errorf("%s: SharedBytes = %d", name, app.SharedBytes())
+		}
+		if app.InputDesc() == "" || app.SyncKinds() == "" {
+			t.Errorf("%s: empty descriptors", name)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := apps.New("nosuch", 1); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+// TestPaperPresets: each app exposes the paper's Table 1 input set.
+func TestPaperPresets(t *testing.T) {
+	if c := fft.PaperConfig(); c.N1 != 64 || c.N2 != 64 || c.N3 != 16 {
+		t.Errorf("fft paper dims = %+v", c)
+	}
+	if c := sor.PaperConfig(); c.Rows != 512 || c.Cols != 512 {
+		t.Errorf("sor paper grid = %dx%d", c.Rows, c.Cols)
+	}
+	if c := tsp.PaperConfig(); c.Cities != 19 {
+		t.Errorf("tsp paper cities = %d", c.Cities)
+	}
+	if c := water.PaperConfig(); c.Molecules != 216 || c.Steps != 5 {
+		t.Errorf("water paper = %+v", c)
+	}
+	// The paper descriptions line up with Table 1's input column.
+	w := water.New(water.PaperConfig())
+	if w.InputDesc() != "216 mols, 5 steps" {
+		t.Errorf("water desc = %q", w.InputDesc())
+	}
+}

@@ -1,0 +1,101 @@
+package fft
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"lrcrace/internal/dsm"
+)
+
+func runFFT(t *testing.T, cfg Config, procs int, proto dsm.ProtocolKind) (*FFT, *dsm.System) {
+	t.Helper()
+	app := New(cfg)
+	sys, err := dsm.New(dsm.Config{
+		NumProcs:   procs,
+		SharedSize: app.SharedBytes(),
+		Protocol:   proto,
+		Detect:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Setup(sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(app.Worker); err != nil {
+		t.Fatal(err)
+	}
+	return app, sys
+}
+
+func TestFFTVecTransform(t *testing.T) {
+	// fftVec against the DFT definition on a small vector.
+	n := 8
+	buf := make([]complex128, n)
+	orig := make([]complex128, n)
+	for i := range buf {
+		buf[i] = complex(float64(i*i%7), float64(3*i%5))
+		orig[i] = buf[i]
+	}
+	fftVec(buf, false)
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += orig[j] * cmplx.Exp(complex(0, -2*3.141592653589793*float64(k*j)/float64(n)))
+		}
+		if cmplx.Abs(buf[k]-want) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", k, buf[k], want)
+		}
+	}
+	// Inverse returns the original.
+	fftVec(buf, true)
+	for i := range buf {
+		if cmplx.Abs(buf[i]-orig[i]) > 1e-9 {
+			t.Fatalf("inverse[%d] = %v, want %v", i, buf[i], orig[i])
+		}
+	}
+}
+
+func TestFFT3DMatchesReference(t *testing.T) {
+	for _, procs := range []int{1, 2, 4} {
+		app, sys := runFFT(t, Config{N1: 8, N2: 8, N3: 4}, procs, dsm.SingleWriter)
+		if err := app.Verify(sys); err != nil {
+			t.Errorf("procs=%d: %v", procs, err)
+		}
+		if races := sys.Races(); len(races) != 0 {
+			t.Errorf("procs=%d: FFT reported races: %v", procs, races[0])
+		}
+	}
+}
+
+func TestFFTMultiWriter(t *testing.T) {
+	app, sys := runFFT(t, Config{N1: 8, N2: 8, N3: 4}, 3, dsm.MultiWriter)
+	if err := app.Verify(sys); err != nil {
+		t.Error(err)
+	}
+	if len(sys.Races()) != 0 {
+		t.Errorf("races: %v", sys.Races())
+	}
+}
+
+func TestFFTConfig(t *testing.T) {
+	app := New(Config{})
+	if app.cfg.N1 != 64 || app.cfg.N2 != 64 || app.cfg.N3 != 16 {
+		t.Errorf("defaults: %+v", app.cfg)
+	}
+	if app.InputDesc() != "64 x 64 x 16" {
+		t.Errorf("InputDesc = %q (paper Table 1 says \"64 x 64 x 16\")", app.InputDesc())
+	}
+	if p := New(PaperConfig()); p.points() != 65536 {
+		t.Errorf("paper points = %d", p.points())
+	}
+	if app.Name() != "FFT" || app.SyncKinds() != "barrier" {
+		t.Error("descriptors wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two dimension accepted")
+		}
+	}()
+	New(Config{N1: 48})
+}

@@ -1,0 +1,419 @@
+// Package tsp implements the paper's TSP benchmark: branch-and-bound
+// traveling salesman over a centralized work queue of tour prefixes,
+// protected by a lock — with the original's deliberate performance hack
+// intact: workers prune against the global best-tour bound by reading it
+// WITHOUT synchronization. A stale bound only causes redundant search, never
+// a wrong answer, but every such read races with the locked bound updates —
+// the read-write data races the paper's detector finds ("a large number of
+// data races that result from unsynchronized read accesses to a global tour
+// bound").
+package tsp
+
+import (
+	"fmt"
+	"math"
+
+	"lrcrace/internal/apps"
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/mem"
+)
+
+func init() {
+	apps.Register("TSP", func(scale float64) apps.App { return New(Config{Scale: scale}) })
+}
+
+// Lock identifiers.
+const (
+	QLock   = 0 // work queue
+	MinLock = 1 // best tour bound + path
+)
+
+// Infinity is the initial tour bound.
+const Infinity = int64(math.MaxInt32)
+
+// Config sets the problem size.
+type Config struct {
+	// Cities is the number of cities. Zero → 10 + Scale (cap 19). The
+	// paper runs 19 cities.
+	Cities int
+	// PrefixLen is the tour-prefix length at which workers stop expanding
+	// the queue and solve the subtree with a private depth-first search.
+	// Zero → 4.
+	PrefixLen int
+	// Scale scales the default city count.
+	Scale float64
+}
+
+func (c *Config) fill() {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Cities == 0 {
+		c.Cities = 10 + int(c.Scale)
+		if c.Cities > 19 {
+			c.Cities = 19
+		}
+	}
+	if c.PrefixLen == 0 {
+		c.PrefixLen = 4
+	}
+	if c.PrefixLen >= c.Cities {
+		c.PrefixLen = c.Cities - 1
+	}
+}
+
+// TSP is the benchmark instance.
+type TSP struct {
+	cfg Config
+
+	dist     mem.Addr // cities × cities distance matrix
+	minTour  mem.Addr // the racy global bound (1 word)
+	bestPath mem.Addr // cities words, guarded by MinLock
+	qCount   mem.Addr // slots filled (guarded by QLock)
+	qNext    mem.Addr // next slot to pop (guarded by QLock)
+	qBusy    mem.Addr // prefixes popped but not yet fully processed (QLock)
+	qSlots   mem.Addr // maxQ × (1 + PrefixLen) words
+	maxQ     int
+}
+
+// PaperConfig is the paper's input set: 19 cities. Warning: exact
+// branch-and-bound at 19 cities explores an enormous tree; expect very
+// long runs. Harness defaults use 12 cities instead.
+func PaperConfig() Config { return Config{Cities: 19} }
+
+// New builds a TSP instance.
+func New(cfg Config) *TSP {
+	cfg.fill()
+	t := &TSP{cfg: cfg}
+	t.maxQ = t.queueCapacity()
+	return t
+}
+
+// queueCapacity bounds the number of prefixes ever enqueued: every prefix
+// of length 1..PrefixLen starting at city 0.
+func (t *TSP) queueCapacity() int {
+	total, perLen := 0, 1
+	for l := 1; l <= t.cfg.PrefixLen; l++ {
+		total += perLen
+		perLen *= t.cfg.Cities - l
+	}
+	return total
+}
+
+// Name implements apps.App.
+func (t *TSP) Name() string { return "TSP" }
+
+// InputDesc implements apps.App.
+func (t *TSP) InputDesc() string { return fmt.Sprintf("%d cities", t.cfg.Cities) }
+
+// SyncKinds implements apps.App.
+func (t *TSP) SyncKinds() string { return "lock" }
+
+// SharedBytes implements apps.App: the four shared regions (distance
+// matrix, bound+best path, queue counters, queue slots), each starting on
+// its own page as the original's separate shared allocations do.
+func (t *TSP) SharedBytes() int {
+	n := t.cfg.Cities
+	words := n*n + 2 + n + 1 + t.maxQ*(1+t.cfg.PrefixLen)
+	return words*mem.WordSize + 6*mem.DefaultPageSize
+}
+
+// allocRegion page-aligns the next allocation.
+func allocRegion(sys *dsm.System, name string, words int) (mem.Addr, error) {
+	ps := sys.Layout().PageSize
+	if pad := (ps - sys.AllocBytes()%ps) % ps; pad > 0 {
+		if _, err := sys.Alloc(name+"_pad", pad); err != nil {
+			return 0, err
+		}
+	}
+	return sys.AllocWords(name, words)
+}
+
+// Dist returns the deterministic inter-city distance: cities on a pseudo
+// random integer grid, Euclidean distance rounded up.
+func Dist(i, j int) int64 {
+	if i == j {
+		return 0
+	}
+	xi, yi := cityPos(i)
+	xj, yj := cityPos(j)
+	dx, dy := float64(xi-xj), float64(yi-yj)
+	return int64(math.Ceil(math.Sqrt(dx*dx + dy*dy)))
+}
+
+func cityPos(i int) (int, int) {
+	h := uint64(i+1) * 0x9e3779b97f4a7c15
+	return int(h % 1000), int((h >> 32) % 1000)
+}
+
+// Setup implements apps.App.
+func (t *TSP) Setup(sys *dsm.System) error {
+	n := t.cfg.Cities
+	var err error
+	if t.dist, err = allocRegion(sys, "dist", n*n); err != nil {
+		return err
+	}
+	if t.minTour, err = allocRegion(sys, "minTour", 1); err != nil {
+		return err
+	}
+	if t.bestPath, err = sys.AllocWords("bestPath", n); err != nil {
+		return err
+	}
+	if t.qCount, err = allocRegion(sys, "qCount", 1); err != nil {
+		return err
+	}
+	if t.qNext, err = sys.AllocWords("qNext", 1); err != nil {
+		return err
+	}
+	if t.qBusy, err = sys.AllocWords("qBusy", 1); err != nil {
+		return err
+	}
+	if t.qSlots, err = allocRegion(sys, "qSlots", t.maxQ*(1+t.cfg.PrefixLen)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (t *TSP) distAt(p *dsm.Proc, i, j int) int64 {
+	return p.ReadI64(t.dist + mem.Addr((i*t.cfg.Cities+j)*mem.WordSize))
+}
+
+func (t *TSP) slot(k int) mem.Addr {
+	return t.qSlots + mem.Addr(k*(1+t.cfg.PrefixLen)*mem.WordSize)
+}
+
+// Worker implements apps.App: a branch-and-bound worker over the shared
+// prefix queue. Short prefixes are expanded one level and the children
+// pushed back (under QLock); prefixes of PrefixLen cities are solved with a
+// private depth-first search. All pruning reads the global bound without
+// synchronization — the deliberate races — and the distance matrix is read
+// through shared memory throughout, as in the original.
+func (t *TSP) Worker(p *dsm.Proc) {
+	n := t.cfg.Cities
+	if p.ID() == 0 {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p.WriteI64(t.dist+mem.Addr((i*n+j)*mem.WordSize), Dist(i, j))
+			}
+		}
+		p.WriteI64(t.minTour, Infinity)
+		// Seed: the single-city prefix [0].
+		s0 := t.slot(0)
+		p.WriteI64(s0, 1)
+		p.WriteI64(s0+mem.WordSize, 0)
+		p.WriteI64(t.qCount, 1)
+		p.WriteI64(t.qNext, 0)
+		p.WriteI64(t.qBusy, 0)
+	}
+	p.Barrier()
+
+	path := make([]int, 0, n)
+	needDec := false // we owe a qBusy decrement from the previous prefix
+	for {
+		// Pop a prefix, or decide the search is over: the queue is empty
+		// and no prefix is still being expanded anywhere. The decrement for
+		// the previous prefix rides in the same critical section.
+		p.Lock(QLock)
+		if needDec {
+			p.WriteI64(t.qBusy, p.ReadI64(t.qBusy)-1)
+			needDec = false
+		}
+		next := p.ReadI64(t.qNext)
+		count := p.ReadI64(t.qCount)
+		if next >= count {
+			busy := p.ReadI64(t.qBusy)
+			p.Unlock(QLock)
+			if busy == 0 {
+				break
+			}
+			p.Compute(200) // brief backoff, then poll again
+			continue
+		}
+		p.WriteI64(t.qNext, next+1)
+		p.WriteI64(t.qBusy, p.ReadI64(t.qBusy)+1)
+		p.Unlock(QLock)
+
+		// Read the prefix outside the lock (slot contents are stable once
+		// published; the publish is ordered by the QLock chain).
+		s := t.slot(int(next))
+		plen := int(p.ReadI64(s))
+		path = path[:0]
+		length := int64(0)
+		for i := 0; i < plen; i++ {
+			c := int(p.ReadI64(s + mem.Addr((1+i)*mem.WordSize)))
+			if i > 0 {
+				length += t.distAt(p, path[i-1], c)
+			}
+			path = append(path, c)
+		}
+
+		if plen < t.cfg.PrefixLen {
+			t.expand(p, path, length)
+		} else {
+			t.solve(p, path, length)
+		}
+		needDec = true
+	}
+}
+
+// expand pushes every one-city extension of path that survives the bound.
+func (t *TSP) expand(p *dsm.Proc, path []int, length int64) {
+	n := t.cfg.Cities
+	visited := make([]bool, n)
+	for _, c := range path {
+		visited[c] = true
+	}
+	last := path[len(path)-1]
+	type child struct {
+		city int
+		len  int64
+	}
+	var children []child
+	for c := 1; c < n; c++ {
+		if visited[c] {
+			continue
+		}
+		nl := length + t.distAt(p, last, c)
+		// The deliberate data race: prune against the unlocked bound.
+		if nl < p.ReadI64(t.minTour) {
+			children = append(children, child{c, nl})
+		}
+		p.PrivateAccess(4)
+		p.Compute(6)
+	}
+	if len(children) == 0 {
+		return
+	}
+	p.Lock(QLock)
+	base := p.ReadI64(t.qCount)
+	for k, ch := range children {
+		s := t.slot(int(base) + k)
+		p.WriteI64(s, int64(len(path)+1))
+		for i, c := range path {
+			p.WriteI64(s+mem.Addr((1+i)*mem.WordSize), int64(c))
+		}
+		p.WriteI64(s+mem.Addr((1+len(path))*mem.WordSize), int64(ch.city))
+	}
+	p.WriteI64(t.qCount, base+int64(len(children)))
+	p.Unlock(QLock)
+}
+
+// solve runs the private depth-first search under the prefix, pruning with
+// unsynchronized reads of the global bound and updating it under MinLock.
+func (t *TSP) solve(p *dsm.Proc, path []int, length int64) {
+	n := t.cfg.Cities
+	visited := make([]bool, n)
+	for _, c := range path {
+		visited[c] = true
+	}
+	cur := make([]int, len(path), n)
+	copy(cur, path)
+
+	var dfs func(length int64)
+	dfs = func(length int64) {
+		// The deliberate data race: read the global bound with no lock.
+		bound := p.ReadI64(t.minTour)
+		p.PrivateAccess(10)
+		p.Compute(16)
+		if length >= bound {
+			return
+		}
+		if len(cur) == n {
+			total := length + t.distAt(p, cur[n-1], cur[0])
+			if total < bound {
+				// Candidate improvement: re-check under the lock.
+				p.Lock(MinLock)
+				if total < p.ReadI64(t.minTour) {
+					p.WriteI64(t.minTour, total)
+					for i, c := range cur {
+						p.WriteI64(t.bestPath+mem.Addr(i*mem.WordSize), int64(c))
+					}
+				}
+				p.Unlock(MinLock)
+			}
+			return
+		}
+		last := cur[len(cur)-1]
+		for c := 1; c < n; c++ {
+			if !visited[c] {
+				visited[c] = true
+				cur = append(cur, c)
+				dfs(length + t.distAt(p, last, c))
+				cur = cur[:len(cur)-1]
+				visited[c] = false
+			}
+		}
+	}
+	dfs(length)
+}
+
+// Optimal computes the exact optimum sequentially (plain Go) for Verify.
+func (t *TSP) Optimal() int64 {
+	n := t.cfg.Cities
+	d := make([][]int64, n)
+	for i := range d {
+		d[i] = make([]int64, n)
+		for j := range d[i] {
+			d[i][j] = Dist(i, j)
+		}
+	}
+	best := Infinity
+	visited := make([]bool, n)
+	visited[0] = true
+	var dfs func(last int, depth int, length int64)
+	dfs = func(last, depth int, length int64) {
+		if length >= best {
+			return
+		}
+		if depth == n {
+			if total := length + d[last][0]; total < best {
+				best = total
+			}
+			return
+		}
+		for c := 1; c < n; c++ {
+			if !visited[c] {
+				visited[c] = true
+				dfs(c, depth+1, length+d[last][c])
+				visited[c] = false
+			}
+		}
+	}
+	dfs(0, 1, 0)
+	return best
+}
+
+// Verify implements apps.App: despite the racy bound reads, the final bound
+// must equal the true optimum (stale bounds cause redundant work, not wrong
+// answers), and the recorded best path must have that length.
+func (t *TSP) Verify(sys *dsm.System) error {
+	want := t.Optimal()
+	got := int64(sys.SnapshotWord(t.minTour))
+	if got != want {
+		return fmt.Errorf("tsp: minTour = %d, want %d", got, want)
+	}
+	n := t.cfg.Cities
+	seen := make([]bool, n)
+	length := int64(0)
+	prev := -1
+	for i := 0; i < n; i++ {
+		c := int(int64(sys.SnapshotWord(t.bestPath + mem.Addr(i*mem.WordSize))))
+		if c < 0 || c >= n || seen[c] {
+			return fmt.Errorf("tsp: best path invalid at %d (city %d)", i, c)
+		}
+		seen[c] = true
+		if prev >= 0 {
+			length += Dist(prev, c)
+		}
+		prev = c
+	}
+	length += Dist(prev, int(int64(sys.SnapshotWord(t.bestPath))))
+	if length != want {
+		return fmt.Errorf("tsp: best path length %d, want %d", length, want)
+	}
+	return nil
+}
+
+// RacyBoundAddr exposes the address of the deliberately racy global bound,
+// so the harness can check that detected races point at it.
+func (t *TSP) RacyBoundAddr() mem.Addr { return t.minTour }

@@ -1,0 +1,50 @@
+package water
+
+import (
+	"testing"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/race"
+)
+
+// TestWaterWritesFromDiffs is a regression test for a coherence bug found
+// during development: multi-writer home pages were initialized writable, so
+// under WritesFromDiffs the home never twinned and its own writes never
+// produced write notices — later lock holders read stale force values and
+// the trajectory silently diverged. Homes now start (and are re-protected
+// to) read-only. The test runs the full Water workload under diff-derived
+// write detection, with and without the seeded bug, and verifies the
+// trajectory exactly.
+func TestWaterWritesFromDiffs(t *testing.T) {
+	for _, fix := range []bool{false, true} {
+		for i := 0; i < 5; i++ {
+			app := New(Config{Molecules: 16, Steps: 2, FixBug: fix})
+			sys, err := dsm.New(dsm.Config{
+				NumProcs:        4,
+				SharedSize:      app.SharedBytes(),
+				Protocol:        dsm.MultiWriter,
+				Detect:          true,
+				WritesFromDiffs: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Setup(sys); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.Run(app.Worker); err != nil {
+				t.Fatal(err)
+			}
+			if err := app.Verify(sys); err != nil {
+				t.Fatalf("fix=%v iter %d: %v", fix, i, err)
+			}
+			races := race.DedupByAddr(sys.Races())
+			if fix && len(races) != 0 {
+				t.Errorf("fixed Water races under diff detection: %v", races)
+			}
+			if !fix && len(races) == 0 {
+				t.Error("seeded bug not detected under diff-derived writes")
+			}
+		}
+	}
+}

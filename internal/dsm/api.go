@@ -1,0 +1,588 @@
+package dsm
+
+import (
+	"math"
+
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/vc"
+)
+
+// Read returns the shared word at a, faulting in the page if the local copy
+// is invalid. When detection is on, the access is instrumented: the
+// analysis routine is charged (procedure call + access check) and the read
+// bit for the word is set in the current interval's bitmap.
+func (p *Proc) Read(a mem.Addr) uint64 {
+	p.mu.Lock()
+	m := &p.sys.cfg.Model
+	p.vnow += m.MemAccess
+	p.st.SharedReads++
+	if p.detect() {
+		p.vnow += m.ProcCall + m.AccessCheck
+		p.st.TProcCall += m.ProcCall
+		p.st.TAccessCheck += m.AccessCheck
+		p.builder.NoteRead(a)
+	}
+	pg := p.seg.Page(a)
+	if p.state[pg] == pageInvalid {
+		p.readFaultLocked(pg)
+	}
+	v := p.seg.Word(a)
+	if dbgWatchOn && a == dbgWatch {
+		dbgf("p%d READ  %v (interval %d, state=%d)", p.id, math.Float64frombits(v), p.curIndex, p.state[pg])
+	}
+	if tr := p.sys.cfg.Tracer; tr != nil {
+		tr.Read(p.id, a)
+	}
+	if w := p.sys.cfg.Watch; w != nil && a == w.WatchedAddr() {
+		w.NoteAccess(p.id, false)
+	}
+	p.mu.Unlock()
+	return v
+}
+
+// Write stores v to the shared word at a, obtaining write access first
+// (ownership under single-writer; a twin under multi-writer). The first
+// write to a page in each interval takes a protection fault, which is how
+// the base DSM learns write notices without instrumentation.
+func (p *Proc) Write(a mem.Addr, v uint64) {
+	p.mu.Lock()
+	m := &p.sys.cfg.Model
+	p.vnow += m.MemAccess
+	p.st.SharedWrites++
+	if p.detect() {
+		p.vnow += m.ProcCall + m.AccessCheck
+		p.st.TProcCall += m.ProcCall
+		p.st.TAccessCheck += m.AccessCheck
+		if !p.sys.cfg.WritesFromDiffs {
+			p.builder.NoteWrite(a)
+		}
+	}
+	pg := p.seg.Page(a)
+	switch p.sys.cfg.Protocol {
+	case SingleWriter, EagerRC:
+		if !p.owned[pg] {
+			p.ownershipFaultLocked(pg)
+		} else if !p.writtenPages[pg] {
+			// Local protection fault: creates this interval's write notice.
+			p.vnow += m.PageFault
+			p.st.WriteFaults++
+		}
+		p.writtenPages[pg] = true
+	case MultiWriter:
+		if p.state[pg] == pageInvalid {
+			p.fetchFromHomeLocked(pg, true)
+		}
+		if p.state[pg] == pageReadOnly {
+			p.vnow += m.PageFault
+			p.st.WriteFaults++
+			if p.home(pg) != p.id || p.sys.cfg.WritesFromDiffs {
+				twin := make([]byte, p.seg.PageSize)
+				copy(twin, p.seg.PageBytes(pg))
+				p.twins[pg] = twin
+			}
+			p.state[pg] = pageWritable
+		}
+		if !p.sys.cfg.WritesFromDiffs {
+			p.writtenPages[pg] = true
+		}
+	}
+	p.seg.SetWord(a, v)
+	if dbgWatchOn && a == dbgWatch {
+		dbgf("p%d WRITE %v (interval %d)", p.id, math.Float64frombits(v), p.curIndex)
+	}
+	if tr := p.sys.cfg.Tracer; tr != nil {
+		tr.Write(p.id, a)
+	}
+	if w := p.sys.cfg.Watch; w != nil && a == w.WatchedAddr() {
+		w.NoteAccess(p.id, true)
+	}
+	if p.sys.cfg.Protocol != MultiWriter && len(p.pendFwd[pg]) > 0 {
+		p.drainPendingFwdsLocked(pg)
+	}
+	p.mu.Unlock()
+}
+
+// ReadF64 reads the shared word at a as a float64.
+func (p *Proc) ReadF64(a mem.Addr) float64 { return math.Float64frombits(p.Read(a)) }
+
+// WriteF64 stores a float64 to the shared word at a.
+func (p *Proc) WriteF64(a mem.Addr, v float64) { p.Write(a, math.Float64bits(v)) }
+
+// ReadI64 reads the shared word at a as an int64.
+func (p *Proc) ReadI64(a mem.Addr) int64 { return int64(p.Read(a)) }
+
+// WriteI64 stores an int64 to the shared word at a.
+func (p *Proc) WriteI64(a mem.Addr, v int64) { p.Write(a, uint64(v)) }
+
+// Compute charges ops units of private computation to the virtual clock.
+func (p *Proc) Compute(ops int64) {
+	p.mu.Lock()
+	p.vnow += ops * p.sys.cfg.Model.ComputeOp
+	p.st.ComputeOps += ops
+	p.mu.Unlock()
+}
+
+// PrivateAccess models n loads/stores that ATOM could not statically prove
+// private, so they call the analysis routine at runtime only to fail the
+// shared-segment bounds check. These dominate the dynamic instrumentation
+// cost in the paper's applications ("the majority of run-time calls to our
+// analysis routines are for private, not shared, data").
+func (p *Proc) PrivateAccess(n int64) {
+	p.mu.Lock()
+	m := &p.sys.cfg.Model
+	p.vnow += n * m.MemAccess
+	p.st.PrivateAccesses += n
+	if p.detect() {
+		p.vnow += n * (m.ProcCall + m.AccessCheck)
+		p.st.TProcCall += n * m.ProcCall
+		p.st.TAccessCheck += n * m.AccessCheck
+	}
+	p.mu.Unlock()
+}
+
+// --- page faults ---
+
+// readFaultLocked services a read fault: fetch a copy of pg. Under
+// single-writer the request goes through the home directory to the current
+// owner; under multi-writer the home's copy is always current.
+func (p *Proc) readFaultLocked(pg mem.PageID) {
+	if p.sys.cfg.Protocol == MultiWriter {
+		p.fetchFromHomeLocked(pg, false)
+		return
+	}
+	m := &p.sys.cfg.Model
+	p.vnow += m.PageFault
+	p.st.ReadFaults++
+	p.fetching[pg] = true
+	v := p.vnow
+	p.mu.Unlock()
+	p.send(p.home(pg), &msg.PageReq{Page: pg, Write: false}, v)
+	d := p.waitReply()
+	p.mu.Lock()
+	rep, ok := d.Msg.(*msg.PageReply)
+	if !ok || rep.Page != pg {
+		p.protocolBug("read fault on page %d answered with %T", pg, d.Msg)
+	}
+	p.bumpVTo(p.arrival(d))
+	p.seg.CopyPageIn(pg, rep.Data)
+	dbgf("p%d read-fetched page %d from p%d word4=%d", p.id, pg, d.From, p.seg.Word(32))
+	p.fetching[pg] = false
+	if p.fetchInv[pg] {
+		// Invalidated mid-fetch: serve this (legally stale) read, but do
+		// not keep the copy.
+		p.fetchInv[pg] = false
+		p.state[pg] = pageInvalid
+	} else {
+		p.state[pg] = pageReadOnly
+	}
+}
+
+// ownershipFaultLocked obtains single-writer ownership (and current
+// contents) of pg via the home directory.
+func (p *Proc) ownershipFaultLocked(pg mem.PageID) {
+	m := &p.sys.cfg.Model
+	p.vnow += m.PageFault
+	p.st.WriteFaults++
+	p.expecting[pg] = true
+	v := p.vnow
+	p.mu.Unlock()
+	p.send(p.home(pg), &msg.PageReq{Page: pg, Write: true}, v)
+	d := p.waitReply()
+	p.mu.Lock()
+	rep, ok := d.Msg.(*msg.PageReply)
+	if !ok || rep.Page != pg || !rep.Ownership {
+		p.protocolBug("ownership fault on page %d answered with %#v", pg, d.Msg)
+	}
+	p.bumpVTo(p.arrival(d))
+	p.seg.CopyPageIn(pg, rep.Data)
+	dbgf("p%d got ownership of page %d word4=%d", p.id, pg, p.seg.Word(32))
+	p.owned[pg] = true
+	p.expecting[pg] = false
+	p.state[pg] = pageWritable
+}
+
+// fetchFromHomeLocked fetches the home copy of pg (multi-writer).
+func (p *Proc) fetchFromHomeLocked(pg mem.PageID, write bool) {
+	m := &p.sys.cfg.Model
+	p.vnow += m.PageFault
+	if write {
+		p.st.WriteFaults++
+	} else {
+		p.st.ReadFaults++
+	}
+	if p.home(pg) == p.id {
+		p.protocolBug("home page %d invalid", pg)
+	}
+	p.fetching[pg] = true
+	v := p.vnow
+	p.mu.Unlock()
+	p.send(p.home(pg), &msg.PageReq{Page: pg, Write: false}, v)
+	d := p.waitReply()
+	p.mu.Lock()
+	rep, ok := d.Msg.(*msg.PageReply)
+	if !ok || rep.Page != pg {
+		p.protocolBug("home fetch of page %d answered with %T", pg, d.Msg)
+	}
+	p.bumpVTo(p.arrival(d))
+	p.seg.CopyPageIn(pg, rep.Data)
+	p.fetching[pg] = false
+	if p.fetchInv[pg] {
+		p.fetchInv[pg] = false
+		p.state[pg] = pageInvalid
+	} else {
+		p.state[pg] = pageReadOnly
+	}
+}
+
+// eagerReleaseLocked performs an ERC release: broadcast invalidations for
+// every page written since the last release to all other processes and wait
+// for their acknowledgments. This is the eager traffic — O(P) messages per
+// release, paid whether or not anyone will ever read the data — that lazy
+// release consistency defers and piggybacks instead.
+func (p *Proc) eagerReleaseLocked() {
+	if len(p.pendingInval) == 0 {
+		return
+	}
+	pages := make([]mem.PageID, 0, len(p.pendingInval))
+	for pg := range p.pendingInval {
+		pages = append(pages, pg)
+	}
+	interval.SortPages(pages)
+	p.pendingInval = make(map[mem.PageID]bool)
+	v := p.vnow
+	acks := 0
+	for q := 0; q < p.n; q++ {
+		if q == p.id {
+			continue
+		}
+		p.send(q, &msg.Inval{Pages: pages}, v)
+		acks++
+	}
+	for i := 0; i < acks; i++ {
+		p.mu.Unlock()
+		d := p.waitReply()
+		p.mu.Lock()
+		if _, ok := d.Msg.(*msg.InvalAck); !ok {
+			p.protocolBug("inval answered with %T", d.Msg)
+		}
+		p.bumpVTo(p.arrival(d))
+	}
+}
+
+// flushDiffsLocked computes and flushes the diffs of all twinned pages to
+// their homes, waiting for acknowledgments, and write-protects written
+// pages again so the next interval re-faults. Under WritesFromDiffs the
+// diffs also provide the write bitmaps and write notices (§6.5): a word
+// overwritten with its existing value produces no diff entry and therefore
+// no notice — the paper's "slightly weaker correctness guarantee".
+func (p *Proc) flushDiffsLocked() {
+	if len(p.twins) == 0 && len(p.writtenPages) == 0 {
+		return
+	}
+	acks := 0
+	v := p.vnow
+	for pg, twin := range p.twins {
+		entries := diffPage(p.seg.PageBytes(pg), twin)
+		if dbg != nil && len(entries) == 0 {
+			dbgf("p%d EMPTY-DIFF page %d at interval %d (twinned but unchanged)", p.id, pg, p.curIndex)
+		}
+		p.st.DiffsFlushed++
+		p.st.DiffWords += int64(len(entries))
+		if p.sys.cfg.WritesFromDiffs && len(entries) > 0 {
+			base := p.seg.PageBase(pg)
+			for _, e := range entries {
+				addr := base + mem.Addr(int(e.Word)*mem.WordSize)
+				p.builder.NoteWrite(addr)
+			}
+			p.writtenPages[pg] = true
+		}
+		if p.home(pg) != p.id && len(entries) > 0 {
+			p.send(p.home(pg), &msg.DiffFlush{Page: pg, Entries: entries}, v)
+			acks++
+		}
+		delete(p.twins, pg)
+		p.state[pg] = pageReadOnly
+	}
+	for pg := range p.writtenPages {
+		if p.state[pg] == pageWritable {
+			p.state[pg] = pageReadOnly
+		}
+	}
+	for i := 0; i < acks; i++ {
+		p.mu.Unlock()
+		d := p.waitReply()
+		p.mu.Lock()
+		if _, ok := d.Msg.(*msg.DiffAck); !ok {
+			p.protocolBug("diff flush answered with %T", d.Msg)
+		}
+		p.bumpVTo(p.arrival(d))
+	}
+}
+
+// diffPage returns the words at which page and twin differ.
+func diffPage(page, twin []byte) []msg.DiffEntry {
+	var out []msg.DiffEntry
+	for w := 0; w*mem.WordSize < len(page); w++ {
+		off := w * mem.WordSize
+		var a, b uint64
+		for i := 0; i < mem.WordSize; i++ {
+			a |= uint64(page[off+i]) << (8 * i)
+			b |= uint64(twin[off+i]) << (8 * i)
+		}
+		if a != b {
+			out = append(out, msg.DiffEntry{Word: uint32(w), Val: a})
+		}
+	}
+	return out
+}
+
+// --- locks ---
+
+// Lock acquires distributed lock id. The request goes to the lock's static
+// manager (id mod N), which forwards it to the last holder; the grant
+// returns directly from the holder, carrying the interval records the
+// holder has seen but this process has not. Applying them invalidates
+// pages named by their write notices — the lazy part of LRC.
+func (p *Proc) Lock(id int) {
+	p.mu.Lock()
+	ls := p.lock(id)
+	if ls.holding {
+		p.protocolBug("recursive Lock(%d)", id)
+	}
+	ls.awaiting = true
+	p.st.LockAcquires++
+	req := &msg.AcquireReq{Lock: int32(id), VC: vcToWire(p.vcur)}
+	v := p.vnow
+	p.mu.Unlock()
+	p.send(id%p.n, req, v)
+	d := p.waitReply()
+	p.mu.Lock()
+	grant, ok := d.Msg.(*msg.AcquireGrant)
+	if !ok || int(grant.Lock) != id {
+		p.protocolBug("Lock(%d) answered with %#v", id, d.Msg)
+	}
+	if dbg != nil {
+		ids := ""
+		for _, r := range grant.Intervals {
+			ids += r.ID.String() + " "
+		}
+		dbgf("p%d got lock %d from p%d with [%s]", p.id, id, d.From, ids)
+	}
+	p.bumpVTo(p.arrival(d))
+	// An acquire begins a new interval.
+	p.closeIntervalLocked()
+	p.applyIntervalsLocked(grant.Intervals)
+	p.startIntervalLocked()
+	if tr := p.sys.cfg.Tracer; tr != nil {
+		tr.Acquire(p.id, id)
+	}
+	ls.awaiting = false
+	ls.holding = true
+	// Receiving a grant means every forward targeting our previous tenure
+	// has been served (the chain passed through them to reach us); any
+	// leftover obligation was consumed by the manager's self-grant path.
+	ls.releasedUngranted = false
+	p.mu.Unlock()
+}
+
+// Unlock releases lock id: the critical section's interval is closed (and,
+// under multi-writer, its diffs flushed) so that a grant to the next
+// acquirer carries complete consistency information. If a forwarded
+// request is already queued, the grant is sent immediately.
+func (p *Proc) Unlock(id int) {
+	p.mu.Lock()
+	ls := p.lock(id)
+	if !ls.holding {
+		p.protocolBug("Unlock(%d) while not holding", id)
+	}
+	if tr := p.sys.cfg.Tracer; tr != nil {
+		tr.Release(p.id, id)
+	}
+	// A release begins a new interval. Snapshot the release-time version
+	// vector first: it caps what any grant for this tenure may carry.
+	p.closeIntervalLocked()
+	if p.sys.cfg.Protocol == EagerRC {
+		// The ERC release may not complete (and the lock may not pass on)
+		// until every process has applied the invalidations.
+		p.eagerReleaseLocked()
+	}
+	ls.relVC = p.vcur.Copy()
+	p.startIntervalLocked()
+	ls.holding = false
+	ls.lastRelV = p.vnow
+	dbgf("p%d unlock %d (pending=%d)", p.id, id, len(ls.pending))
+	if len(ls.pending) > 0 {
+		if len(ls.pending) > 1 {
+			p.protocolBug("lock %d has %d pending grants", id, len(ls.pending))
+		}
+		pg := ls.pending[0]
+		ls.pending = nil
+		v := p.vnow
+		if pg.arrV > v {
+			v = pg.arrV
+		}
+		p.grantLocked(id, pg.requester, pg.theirVC, ls.relVC, v)
+	} else {
+		ls.releasedUngranted = true
+	}
+	p.mu.Unlock()
+}
+
+// grantLocked sends an AcquireGrant for lock id to requester, with the
+// interval delta computed against the requester's version vector, capped to
+// the granter's knowledge at the time of the release being matched.
+func (p *Proc) grantLocked(id, requester int, theirs, relVC vc.VC, vtime int64) {
+	var delta []*interval.Record
+	if p.sys.cfg.Protocol != EagerRC {
+		// Under ERC nothing travels on acquires: invalidations already
+		// went out eagerly at the release.
+		delta = p.log.DeltaCapped(theirs, relVC)
+	}
+	g := &msg.AcquireGrant{Lock: int32(id), Intervals: delta}
+	bytes := p.send(requester, g, vtime)
+	p.recordSyncSend(delta, bytes)
+}
+
+// --- barrier ---
+
+// Barrier performs global synchronization through the barrier master
+// (process 0) and, when detection is on, runs the race-detection pass:
+// arrival messages carry the epoch's interval records (with read and write
+// notices); the release carries everyone's records plus the check list; a
+// second round returns word bitmaps for the check list; the master compares
+// them and reports races with the final done message.
+func (p *Proc) Barrier() {
+	p.mu.Lock()
+	p.st.Barriers++
+	// Two interval structures per barrier, as in CVM: the computation
+	// interval and the (empty) arrival interval.
+	p.closeIntervalLocked()
+	p.startIntervalLocked()
+	p.closeIntervalLocked()
+	if tr := p.sys.cfg.Tracer; tr != nil {
+		tr.BarrierArrive(p.id, p.epoch)
+	}
+
+	if p.sys.cfg.Protocol == EagerRC {
+		// Barrier arrival is a release: push the invalidations now; the
+		// arrive message then carries no consistency information.
+		p.eagerReleaseLocked()
+	}
+	arr := &msg.BarrierArrive{
+		Epoch: p.epoch,
+		VC:    vcToWire(p.vcur),
+	}
+	if p.sys.cfg.Protocol != EagerRC {
+		arr.Intervals = p.epochRecords
+	}
+	recs := arr.Intervals
+	p.epochRecords = nil
+	lastClosed := p.curIndex
+	v := p.vnow
+	p.mu.Unlock()
+
+	nbytes := p.send(0, arr, v)
+	p.mu.Lock()
+	p.recordSyncSend(recs, nbytes)
+	p.mu.Unlock()
+
+	d := p.waitReply()
+	rel, ok := d.Msg.(*msg.BarrierRelease)
+	if !ok {
+		p.protocolBug("barrier arrive answered with %T", d.Msg)
+	}
+
+	p.mu.Lock()
+	p.bumpVTo(p.arrival(d))
+	if rel.Epoch != p.epoch {
+		p.protocolBug("barrier release for epoch %d at epoch %d", rel.Epoch, p.epoch)
+	}
+	p.applyIntervalsLocked(rel.Intervals)
+	gvc := vcFromWire(rel.GlobalVC)
+	p.vcur.Merge(gvc)
+	if tr := p.sys.cfg.Tracer; tr != nil {
+		tr.BarrierDepart(p.id, rel.Epoch)
+	}
+	p.mu.Unlock()
+
+	var races []race.Report
+	if rel.NeedBitmaps {
+		p.sendBitmaps(rel)
+		dd := p.waitReply()
+		done, ok := dd.Msg.(*msg.BarrierDone)
+		if !ok {
+			p.protocolBug("bitmap reply answered with %T", dd.Msg)
+		}
+		p.mu.Lock()
+		p.bumpVTo(p.arrival(dd))
+		p.mu.Unlock()
+		races = done.Races
+	}
+
+	p.mu.Lock()
+	p.races = append(p.races, races...)
+	// The epoch has been checked for races: its trace information may now
+	// be discarded, and interval records below the global horizon garbage
+	// collected (every process has seen them).
+	p.store.DiscardUpTo(p.id, lastClosed)
+	p.log.PruneBefore(gvc)
+	p.epoch++
+	p.startIntervalLocked()
+	p.mu.Unlock()
+}
+
+// Consolidate runs a global metadata consolidation (§6.3). In CVM this
+// mechanism exists to garbage-collect consistency information in
+// long-running, barrier-free programs; here, as there, it is realized as a
+// global synchronization of the system's metadata — every process must call
+// it, like a barrier — at which the race-detection pass also runs and
+// interval logs and bitmaps are pruned. Note the precision tradeoff this
+// implies: accesses before the consolidation become ordered with respect to
+// accesses after it, so a race spanning the consolidation point is not
+// reported (races within each consolidated batch are).
+func (p *Proc) Consolidate() { p.Barrier() }
+
+// sendBitmaps returns this process's bitmaps for every check-list entry
+// naming one of its intervals — the second barrier round.
+func (p *Proc) sendBitmaps(rel *msg.BarrierRelease) {
+	p.mu.Lock()
+	reply := &msg.BitmapReply{Epoch: rel.Epoch}
+	seen := make(map[bmKey]bool)
+	addSide := func(id vc.IntervalID, page mem.PageID) {
+		if id.Proc != p.id {
+			return
+		}
+		k := bmKey{id, page, false}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		rd, wr := p.store.Get(id, page)
+		if rd == nil && wr == nil {
+			return
+		}
+		if rd != nil {
+			p.st.BitmapsSent++
+		}
+		if wr != nil {
+			p.st.BitmapsSent++
+		}
+		reply.Entries = append(reply.Entries, msg.BitmapEntry{
+			Proc:  int32(id.Proc),
+			Index: uint32(id.Index),
+			Page:  page,
+			Read:  rd,
+			Write: wr,
+		})
+	}
+	for _, c := range rel.Check {
+		addSide(c.A, c.Page)
+		addSide(c.B, c.Page)
+	}
+	v := p.vnow
+	p.mu.Unlock()
+	p.send(0, reply, v)
+}

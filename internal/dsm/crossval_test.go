@@ -1,0 +1,121 @@
+package dsm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"lrcrace/internal/hbdet"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/race"
+)
+
+// TestCrossValidationAgainstHappensBefore runs randomized workloads twice —
+// once under the LRC-metadata detector, once with a classic vector-clock
+// happens-before detector attached to the same execution via the trace hook
+// — and checks that both flag exactly the same set of racy addresses.
+//
+// The workloads are generated from a fixed per-seed schedule (which proc
+// accesses which address in which epoch, under which lock), so both
+// detectors observe equivalent executions even though scheduling differs.
+func TestCrossValidationAgainstHappensBefore(t *testing.T) {
+	crossValidate(t, SingleWriter)
+}
+
+// TestCrossValidationMultiWriter repeats the cross-validation under the
+// multi-writer diff protocol: the detector must be protocol-independent.
+func TestCrossValidationMultiWriter(t *testing.T) {
+	crossValidate(t, MultiWriter)
+}
+
+func crossValidate(t *testing.T, proto ProtocolKind) {
+	for seed := int64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			nproc := 2 + r.Intn(3)
+			nepoch := 1 + r.Intn(3)
+			nwords := 24
+
+			// Schedule: per epoch, per proc, a list of ops.
+			type op struct {
+				word  int
+				write bool
+				lock  int // -1 = unsynchronized
+			}
+			sched := make([][][]op, nepoch)
+			for e := range sched {
+				sched[e] = make([][]op, nproc)
+				for p := range sched[e] {
+					nops := r.Intn(5)
+					for k := 0; k < nops; k++ {
+						sched[e][p] = append(sched[e][p], op{
+							word:  r.Intn(nwords),
+							write: r.Intn(2) == 0,
+							lock:  r.Intn(3) - 1, // -1, 0, or 1
+						})
+					}
+				}
+			}
+
+			hb := hbdet.New(nproc)
+			s, err := New(Config{
+				NumProcs:   nproc,
+				SharedSize: 4 * 1024,
+				PageSize:   512,
+				Protocol:   proto,
+				Detect:     true,
+				Tracer:     hb,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, _ := s.AllocWords("words", nwords)
+			err = s.Run(func(p *Proc) {
+				for e := 0; e < nepoch; e++ {
+					for _, o := range sched[e][p.ID()] {
+						a := base + mem.Addr(o.word*8)
+						if o.lock >= 0 {
+							p.Lock(o.lock)
+						}
+						if o.write {
+							p.Write(a, uint64(o.word))
+						} else {
+							p.Read(a)
+						}
+						if o.lock >= 0 {
+							p.Unlock(o.lock)
+						}
+					}
+					p.Barrier()
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			lrcAddrs := map[mem.Addr]bool{}
+			for _, rep := range s.Races() {
+				lrcAddrs[rep.Addr] = true
+			}
+			hbAddrs := hb.RacyAddrs()
+
+			var lrcList []mem.Addr
+			for a := range lrcAddrs {
+				lrcList = append(lrcList, a)
+			}
+			sort.Slice(lrcList, func(i, j int) bool { return lrcList[i] < lrcList[j] })
+
+			if len(lrcList) != len(hbAddrs) {
+				t.Fatalf("seed %d: LRC detector flags %v, happens-before flags %v",
+					seed, lrcList, hbAddrs)
+			}
+			for i := range lrcList {
+				if lrcList[i] != hbAddrs[i] {
+					t.Fatalf("seed %d: LRC %v vs HB %v", seed, lrcList, hbAddrs)
+				}
+			}
+			_ = race.DedupByAddr // referenced for doc purposes
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package dsm
+
+import (
+	"fmt"
+	"sync"
+
+	"lrcrace/internal/mem"
+)
+
+// debugLog is a development aid: when enabled, protocol events are recorded
+// in one globally ordered list. Tests enable it to diagnose rare
+// interleaving bugs; it is off (nil) in normal operation.
+type debugLog struct {
+	mu     sync.Mutex
+	events []string
+}
+
+var dbg *debugLog
+
+// EnableDebugLog turns on the development event log (tests only).
+func EnableDebugLog() { dbg = &debugLog{} }
+
+// DisableDebugLog turns it off.
+func DisableDebugLog() { dbg = nil; dbgWatch = 0; dbgWatchOn = false }
+
+var (
+	dbgWatch   mem.Addr
+	dbgWatchOn bool
+)
+
+// DebugWatchAddr traces reads/writes of one shared word (tests only).
+func DebugWatchAddr(a mem.Addr) { dbgWatch = a; dbgWatchOn = true }
+
+// DebugEvents returns the recorded events.
+func DebugEvents() []string {
+	if dbg == nil {
+		return nil
+	}
+	dbg.mu.Lock()
+	defer dbg.mu.Unlock()
+	return append([]string(nil), dbg.events...)
+}
+
+func dbgf(format string, args ...interface{}) {
+	if dbg == nil {
+		return
+	}
+	dbg.mu.Lock()
+	dbg.events = append(dbg.events, fmt.Sprintf(format, args...))
+	dbg.mu.Unlock()
+}

@@ -1,0 +1,428 @@
+// Package dsm implements the CVM-equivalent software distributed shared
+// memory system: a lazy-release-consistent (LRC) multi-processor built from
+// per-process page copies, interval records, version vectors, write
+// notices, a 3-hop distributed lock protocol, and a centralized barrier —
+// plus the three modifications the paper makes for race detection:
+//
+//	(i)   instrumentation collecting read and write access information
+//	      (word bitmaps per page per interval),
+//	(ii)  read notices added to the messages that already carry write
+//	      notices, and
+//	(iii) an extra message round at barriers to retrieve word-level access
+//	      bitmaps when the check list is non-empty.
+//
+// Each DSM "process" is a goroutine pair (application thread + protocol
+// service thread) with its own private copy of the shared segment;
+// processes communicate only through serialized messages on a simulated
+// network. Two coherence protocols are provided behind one interface,
+// mirroring CVM's design: the single-writer ownership-migration protocol
+// the paper ran, and the multi-writer home-based diff protocol of its §6.5.
+package dsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lrcrace/internal/costmodel"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/simnet"
+)
+
+// ProtocolKind selects the coherence protocol.
+type ProtocolKind int
+
+const (
+	// SingleWriter is the ownership-migration protocol used for all the
+	// paper's measurements.
+	SingleWriter ProtocolKind = iota
+	// MultiWriter is the home-based protocol with twins and diffs (§6.5).
+	MultiWriter
+	// EagerRC is eager release consistency (§3.1): a releasing process
+	// pushes invalidations for its modified pages to every other process
+	// and waits for acknowledgments before the release completes. No
+	// consistency information travels on acquires. Provided as the
+	// comparison point LRC improves on; race detection is NOT available
+	// under it — the ordering metadata the detector leverages is exactly
+	// what LRC maintains and ERC does not.
+	EagerRC
+)
+
+func (k ProtocolKind) String() string {
+	switch k {
+	case MultiWriter:
+		return "multi-writer"
+	case EagerRC:
+		return "eager-rc"
+	default:
+		return "single-writer"
+	}
+}
+
+// Config describes one DSM instance.
+type Config struct {
+	NumProcs   int
+	SharedSize int // bytes of shared segment (rounded up to pages)
+	PageSize   int // 0 → mem.DefaultPageSize
+	Protocol   ProtocolKind
+
+	// Detect enables the race detector: access instrumentation, read
+	// notices, and the barrier comparison/bitmap rounds.
+	Detect bool
+	// FirstRacesOnly applies §6.4 first-race filtering at the master.
+	FirstOnly bool
+	// PageBitmapOverlap selects the §6.2 page-list overlap implementation.
+	PageBitmapOverlap bool
+	// WritesFromDiffs (§6.5, MultiWriter only) derives write bitmaps from
+	// diffs instead of store instrumentation. Reads remain instrumented.
+	WritesFromDiffs bool
+
+	// Model is the virtual-time cost model; zero value → costmodel.Default.
+	Model costmodel.Model
+
+	// Tracer, if non-nil, receives a linearized trace of shared accesses
+	// and synchronization events, for cross-validation against reference
+	// detectors (see internal/hbdet).
+	Tracer Tracer
+
+	// SyncRecorder, if non-nil, receives the per-lock tenure serialization
+	// order as the managers establish it — run 1 of the §6.1 two-run
+	// reference-identification scheme.
+	SyncRecorder SyncRecorder
+	// SyncEnforcer, if non-nil, constrains lock-manager serialization to a
+	// previously recorded order — run 2 of the scheme. Requests arriving
+	// ahead of their recorded turn are deferred by the manager.
+	SyncEnforcer SyncEnforcer
+	// Watch, if non-nil, captures the call sites of accesses to one shared
+	// address (the conflicting address from run 1).
+	Watch AccessWatch
+
+	// Transport overrides the message transport; nil → the in-memory
+	// simulated network. The transport must deliver reliably and preserve
+	// per-sender-pair FIFO order (both simnet and tcpnet do).
+	Transport Transport
+
+	// RealMsgDelay, when positive, makes each process's service thread
+	// sleep this long before handling a message, coupling real scheduling
+	// to the modeled wire latency. Without it a process exchanging
+	// messages only with itself (e.g. a lock manager re-acquiring its own
+	// lock) runs arbitrarily faster in real time than remote peers, which
+	// can starve centralized-work-queue applications at tiny scales.
+	RealMsgDelay time.Duration
+}
+
+// Tracer observes the execution. Calls are ordered consistently with the
+// run: a Release is always delivered before the Acquire it enables, and all
+// of an epoch's BarrierArrive calls precede its BarrierDepart calls.
+// Implementations must be safe for concurrent use.
+type Tracer interface {
+	Read(proc int, addr mem.Addr)
+	Write(proc int, addr mem.Addr)
+	Acquire(proc, lock int)
+	Release(proc, lock int)
+	BarrierArrive(proc int, epoch int32)
+	BarrierDepart(proc int, epoch int32)
+}
+
+// SyncRecorder observes lock-manager serialization decisions.
+type SyncRecorder interface {
+	RecordGrantOrder(lock, requester int)
+}
+
+// SyncEnforcer gates lock-manager serialization during replay. MayProceed
+// reports whether requester may take the next tenure of lock now (and, if
+// so, consumes that turn); a false return defers the request until the
+// recorded predecessor has been serialized.
+type SyncEnforcer interface {
+	MayProceed(lock, requester int) bool
+}
+
+// AccessWatch captures accesses to a single watched address.
+type AccessWatch interface {
+	WatchedAddr() mem.Addr
+	NoteAccess(proc int, write bool)
+}
+
+// Transport carries the DSM's messages. The default is the in-memory
+// simulated network (internal/simnet); internal/tcpnet provides the same
+// contract over real loopback TCP sockets, making the system a user-level
+// DSM over an actual network stack, as CVM was.
+type Transport interface {
+	// Send serializes m toward process to, tagged with the sender's
+	// virtual clock, and returns the wire size in bytes.
+	Send(from, to int, m msg.Message, vtime int64) int
+	// Recv blocks for the next delivery to proc; ok is false after Close.
+	Recv(proc int) (simnet.Delivery, bool)
+	// Close shuts the transport down, unblocking all receivers.
+	Close()
+	// Stats returns traffic counters.
+	Stats() simnet.Stats
+}
+
+func (c *Config) fill() error {
+	if c.NumProcs < 1 {
+		return fmt.Errorf("dsm: NumProcs = %d", c.NumProcs)
+	}
+	if c.PageSize == 0 {
+		c.PageSize = mem.DefaultPageSize
+	}
+	if c.SharedSize <= 0 {
+		return fmt.Errorf("dsm: SharedSize = %d", c.SharedSize)
+	}
+	if c.Model == (costmodel.Model{}) {
+		c.Model = costmodel.Default()
+	}
+	if c.WritesFromDiffs && c.Protocol != MultiWriter {
+		return fmt.Errorf("dsm: WritesFromDiffs requires the multi-writer protocol")
+	}
+	if c.Detect && c.Protocol == EagerRC {
+		return fmt.Errorf("dsm: race detection requires LRC metadata (intervals, version vectors, notices) that the eager protocol does not maintain — use SingleWriter or MultiWriter")
+	}
+	return nil
+}
+
+// Symbol names an allocated shared variable, for mapping race addresses
+// back to source-level names (the paper does this with symbol tables).
+type Symbol struct {
+	Name string
+	Base mem.Addr
+	Size int
+}
+
+// System is one DSM instance: shared-segment layout, symbol table, network,
+// and the per-process runtimes.
+type System struct {
+	cfg    Config
+	layout mem.Layout
+	nw     Transport
+	procs  []*Proc
+
+	allocNext mem.Addr
+	symbols   []Symbol
+
+	detector *race.Detector // lives at the barrier master (proc 0)
+
+	runErr  error
+	runOnce sync.Once
+	ran     bool
+}
+
+// New builds a System; call Alloc to lay out shared variables, then Run.
+func New(cfg Config) (*System, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	l, err := mem.NewLayout(cfg.SharedSize, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, layout: l}
+	if cfg.Detect {
+		s.detector = race.NewDetector(l, race.Options{
+			FirstOnly:         cfg.FirstOnly,
+			PageBitmapOverlap: cfg.PageBitmapOverlap,
+			NumPages:          l.NumPages,
+		})
+	}
+	return s, nil
+}
+
+// Layout returns the shared segment geometry.
+func (s *System) Layout() mem.Layout { return s.layout }
+
+// Config returns the configuration in effect.
+func (s *System) Config() Config { return s.cfg }
+
+// Alloc reserves size bytes of shared memory under the given symbol name
+// and returns its base address. All shared data is dynamically allocated,
+// as in CVM — which is what lets the ATOM-model classifier discard accesses
+// through the static-data base register. Allocations are word-aligned.
+func (s *System) Alloc(name string, size int) (mem.Addr, error) {
+	if s.ran {
+		return 0, fmt.Errorf("dsm: Alloc(%q) after Run", name)
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("dsm: Alloc(%q, %d): size must be positive", name, size)
+	}
+	aligned := (size + mem.WordSize - 1) &^ (mem.WordSize - 1)
+	base := s.allocNext
+	if int(base)+aligned > s.layout.Size() {
+		return 0, fmt.Errorf("dsm: Alloc(%q, %d): shared segment exhausted (%d of %d used)",
+			name, size, base, s.layout.Size())
+	}
+	s.allocNext += mem.Addr(aligned)
+	s.symbols = append(s.symbols, Symbol{Name: name, Base: base, Size: aligned})
+	return base, nil
+}
+
+// AllocWords reserves n words and returns the base address.
+func (s *System) AllocWords(name string, n int) (mem.Addr, error) {
+	return s.Alloc(name, n*mem.WordSize)
+}
+
+// AllocBytes returns the number of shared bytes allocated so far.
+func (s *System) AllocBytes() int { return int(s.allocNext) }
+
+// SymbolAt returns the symbol covering addr, if any.
+func (s *System) SymbolAt(addr mem.Addr) (Symbol, bool) {
+	i := sort.Search(len(s.symbols), func(i int) bool {
+		return s.symbols[i].Base+mem.Addr(s.symbols[i].Size) > addr
+	})
+	if i < len(s.symbols) && addr >= s.symbols[i].Base {
+		return s.symbols[i], true
+	}
+	return Symbol{}, false
+}
+
+// Symbols returns the allocation table.
+func (s *System) Symbols() []Symbol { return s.symbols }
+
+// Run executes app once per process, each on its own goroutine with its own
+// protocol service thread, and blocks until every process has finished and
+// passed the implicit final barrier (at which the last race-detection pass
+// runs). It may be called once.
+func (s *System) Run(app func(p *Proc)) error {
+	var err error
+	s.runOnce.Do(func() { err = s.run(app) })
+	if err == nil && s.runErr != nil {
+		err = s.runErr
+	}
+	return err
+}
+
+func (s *System) run(app func(p *Proc)) error {
+	s.ran = true
+	n := s.cfg.NumProcs
+	if s.cfg.Transport != nil {
+		s.nw = s.cfg.Transport
+	} else {
+		s.nw = simnet.New(n)
+	}
+	s.procs = make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		s.procs[i] = newProc(s, i)
+	}
+
+	var svcWG, appWG sync.WaitGroup
+	for _, p := range s.procs {
+		svcWG.Add(1)
+		go func(p *Proc) {
+			defer svcWG.Done()
+			p.serviceLoop()
+		}(p)
+	}
+
+	errs := make([]error, n)
+	for i, p := range s.procs {
+		appWG.Add(1)
+		go func(i int, p *Proc) {
+			defer appWG.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("dsm: proc %d panicked: %v", i, r)
+					// Unblock peers waiting on this process.
+					s.nw.Close()
+				}
+			}()
+			app(p)
+			p.Barrier() // final global synchronization = last detection pass
+		}(i, p)
+	}
+	appWG.Wait()
+	s.nw.Close()
+	svcWG.Wait()
+
+	// Prefer the root-cause panic over the secondary "network shut down"
+	// panics it induces in peers blocked on replies.
+	for _, e := range errs {
+		if e != nil && !strings.Contains(e.Error(), "network shut down") {
+			s.runErr = e
+			break
+		}
+	}
+	if s.runErr == nil {
+		for _, e := range errs {
+			if e != nil {
+				s.runErr = e
+				break
+			}
+		}
+	}
+	return s.runErr
+}
+
+// Races returns every race reported during the run, in detection order.
+// (The master's copy; workers hold identical lists.)
+func (s *System) Races() []race.Report {
+	if len(s.procs) == 0 {
+		return nil
+	}
+	return s.procs[0].races
+}
+
+// ExplainRace reconstructs the happens-before-1 derivation behind a
+// reported race (why the two intervals are concurrent, and on which pages
+// they overlap). ok is false if detection was off or the report is unknown.
+func (s *System) ExplainRace(r race.Report) (string, bool) {
+	if s.detector == nil {
+		return "", false
+	}
+	return s.detector.ExplainReport(r)
+}
+
+// DetectorStats returns the master-side comparison-algorithm counters.
+func (s *System) DetectorStats() race.Stats {
+	if s.detector == nil {
+		return race.Stats{}
+	}
+	return s.detector.Stats()
+}
+
+// NetStats returns traffic counters.
+func (s *System) NetStats() simnet.Stats { return s.nw.Stats() }
+
+// Procs returns the process runtimes (valid after Run for stats reading).
+func (s *System) Procs() []*Proc { return s.procs }
+
+// SnapshotWord returns the authoritative value of the shared word at a
+// after a completed run: the owner's copy under the single-writer protocol,
+// the home's copy under multi-writer. Only valid once Run has returned.
+func (s *System) SnapshotWord(a mem.Addr) uint64 {
+	pg := s.layout.Page(a)
+	switch s.cfg.Protocol {
+	case SingleWriter, EagerRC:
+		for _, p := range s.procs {
+			if p.owned[pg] {
+				return p.seg.Word(a)
+			}
+		}
+		// Ownership in flight at shutdown cannot happen after a clean run;
+		// fall back to the directory.
+		home := s.procs[int(pg)%s.cfg.NumProcs]
+		return s.procs[home.dirOwner[pg]].seg.Word(a)
+	default:
+		return s.procs[int(pg)%s.cfg.NumProcs].seg.Word(a)
+	}
+}
+
+// SnapshotF64 returns SnapshotWord reinterpreted as a float64.
+func (s *System) SnapshotF64(a mem.Addr) float64 {
+	return math.Float64frombits(s.SnapshotWord(a))
+}
+
+// VirtualTime returns the end-to-end virtual runtime: the maximum process
+// clock at completion.
+func (s *System) VirtualTime() int64 {
+	var t int64
+	for _, p := range s.procs {
+		if p.vnow > t {
+			t = p.vnow
+		}
+	}
+	return t
+}

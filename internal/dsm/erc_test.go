@@ -1,0 +1,175 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+)
+
+// TestERCLockCriticalSection: coherence under the eager protocol.
+func TestERCLockCriticalSection(t *testing.T) {
+	s := newSys(t, 4, EagerRC, false)
+	ctr, _ := s.AllocWords("ctr", 1)
+	const K = 20
+	err := s.Run(func(p *Proc) {
+		for i := 0; i < K; i++ {
+			p.Lock(1)
+			p.Write(ctr, p.Read(ctr)+1)
+			p.Unlock(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SnapshotWord(ctr); got != 4*K {
+		t.Errorf("ctr = %d, want %d", got, 4*K)
+	}
+}
+
+// TestERCBarrierPropagation: barrier apps work under ERC too.
+func TestERCBarrierPropagation(t *testing.T) {
+	s := newSys(t, 3, EagerRC, false)
+	arr, _ := s.AllocWords("arr", 64)
+	err := s.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			for i := 0; i < 64; i++ {
+				p.Write(arr+mem.Addr(i*8), uint64(100+i))
+			}
+		}
+		p.Barrier()
+		for i := 0; i < 64; i++ {
+			if got := p.Read(arr + mem.Addr(i*8)); got != uint64(100+i) {
+				t.Errorf("proc %d: arr[%d] = %d", p.ID(), i, got)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestERCEagerInvalidation: the semantic difference from LRC — a release
+// invalidates every process's copy immediately, even processes that never
+// acquire. Under LRC the non-acquiring reader would keep its stale copy.
+func TestERCEagerInvalidation(t *testing.T) {
+	run := func(proto ProtocolKind) (staleReads int64) {
+		s := newSys(t, 2, proto, false)
+		x, _ := s.AllocWords("x", 1)
+		writerDone := make(chan struct{})
+		readerSaw := make(chan uint64, 1)
+		err := s.Run(func(p *Proc) {
+			if p.ID() == 0 {
+				p.Lock(0)
+				p.Write(x, 1)
+				p.Unlock(0)
+				p.Barrier() // both cache x=1
+				p.Lock(0)
+				p.Write(x, 2)
+				p.Unlock(0) // ERC: invalidates P1's copy right here
+				close(writerDone)
+				p.Barrier()
+			} else {
+				p.Barrier()
+				_ = p.Read(x) // cache the page
+				<-writerDone  // writer's release has fully completed
+				// No acquire of lock 0: under LRC this read legally
+				// returns the stale cached 1; under ERC the copy was
+				// invalidated at the writer's release, so the fault
+				// fetches 2.
+				readerSaw <- p.Read(x)
+				p.Barrier()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := <-readerSaw; v == 1 {
+			return 1
+		}
+		return 0
+	}
+	if stale := run(EagerRC); stale != 0 {
+		t.Error("ERC reader saw a stale value after the writer's release completed")
+	}
+	// The LRC run may or may not be stale (the read-only copy is legal but
+	// fetch-from-owner can also return fresh data); the assertion that LRC
+	// *permits* staleness is covered by the race-detection tests. Here we
+	// only assert it does not crash.
+	run(SingleWriter)
+}
+
+// TestERCRejectsDetection: the paper's core dependency, as a config error.
+func TestERCRejectsDetection(t *testing.T) {
+	_, err := New(Config{NumProcs: 2, SharedSize: 4096, Protocol: EagerRC, Detect: true})
+	if err == nil || !strings.Contains(err.Error(), "LRC metadata") {
+		t.Errorf("err = %v, want LRC-metadata explanation", err)
+	}
+}
+
+// TestERCMessageCostVsLRC: the classic LRC result — for lock-based sharing,
+// eager release consistency sends strictly more messages (a broadcast
+// round per release) than LRC's piggybacked notices.
+func TestERCMessageCostVsLRC(t *testing.T) {
+	run := func(proto ProtocolKind) (msgs int64, invals int64) {
+		s := newSys(t, 4, proto, false)
+		ctr, _ := s.AllocWords("ctr", 1)
+		err := s.Run(func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Lock(1)
+				p.Write(ctr, p.Read(ctr)+1)
+				p.Unlock(1)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.NetStats()
+		return st.TotalMessages(), st.Messages[msg.TInval]
+	}
+	lrcMsgs, lrcInvals := run(SingleWriter)
+	ercMsgs, ercInvals := run(EagerRC)
+	if lrcInvals != 0 {
+		t.Errorf("LRC sent %d eager invalidations", lrcInvals)
+	}
+	if ercInvals == 0 {
+		t.Error("ERC sent no eager invalidations")
+	}
+	if ercMsgs <= lrcMsgs {
+		t.Errorf("ERC messages (%d) not above LRC (%d) — the laziness advantage vanished", ercMsgs, lrcMsgs)
+	}
+}
+
+// TestERCProtocolString covers the new kind's String.
+func TestERCProtocolString(t *testing.T) {
+	if EagerRC.String() != "eager-rc" {
+		t.Errorf("String = %q", EagerRC.String())
+	}
+}
+
+// TestERCBarrierAndLockApps: a mixed barrier+lock workload computes the
+// right answer under the eager protocol (coherence-only parity with LRC).
+func TestERCBarrierAndLockApps(t *testing.T) {
+	s := newSys(t, 3, EagerRC, false)
+	arr, _ := s.AllocWords("arr", 3)
+	sum, _ := s.AllocWords("sum", 1)
+	err := s.Run(func(p *Proc) {
+		p.Write(arr+mem.Addr(p.ID()*8), uint64(p.ID()+1))
+		p.Barrier()
+		total := uint64(0)
+		for q := 0; q < 3; q++ {
+			total += p.Read(arr + mem.Addr(q*8))
+		}
+		p.Lock(0)
+		p.Write(sum, p.Read(sum)+total)
+		p.Unlock(0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SnapshotWord(sum); got != 18 { // 3 procs × (1+2+3)
+		t.Errorf("sum = %d, want 18", got)
+	}
+}

@@ -1,0 +1,54 @@
+package dsm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestMutualExclusionInvariant verifies at the Go level (independent of DSM
+// memory) that the distributed lock admits one holder at a time, across
+// many iterations and both protocols.
+func TestMutualExclusionInvariant(t *testing.T) {
+	bothProtocols(t, func(t *testing.T, proto ProtocolKind) {
+		for iter := 0; iter < 8; iter++ {
+			s := newSys(t, 4, proto, false)
+			ctr, _ := s.AllocWords("ctr", 1)
+			var holder int32 = -1
+			var breaches int32
+			err := s.Run(func(p *Proc) {
+				for i := 0; i < 8; i++ {
+					p.Lock(1)
+					if !atomic.CompareAndSwapInt32(&holder, -1, int32(p.ID())) {
+						atomic.AddInt32(&breaches, 1)
+					}
+					v := p.Read(ctr)
+					p.Write(ctr, v+1)
+					if !atomic.CompareAndSwapInt32(&holder, int32(p.ID()), -1) {
+						atomic.AddInt32(&breaches, 1)
+					}
+					p.Unlock(1)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if breaches != 0 {
+				t.Fatalf("iter %d: %d mutual-exclusion breaches", iter, breaches)
+			}
+			pg := s.layout.Page(ctr)
+			var got uint64
+			if proto == SingleWriter {
+				for _, q := range s.procs {
+					if q.owned[pg] {
+						got = q.seg.Word(ctr)
+					}
+				}
+			} else {
+				got = s.procs[int(pg)%4].seg.Word(ctr)
+			}
+			if got != 32 {
+				t.Fatalf("iter %d: ctr = %d, want 32 (exclusion held, so this is a staleness bug)", iter, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,406 @@
+package dsm
+
+import (
+	"fmt"
+	"sync"
+
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/simnet"
+	"lrcrace/internal/vc"
+)
+
+// pageState is a process's access right to its local copy of a page,
+// emulating the mprotect-based states of a real software DSM.
+type pageState uint8
+
+const (
+	pageInvalid pageState = iota
+	pageReadOnly
+	pageWritable
+)
+
+// lockState tracks one lock at one process (holder-side and manager-side
+// state live together; the manager role applies only to locks this process
+// manages).
+type lockState struct {
+	holding  bool
+	awaiting bool  // request sent, grant not yet received
+	lastRelV int64 // virtual time of our last release of this lock
+
+	// relVC is the releaser's version vector at its most recent release of
+	// this lock: the knowledge horizon a grant may carry. Records learned
+	// after the release are not ordered before the matching acquire.
+	relVC vc.VC
+
+	// releasedUngranted is the grant obligation of a completed tenure: we
+	// released the lock but no successor has been granted yet. A forward
+	// arriving in this state targets that finished tenure and must be
+	// granted immediately — even if we are already re-requesting the lock
+	// ourselves (queueing it would deadlock the chain).
+	releasedUngranted bool
+
+	pending []pendingGrant // forwarded requests waiting for our release
+
+	// manager role
+	lastHolder int           // last proc the manager granted/forwarded to; -1 = free
+	deferred   []deferredReq // requests held back by a replay SyncEnforcer
+}
+
+// deferredReq is a manager-side request awaiting its recorded replay turn.
+type deferredReq struct {
+	d simnet.Delivery
+	m *msg.AcquireReq
+}
+
+type pendingGrant struct {
+	requester int
+	theirVC   vc.VC
+	arrV      int64
+}
+
+// Stats are per-process counters; virtual-time fields are in nanoseconds.
+type Stats struct {
+	SharedReads, SharedWrites int64
+	PrivateAccesses           int64
+	ReadFaults, WriteFaults   int64
+	IntervalsCreated          int64
+	LockAcquires, Barriers    int64
+	DiffsFlushed, DiffWords   int64
+
+	ComputeOps int64
+
+	// Virtual-time overhead attribution (Figure 3 components).
+	TProcCall    int64 // procedure-call part of instrumentation
+	TAccessCheck int64 // analysis-routine body
+	TCVMMods     int64 // interval/notice structure setup (CVM modifications)
+	TIntervalCmp int64 // master-side concurrent-interval search (proc 0)
+	TBitmapCmp   int64 // master-side bitmap comparison (proc 0)
+
+	// Bandwidth attribution.
+	ReadNoticeBytes int64 // wire bytes of read notices this proc sent
+	SyncMsgBytes    int64 // wire bytes of record-carrying sync messages sent
+	BitmapsCreated  int64
+	BitmapsSent     int64
+}
+
+// Proc is one DSM process: an application thread running the user's code
+// against the shared-memory API, plus a protocol service thread handling
+// incoming requests, sharing state under mu.
+type Proc struct {
+	sys   *System
+	id, n int
+
+	mu  sync.Mutex
+	seg *mem.Segment
+
+	state     []pageState
+	owned     []bool          // single-writer: we are the page's current owner
+	expecting []bool          // single-writer: ownership transfer in flight to us
+	fetching  []bool          // read fetch in flight (no ownership)
+	fetchInv  []bool          // page invalidated while that fetch was in flight
+	dirOwner  []int           // directory (home role): current owner of pages homed here; -1 elsewhere
+	pendFwd   [][]msg.PageFwd // page requests queued until ownership arrives
+
+	twins map[mem.PageID][]byte // multi-writer: pristine copies for diffing
+
+	vcur     vc.VC
+	curIndex vc.Index
+	epoch    int32
+
+	builder      *interval.Builder
+	writtenPages map[mem.PageID]bool // pages write-faulted in the open interval
+	pendingInval map[mem.PageID]bool // ERC: pages to invalidate at next release
+	store        *interval.BitmapStore
+	log          *interval.Log
+	epochRecords []*interval.Record
+
+	locks map[int]*lockState
+
+	replyCh chan simnet.Delivery
+
+	// Barrier-master state (proc 0 only).
+	bar *barrierState
+
+	races []race.Report
+	st    Stats
+	vnow  int64
+}
+
+type barrierState struct {
+	epoch    int32
+	arrived  int
+	records  []*interval.Record
+	gvc      vc.VC
+	maxArr   int64
+	check    []race.CheckEntry
+	bmWait   bool
+	bmCount  int
+	bmMaxArr int64
+	bmSource map[bmKey]mem.Bitmap // key.write selects read/write bitmap
+}
+
+type bmKey struct {
+	id    vc.IntervalID
+	page  mem.PageID
+	write bool
+}
+
+// Bitmaps implements race.BitmapSource over the collected replies.
+func (b *barrierState) Bitmaps(id vc.IntervalID, p mem.PageID) (read, write mem.Bitmap) {
+	return b.bmSource[bmKey{id, p, false}], b.bmSource[bmKey{id, p, true}]
+}
+
+func newProc(s *System, id int) *Proc {
+	n := s.cfg.NumProcs
+	p := &Proc{
+		sys:          s,
+		id:           id,
+		n:            n,
+		seg:          mem.NewSegment(s.layout),
+		state:        make([]pageState, s.layout.NumPages),
+		owned:        make([]bool, s.layout.NumPages),
+		expecting:    make([]bool, s.layout.NumPages),
+		fetching:     make([]bool, s.layout.NumPages),
+		fetchInv:     make([]bool, s.layout.NumPages),
+		dirOwner:     make([]int, s.layout.NumPages),
+		pendFwd:      make([][]msg.PageFwd, s.layout.NumPages),
+		twins:        make(map[mem.PageID][]byte),
+		vcur:         vc.New(n),
+		curIndex:     1,
+		builder:      interval.NewBuilder(s.layout),
+		writtenPages: make(map[mem.PageID]bool),
+		pendingInval: make(map[mem.PageID]bool),
+		store:        interval.NewBitmapStore(),
+		log:          interval.NewLog(),
+		locks:        make(map[int]*lockState),
+		replyCh:      make(chan simnet.Delivery, 16),
+	}
+	p.vcur[id] = 1
+	for pg := 0; pg < s.layout.NumPages; pg++ {
+		home := pg % n
+		if home == id {
+			p.dirOwner[pg] = id
+		} else {
+			p.dirOwner[pg] = -1
+		}
+		switch s.cfg.Protocol {
+		case SingleWriter, EagerRC:
+			if home == id {
+				p.owned[pg] = true
+				p.state[pg] = pageWritable
+			}
+		case MultiWriter:
+			if home == id {
+				// The home copy is always current, but it starts (and is
+				// re-protected to) read-only so that the home's own first
+				// write in each interval takes the protection fault that
+				// produces its write notice (and, under WritesFromDiffs,
+				// its twin).
+				p.state[pg] = pageReadOnly
+			}
+		}
+	}
+	if id == 0 {
+		p.bar = &barrierState{gvc: vc.New(n)}
+	}
+	return p
+}
+
+// ID returns the process number (0..N-1).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the number of processes.
+func (p *Proc) N() int { return p.n }
+
+// Stats returns a snapshot of the per-process counters.
+func (p *Proc) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// VirtualTime returns the process's virtual clock.
+func (p *Proc) VirtualTime() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.vnow
+}
+
+// Races returns the races this process has been told about (identical at
+// every process once a run finishes).
+func (p *Proc) Races() []race.Report { return p.races }
+
+func (p *Proc) detect() bool { return p.sys.cfg.Detect }
+
+func (p *Proc) home(pg mem.PageID) int { return int(pg) % p.n }
+
+// send transmits m with the given virtual send time, returning wire bytes.
+func (p *Proc) send(to int, m msg.Message, vtime int64) int {
+	return p.sys.nw.Send(p.id, to, m, vtime)
+}
+
+// arrival computes the virtual arrival time of a delivery: per-fragment
+// latency plus transmission time for the full payload.
+func (p *Proc) arrival(d simnet.Delivery) int64 {
+	frags := int64(d.Frags)
+	if frags < 1 {
+		frags = 1
+	}
+	m := p.sys.cfg.Model
+	return d.VTime + frags*m.MsgLatency + int64(float64(d.Bytes)*m.PerByte)
+}
+
+// waitReply blocks the application thread for the next response-class
+// message. It must be called without mu held.
+func (p *Proc) waitReply() simnet.Delivery {
+	d, ok := <-p.replyCh
+	if !ok {
+		panic("dsm: network shut down while waiting for a reply")
+	}
+	return d
+}
+
+// bumpVTo advances the virtual clock to at least t.
+func (p *Proc) bumpVTo(t int64) {
+	if t > p.vnow {
+		p.vnow = t
+	}
+}
+
+// --- interval lifecycle (application thread only) ---
+
+// closeIntervalLocked ends the open interval: flushes diffs (multi-writer),
+// materializes the interval record (always, even when empty — one interval
+// structure per synchronization operation, as in CVM), logs it, and queues
+// it for the next barrier-arrival message. The caller must then call
+// startIntervalLocked before any further shared access.
+func (p *Proc) closeIntervalLocked() {
+	if p.sys.cfg.Protocol == MultiWriter {
+		p.flushDiffsLocked()
+	}
+	var rec *interval.Record
+	id := vc.IntervalID{Proc: p.id, Index: p.curIndex}
+	if p.detect() {
+		nbm := int64(p.builder.BitmapCount())
+		p.st.BitmapsCreated += nbm
+		rec = p.builder.Finish(id, p.vcur, p.epoch, p.store)
+		m := p.sys.cfg.Model
+		setup := m.IntervalSetup + nbm*m.BitmapSetup
+		p.vnow += setup
+		p.st.TCVMMods += setup
+	} else {
+		rec = &interval.Record{ID: id, VC: p.vcur.Copy(), Epoch: p.epoch}
+		for pg := range p.writtenPages {
+			rec.WriteNotices = append(rec.WriteNotices, pg)
+		}
+		interval.SortPages(rec.WriteNotices)
+	}
+	if p.sys.cfg.Protocol == EagerRC {
+		for pg := range p.writtenPages {
+			p.pendingInval[pg] = true
+		}
+	}
+	p.writtenPages = make(map[mem.PageID]bool)
+	p.log.Add(rec)
+	p.epochRecords = append(p.epochRecords, rec)
+	p.st.IntervalsCreated++
+	dbgf("p%d close interval %v vc=%v writes=%v", p.id, rec.ID, rec.VC, rec.WriteNotices)
+}
+
+// startIntervalLocked begins the next interval.
+func (p *Proc) startIntervalLocked() {
+	p.curIndex++
+	p.vcur[p.id] = p.curIndex
+}
+
+// applyIntervalsLocked merges foreign interval records received on a
+// synchronization message: log them, advance the version vector, and
+// invalidate local copies of pages their write notices name.
+func (p *Proc) applyIntervalsLocked(recs []*interval.Record) {
+	for _, r := range recs {
+		if r.ID.Proc == p.id {
+			continue
+		}
+		if p.log.Get(r.ID) != nil {
+			continue // already applied
+		}
+		p.log.Add(r)
+		if r.ID.Index > p.vcur[r.ID.Proc] {
+			p.vcur[r.ID.Proc] = r.ID.Index
+		}
+		for _, pg := range r.WriteNotices {
+			dbgf("p%d applies notice %v page %d (owned=%v state=%d)", p.id, r.ID, pg, p.owned[pg], p.state[pg])
+			p.invalidateLocked(pg)
+		}
+	}
+}
+
+// invalidateLocked discards the local copy of pg in response to a foreign
+// write notice, unless this process's copy is authoritative (single-writer
+// owner, or multi-writer home whose copy receives diffs eagerly).
+func (p *Proc) invalidateLocked(pg mem.PageID) {
+	switch p.sys.cfg.Protocol {
+	case SingleWriter, EagerRC:
+		if p.owned[pg] || p.expecting[pg] {
+			return
+		}
+	case MultiWriter:
+		if p.home(pg) == p.id {
+			return
+		}
+		if _, twinned := p.twins[pg]; twinned {
+			// Cannot happen: intervals close (and flush) before notices
+			// are applied. Guard anyway.
+			return
+		}
+	}
+	if p.fetching[pg] {
+		// A read fetch is in flight; its reply may carry data older than
+		// this invalidation. Let the racing read complete with that legal
+		// value, but discard the copy immediately afterwards so later
+		// reads re-fetch (matters under ERC, where the service thread
+		// applies invalidations concurrently with application faults).
+		p.fetchInv[pg] = true
+	}
+	p.state[pg] = pageInvalid
+}
+
+func (p *Proc) lock(id int) *lockState {
+	ls := p.locks[id]
+	if ls == nil {
+		ls = &lockState{lastHolder: -1}
+		p.locks[id] = ls
+	}
+	return ls
+}
+
+// --- wire helpers ---
+
+func vcToWire(v vc.VC) []uint32 {
+	w := make([]uint32, len(v))
+	for i, x := range v {
+		w[i] = uint32(x)
+	}
+	return w
+}
+
+func vcFromWire(w []uint32) vc.VC {
+	v := make(vc.VC, len(w))
+	for i, x := range w {
+		v[i] = vc.Index(x)
+	}
+	return v
+}
+
+// recordSyncSend accounts the bandwidth of a record-carrying message.
+func (p *Proc) recordSyncSend(recs []*interval.Record, wireBytes int) {
+	p.st.SyncMsgBytes += int64(wireBytes)
+	p.st.ReadNoticeBytes += int64(msg.RecordReadNoticeBytes(recs))
+}
+
+func (p *Proc) protocolBug(format string, args ...interface{}) {
+	panic(fmt.Sprintf("dsm: proc %d: protocol bug: %s", p.id, fmt.Sprintf(format, args...)))
+}

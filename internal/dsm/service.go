@@ -1,0 +1,410 @@
+package dsm
+
+import (
+	"time"
+
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/simnet"
+	"lrcrace/internal/vc"
+)
+
+// serviceLoop is the protocol service thread of a process: it handles
+// incoming requests (lock management and forwarding, page directory and
+// ownership, diff application, and — at process 0 — the barrier master) and
+// routes responses to the blocked application thread. This plays the role
+// of CVM's request handlers that the underlying system invokes around page
+// faults, synchronization and I/O.
+func (p *Proc) serviceLoop() {
+	for {
+		d, ok := p.sys.nw.Recv(p.id)
+		if !ok {
+			close(p.replyCh)
+			return
+		}
+		if delay := p.sys.cfg.RealMsgDelay; delay > 0 {
+			time.Sleep(delay)
+		}
+		switch m := d.Msg.(type) {
+		case *msg.AcquireReq:
+			p.handleAcquireReq(d, m)
+		case *msg.AcquireFwd:
+			p.handleAcquireFwd(d, m)
+		case *msg.PageReq:
+			p.handlePageReq(d, m)
+		case *msg.PageFwd:
+			p.handlePageFwd(d, m)
+		case *msg.DiffFlush:
+			p.handleDiffFlush(d, m)
+		case *msg.Inval:
+			p.handleInval(d, m)
+		case *msg.BarrierArrive:
+			p.handleBarrierArrive(d, m)
+		case *msg.BitmapReply:
+			p.handleBitmapReply(d, m)
+		case *msg.AcquireGrant:
+			// Consume the previous tenure's grant obligation *now*, in
+			// message order: any forward processed after this grant targets
+			// the tenure this grant begins, and must queue for its Unlock.
+			// (Clearing only when the application thread pops the grant
+			// would let a forward slip through on the stale flag and grant
+			// the lock to two processes at once.)
+			p.mu.Lock()
+			p.lock(int(m.Lock)).releasedUngranted = false
+			p.mu.Unlock()
+			p.replyCh <- d
+		case *msg.PageReply, *msg.DiffAck, *msg.InvalAck,
+			*msg.BarrierRelease, *msg.BarrierDone:
+			p.replyCh <- d
+		default:
+			p.protocolBug("unhandled message %T", d.Msg)
+		}
+	}
+}
+
+// handleAcquireReq runs the lock-manager role: grant directly if the lock
+// is free (or being re-acquired by its last holder), otherwise forward to
+// the last holder, who will grant at its release. Under replay (§6.1), a
+// request arriving ahead of its recorded turn is deferred until the
+// recorded predecessor has been serialized.
+func (p *Proc) handleAcquireReq(d simnet.Delivery, m *msg.AcquireReq) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := int(m.Lock)
+	if id%p.n != p.id {
+		p.protocolBug("AcquireReq for lock %d at non-manager", id)
+	}
+	if enf := p.sys.cfg.SyncEnforcer; enf != nil && !enf.MayProceed(id, d.From) {
+		ls := p.lock(id)
+		ls.deferred = append(ls.deferred, deferredReq{d: d, m: m})
+		return
+	}
+	p.serializeAcquireLocked(d, m)
+	p.retryDeferredLocked(id)
+}
+
+// serializeAcquireLocked establishes the requester as the next tenure of
+// the lock and routes the grant or forward.
+func (p *Proc) serializeAcquireLocked(d simnet.Delivery, m *msg.AcquireReq) {
+	id := int(m.Lock)
+	if rec := p.sys.cfg.SyncRecorder; rec != nil {
+		rec.RecordGrantOrder(id, d.From)
+	}
+	ls := p.lock(id)
+	arr := p.arrival(d) + p.sys.cfg.Model.Handler
+	dbgf("mgr p%d: req lock %d from p%d (lastHolder=%d)", p.id, id, d.From, ls.lastHolder)
+	switch {
+	case ls.lastHolder == -1 || ls.lastHolder == d.From:
+		// First acquisition, or re-acquisition by the last holder: nothing
+		// new for the acquirer to learn through this lock.
+		if d.From == p.id {
+			// Self-grant: consume our previous tenure's grant obligation
+			// synchronously. A later request may be routed to us via the
+			// direct localFwdLocked call below (no message hop) while this
+			// grant still sits in our own inbox; the flag must already be
+			// down by then, or that forward would be granted from the
+			// stale obligation and two processes would hold the lock.
+			ls.releasedUngranted = false
+		}
+		p.send(d.From, &msg.AcquireGrant{Lock: m.Lock}, arr)
+	case ls.lastHolder == p.id:
+		// The manager itself was the last holder: grant (or queue) locally.
+		p.localFwdLocked(id, d.From, vcFromWire(m.VC), arr)
+	default:
+		p.send(ls.lastHolder, &msg.AcquireFwd{Lock: m.Lock, Requester: int32(d.From), VC: m.VC}, arr)
+	}
+	ls.lastHolder = d.From
+}
+
+// retryDeferredLocked re-examines replay-deferred requests; serializing one
+// may unblock the next.
+func (p *Proc) retryDeferredLocked(id int) {
+	enf := p.sys.cfg.SyncEnforcer
+	if enf == nil {
+		return
+	}
+	ls := p.lock(id)
+	for progress := true; progress; {
+		progress = false
+		for i, dr := range ls.deferred {
+			if enf.MayProceed(id, dr.d.From) {
+				ls.deferred = append(ls.deferred[:i], ls.deferred[i+1:]...)
+				p.serializeAcquireLocked(dr.d, dr.m)
+				progress = true
+				break
+			}
+		}
+	}
+}
+
+// handleAcquireFwd runs the previous-holder role for a forwarded request.
+func (p *Proc) handleAcquireFwd(d simnet.Delivery, m *msg.AcquireFwd) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	arr := p.arrival(d) + p.sys.cfg.Model.Handler
+	p.localFwdLocked(int(m.Lock), int(m.Requester), vcFromWire(m.VC), arr)
+}
+
+// localFwdLocked routes a forwarded request at the last holder: if our most
+// recent tenure has ended and still owes a grant, this forward targets it —
+// grant now. Otherwise the forward follows our current (or upcoming)
+// tenure, so it waits for our Unlock.
+func (p *Proc) localFwdLocked(id, requester int, theirs vc.VC, arrV int64) {
+	ls := p.lock(id)
+	dbgf("p%d fwd lock %d for p%d (holding=%v awaiting=%v relUngr=%v)", p.id, id, requester, ls.holding, ls.awaiting, ls.releasedUngranted)
+	if ls.releasedUngranted {
+		ls.releasedUngranted = false
+		v := arrV
+		if ls.lastRelV > v {
+			v = ls.lastRelV
+		}
+		p.grantLocked(id, requester, theirs, ls.relVC, v)
+		return
+	}
+	if !ls.holding && !ls.awaiting {
+		p.protocolBug("forward for lock %d with no tenure to attach to", id)
+	}
+	ls.pending = append(ls.pending, pendingGrant{requester: requester, theirVC: theirs, arrV: arrV})
+}
+
+// handlePageReq runs the home-directory role for a page fault.
+func (p *Proc) handlePageReq(d simnet.Delivery, m *msg.PageReq) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg := m.Page
+	if p.home(pg) != p.id {
+		p.protocolBug("PageReq for page %d at non-home", pg)
+	}
+	arr := p.arrival(d) + p.sys.cfg.Model.Handler
+
+	if p.sys.cfg.Protocol == MultiWriter {
+		// The home copy is always current (diffs are flushed eagerly at
+		// releases), so serve it directly.
+		p.replyPageLocked(d.From, pg, false, arr)
+		return
+	}
+
+	owner := p.dirOwner[pg]
+	if owner == p.id {
+		switch {
+		case p.owned[pg]:
+			p.servePageLocked(d.From, pg, m.Write, arr)
+		case p.expecting[pg]:
+			// The home is itself re-acquiring ownership; serve once the
+			// transfer lands.
+			p.pendFwd[pg] = append(p.pendFwd[pg], msg.PageFwd{Page: pg, Requester: int32(d.From), Write: m.Write})
+		default:
+			p.protocolBug("directory says home owns page %d but it does not", pg)
+		}
+	} else {
+		p.send(owner, &msg.PageFwd{Page: pg, Requester: int32(d.From), Write: m.Write}, arr)
+	}
+	if m.Write {
+		p.dirOwner[pg] = d.From
+	}
+}
+
+// handlePageFwd runs the current-owner role for a forwarded fault.
+func (p *Proc) handlePageFwd(d simnet.Delivery, m *msg.PageFwd) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg := m.Page
+	arr := p.arrival(d) + p.sys.cfg.Model.Handler
+	switch {
+	case p.owned[pg]:
+		p.servePageLocked(int(m.Requester), pg, m.Write, arr)
+	case p.expecting[pg]:
+		// Ownership is in flight to us; serve once it arrives.
+		p.pendFwd[pg] = append(p.pendFwd[pg], *m)
+	default:
+		p.protocolBug("PageFwd for page %d we neither own nor expect", pg)
+	}
+}
+
+// servePageLocked answers a fault from the owned copy; a write fault
+// transfers ownership (single-writer migration).
+func (p *Proc) servePageLocked(requester int, pg mem.PageID, write bool, vtime int64) {
+	data := make([]byte, p.seg.PageSize)
+	copy(data, p.seg.PageBytes(pg))
+	if write {
+		p.owned[pg] = false
+		p.state[pg] = pageReadOnly
+	}
+	dbgf("p%d serves page %d to p%d write=%v word4=%d", p.id, pg, requester, write, p.seg.Word(32))
+	p.send(requester, &msg.PageReply{Page: pg, Ownership: write, Data: data}, vtime)
+}
+
+// replyPageLocked serves the local (home) copy without ownership transfer.
+func (p *Proc) replyPageLocked(requester int, pg mem.PageID, ownership bool, vtime int64) {
+	data := make([]byte, p.seg.PageSize)
+	copy(data, p.seg.PageBytes(pg))
+	p.send(requester, &msg.PageReply{Page: pg, Ownership: ownership, Data: data}, vtime)
+}
+
+// drainPendingFwdsLocked services page forwards queued while ownership was
+// in flight. Called by the application thread right after it has performed
+// the write that faulted the page in.
+func (p *Proc) drainPendingFwdsLocked(pg mem.PageID) {
+	pending := p.pendFwd[pg]
+	p.pendFwd[pg] = nil
+	for _, m := range pending {
+		if !p.owned[pg] {
+			p.protocolBug("lost ownership of page %d while draining forwards", pg)
+		}
+		p.servePageLocked(int(m.Requester), pg, m.Write, p.vnow)
+	}
+}
+
+// handleDiffFlush applies a releaser's diff to the home copy (multi-writer).
+// If the home is itself mid-interval on the page (it has a twin), the twin
+// is updated too so the home's own next diff contains only its own writes —
+// the standard TreadMarks trick.
+func (p *Proc) handleDiffFlush(d simnet.Delivery, m *msg.DiffFlush) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg := m.Page
+	if p.home(pg) != p.id {
+		p.protocolBug("DiffFlush for page %d at non-home", pg)
+	}
+	base := p.seg.PageBase(pg)
+	twin := p.twins[pg]
+	for _, e := range m.Entries {
+		a := base + mem.Addr(int(e.Word)*mem.WordSize)
+		p.seg.SetWord(a, e.Val)
+		if twin != nil {
+			off := int(e.Word) * mem.WordSize
+			for i := 0; i < mem.WordSize; i++ {
+				twin[off+i] = byte(e.Val >> (8 * i))
+			}
+		}
+	}
+	arr := p.arrival(d) + p.sys.cfg.Model.Handler
+	p.send(d.From, &msg.DiffAck{}, arr)
+}
+
+// handleInval applies an ERC release's eager invalidations and
+// acknowledges them.
+func (p *Proc) handleInval(d simnet.Delivery, m *msg.Inval) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pg := range m.Pages {
+		p.invalidateLocked(pg)
+	}
+	arr := p.arrival(d) + p.sys.cfg.Model.Handler
+	p.send(d.From, &msg.InvalAck{}, arr)
+}
+
+// --- barrier master (process 0) ---
+
+func (p *Proc) handleBarrierArrive(d simnet.Delivery, m *msg.BarrierArrive) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.bar
+	if b == nil {
+		p.protocolBug("BarrierArrive at non-master")
+	}
+	if m.Epoch != b.epoch {
+		p.protocolBug("BarrierArrive for epoch %d during epoch %d", m.Epoch, b.epoch)
+	}
+	b.records = append(b.records, m.Intervals...)
+	b.gvc.Merge(vcFromWire(m.VC))
+	if arr := p.arrival(d); arr > b.maxArr {
+		b.maxArr = arr
+	}
+	b.arrived++
+	if b.arrived < p.n {
+		return
+	}
+
+	// All processes have arrived: the master now has complete and current
+	// information on every interval in the system. Run the comparison
+	// algorithm (detection on) and release.
+	model := p.sys.cfg.Model
+	relV := b.maxArr + model.Handler
+	b.check = nil
+	if p.sys.cfg.Detect {
+		det := p.sys.detector
+		before := det.Stats()
+		b.check = det.BuildCheckList(b.records)
+		after := det.Stats()
+		work := int64(after.PairComparisons-before.PairComparisons)*model.IntervalCompare +
+			int64(after.NoticesScanned-before.NoticesScanned)*model.PageOverlap
+		p.st.TIntervalCmp += work
+		relV += work
+	}
+
+	rel := &msg.BarrierRelease{
+		Epoch:       b.epoch,
+		GlobalVC:    vcToWire(b.gvc),
+		Intervals:   b.records,
+		Check:       b.check,
+		NeedBitmaps: len(b.check) > 0,
+	}
+	for q := 0; q < p.n; q++ {
+		nbytes := p.send(q, rel, relV)
+		p.recordSyncSend(b.records, nbytes)
+	}
+	if len(b.check) > 0 {
+		b.bmWait = true
+		b.bmCount = 0
+		b.bmMaxArr = 0
+		b.bmSource = make(map[bmKey]mem.Bitmap)
+	} else {
+		p.resetBarrierLocked()
+	}
+}
+
+func (p *Proc) handleBitmapReply(d simnet.Delivery, m *msg.BitmapReply) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := p.bar
+	if b == nil || !b.bmWait {
+		p.protocolBug("unexpected BitmapReply")
+	}
+	if m.Epoch != b.epoch {
+		p.protocolBug("BitmapReply for epoch %d during epoch %d", m.Epoch, b.epoch)
+	}
+	for _, e := range m.Entries {
+		id := vc.IntervalID{Proc: int(e.Proc), Index: vc.Index(e.Index)}
+		if e.Read != nil {
+			b.bmSource[bmKey{id, e.Page, false}] = e.Read
+		}
+		if e.Write != nil {
+			b.bmSource[bmKey{id, e.Page, true}] = e.Write
+		}
+	}
+	if arr := p.arrival(d); arr > b.bmMaxArr {
+		b.bmMaxArr = arr
+	}
+	b.bmCount++
+	if b.bmCount < p.n {
+		return
+	}
+
+	model := p.sys.cfg.Model
+	det := p.sys.detector
+	before := det.Stats()
+	races := det.Compare(b.check, b, b.epoch)
+	det.Retain(races, b.records)
+	after := det.Stats()
+	work := int64(after.BitmapsCompared-before.BitmapsCompared) * model.BitmapCompare
+	p.st.TBitmapCmp += work
+	doneV := b.bmMaxArr + model.Handler + work
+
+	done := &msg.BarrierDone{Epoch: b.epoch, Races: races}
+	for q := 0; q < p.n; q++ {
+		p.send(q, done, doneV)
+	}
+	p.resetBarrierLocked()
+}
+
+func (p *Proc) resetBarrierLocked() {
+	b := p.bar
+	b.epoch++
+	b.arrived = 0
+	b.records = nil
+	b.check = nil
+	b.bmWait = false
+	b.bmSource = nil
+	b.maxArr = 0
+}

@@ -1,0 +1,278 @@
+// Package harness runs the benchmark applications on the DSM under
+// controlled configurations and derives every metric the paper's evaluation
+// reports: Table 1 (application characteristics and slowdown), Table 2
+// (static instrumentation statistics), Table 3 (dynamic metrics), Figure 3
+// (overhead breakdown) and Figure 4 (slowdown versus processors).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"lrcrace/internal/apps"
+	"lrcrace/internal/costmodel"
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/simnet"
+
+	// Register the four benchmark applications.
+	_ "lrcrace/internal/apps/fft"
+	_ "lrcrace/internal/apps/sor"
+	_ "lrcrace/internal/apps/tsp"
+	_ "lrcrace/internal/apps/water"
+)
+
+// RunConfig describes one experiment run.
+type RunConfig struct {
+	App               string  // "FFT", "SOR", "TSP", "Water"
+	Scale             float64 // problem scale; 0 → 1 (laptop default)
+	Procs             int
+	Protocol          dsm.ProtocolKind
+	Detect            bool
+	FirstOnly         bool
+	PageBitmapOverlap bool
+	WritesFromDiffs   bool
+	// RealMsgDelay couples real scheduling to wire latency; needed by the
+	// lock-queue application (TSP) at small scales. 0 → per-app default.
+	RealMsgDelay time.Duration
+	// Tracer optionally observes the run (reference detectors, trace logs).
+	Tracer dsm.Tracer
+	// Verify runs the application's result check (on by default via Run).
+	SkipVerify bool
+}
+
+// Result collects everything a run produced.
+type Result struct {
+	Cfg   RunConfig
+	App   apps.App
+	Sys   *dsm.System
+	Model costmodel.Model
+
+	VirtualNS int64
+	WallNS    int64
+	Races     []race.Report
+	Det       race.Stats
+	Net       simnet.Stats
+	Procs     []dsm.Stats
+	MemBytes  int
+}
+
+// appDefaultDelay gives TSP its real-latency coupling by default.
+func appDefaultDelay(app string) time.Duration {
+	if app == "TSP" {
+		return 20 * time.Microsecond
+	}
+	return 0
+}
+
+// Run executes one configuration and verifies the application result.
+func Run(cfg RunConfig) (*Result, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1
+	}
+	app, err := apps.New(cfg.App, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	delay := cfg.RealMsgDelay
+	if delay == 0 {
+		delay = appDefaultDelay(cfg.App)
+	}
+	sys, err := dsm.New(dsm.Config{
+		NumProcs:          cfg.Procs,
+		SharedSize:        app.SharedBytes(),
+		Protocol:          cfg.Protocol,
+		Detect:            cfg.Detect,
+		FirstOnly:         cfg.FirstOnly,
+		PageBitmapOverlap: cfg.PageBitmapOverlap,
+		WritesFromDiffs:   cfg.WritesFromDiffs,
+		RealMsgDelay:      delay,
+		Tracer:            cfg.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := app.Setup(sys); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := sys.Run(app.Worker); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	if !cfg.SkipVerify {
+		if err := app.Verify(sys); err != nil {
+			return nil, fmt.Errorf("harness: %s failed verification: %w", cfg.App, err)
+		}
+	}
+	res := &Result{
+		Cfg:       cfg,
+		App:       app,
+		Sys:       sys,
+		Model:     sys.Config().Model,
+		VirtualNS: sys.VirtualTime(),
+		WallNS:    wall.Nanoseconds(),
+		Races:     sys.Races(),
+		Det:       sys.DetectorStats(),
+		Net:       sys.NetStats(),
+		MemBytes:  sys.AllocBytes(),
+	}
+	for _, p := range sys.Procs() {
+		res.Procs = append(res.Procs, p.Stats())
+	}
+	return res, nil
+}
+
+// Pair runs the same configuration with detection off (baseline) and on.
+func Pair(cfg RunConfig) (base, det *Result, err error) {
+	cfg.Detect = false
+	if base, err = Run(cfg); err != nil {
+		return nil, nil, err
+	}
+	cfg.Detect = true
+	if det, err = Run(cfg); err != nil {
+		return nil, nil, err
+	}
+	return base, det, nil
+}
+
+// Slowdown is the virtual-time ratio detected/baseline.
+func Slowdown(base, det *Result) float64 {
+	return float64(det.VirtualNS) / float64(base.VirtualNS)
+}
+
+// IntervalsPerBarrier is the average number of interval structures created
+// per process per barrier epoch (Table 1, "Intervals Per Barrier").
+func (r *Result) IntervalsPerBarrier() float64 {
+	var intervals, barriers int64
+	for _, st := range r.Procs {
+		intervals += st.IntervalsCreated
+		barriers += st.Barriers
+	}
+	if barriers == 0 {
+		return 0
+	}
+	return float64(intervals) / float64(barriers)
+}
+
+// IntervalsUsedPct is the fraction of intervals involved in at least one
+// concurrent overlapping pair (Table 3 column 1).
+func (r *Result) IntervalsUsedPct() float64 {
+	if r.Det.IntervalsTotal == 0 {
+		return 0
+	}
+	return 100 * float64(r.Det.IntervalsInvolved) / float64(r.Det.IntervalsTotal)
+}
+
+// BitmapsUsedPct is the fraction of access bitmaps that had to be retrieved
+// for comparison (Table 3 column 2).
+func (r *Result) BitmapsUsedPct() float64 {
+	var created, sent int64
+	for _, st := range r.Procs {
+		created += st.BitmapsCreated
+		sent += st.BitmapsSent
+	}
+	if created == 0 {
+		return 0
+	}
+	return 100 * float64(sent) / float64(created)
+}
+
+// MsgOverheadPct is the bandwidth added by read notices, relative to all
+// other traffic the system sends — page fetches included (Table 3 column
+// 3: page-heavy applications like SOR dilute the notices to ~1%, while
+// fine-grained-synchronization Water pays ~48%). The bitmap round is
+// accounted under the Bitmaps overhead, not here.
+func (r *Result) MsgOverheadPct() float64 {
+	var rn int64
+	for _, st := range r.Procs {
+		rn += st.ReadNoticeBytes
+	}
+	total := r.Net.TotalBytes()
+	bm := r.Net.Bytes[msg.TBitmapReply] + r.Net.Bytes[msg.TBarrierDone]
+	rest := total - bm - rn
+	if rest <= 0 {
+		return 0
+	}
+	return 100 * float64(rn) / float64(rest)
+}
+
+// AccessRates returns instrumented shared and private accesses per virtual
+// second (Table 3 columns 4–5).
+func (r *Result) AccessRates() (shared, private float64) {
+	var sh, pr int64
+	for _, st := range r.Procs {
+		sh += st.SharedReads + st.SharedWrites
+		pr += st.PrivateAccesses
+	}
+	secs := float64(r.VirtualNS) / 1e9
+	if secs == 0 {
+		return 0, 0
+	}
+	return float64(sh) / secs, float64(pr) / secs
+}
+
+// Overheads is the Figure 3 decomposition, each component as a percentage
+// of the baseline (uninstrumented) virtual runtime.
+type Overheads struct {
+	CVMMods, ProcCall, AccessCheck, Intervals, Bitmaps float64
+}
+
+// Total returns the summed component overhead percentage.
+func (o Overheads) Total() float64 {
+	return o.CVMMods + o.ProcCall + o.AccessCheck + o.Intervals + o.Bitmaps
+}
+
+// Breakdown computes the overhead components of det relative to base.
+// Per-access instrumentation accrues in parallel on every process (averaged
+// per process); interval and bitmap comparison are serialized at the master
+// and charged in full; the read-notice bandwidth and the extra barrier
+// round are charged as wire time.
+func Breakdown(base, det *Result) Overheads {
+	n := float64(len(det.Procs))
+	bt := float64(base.VirtualNS)
+	m := det.Model
+
+	var procCall, accessCheck, cvmMods, readNoticeBytes int64
+	var intervalCmp, bitmapCmp int64
+	for _, st := range det.Procs {
+		procCall += st.TProcCall
+		accessCheck += st.TAccessCheck
+		cvmMods += st.TCVMMods
+		readNoticeBytes += st.ReadNoticeBytes
+		intervalCmp += st.TIntervalCmp
+		bitmapCmp += st.TBitmapCmp
+	}
+	// Extra barrier round: bitmap replies and done messages.
+	bmBytes := det.Net.Bytes[msg.TBitmapReply] + det.Net.Bytes[msg.TBarrierDone]
+	bmMsgs := det.Net.Messages[msg.TBitmapReply] + det.Net.Messages[msg.TBarrierDone]
+	bmWire := float64(bmBytes)*m.PerByte + float64(bmMsgs*m.MsgLatency)/n
+
+	o := Overheads{
+		ProcCall:    100 * float64(procCall) / n / bt,
+		AccessCheck: 100 * float64(accessCheck) / n / bt,
+		CVMMods:     100 * (float64(cvmMods)/n + float64(readNoticeBytes)*m.PerByte/n) / bt,
+		Intervals:   100 * float64(intervalCmp) / bt,
+		Bitmaps:     100 * (float64(bitmapCmp) + bmWire) / bt,
+	}
+	return o
+}
+
+// RacyVariables maps the detected races to shared-variable names via the
+// symbol table, deduplicated, preserving first-report order.
+func (r *Result) RacyVariables() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, rep := range race.DedupByAddr(r.Races) {
+		name := fmt.Sprintf("0x%x", uint64(rep.Addr))
+		if sym, ok := r.Sys.SymbolAt(rep.Addr); ok {
+			name = sym.Name
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}

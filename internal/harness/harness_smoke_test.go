@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+func TestSmokeTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := NewSuite(1, 8)
+	if err := s.Table1(os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	Table2(os.Stdout)
+	if err := s.Table3(os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Figure3(os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Figure4(os.Stdout, []int{2, 4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RacesReport(os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"lrcrace/internal/costmodel"
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/simnet"
+)
+
+// synthetic builds a Result with hand-set counters for metric unit tests.
+func synthetic() *Result {
+	r := &Result{
+		Model:     costmodel.Default(),
+		VirtualNS: 2_000_000_000, // 2 virtual seconds
+		Det: race.Stats{
+			IntervalsTotal:    200,
+			IntervalsInvolved: 30,
+		},
+	}
+	r.Procs = []dsm.Stats{
+		{IntervalsCreated: 40, Barriers: 10, BitmapsCreated: 100, BitmapsSent: 5,
+			ReadNoticeBytes: 600, SharedReads: 1000, SharedWrites: 200, PrivateAccesses: 3000},
+		{IntervalsCreated: 44, Barriers: 10, BitmapsCreated: 100, BitmapsSent: 15,
+			ReadNoticeBytes: 400, SharedReads: 800, SharedWrites: 400, PrivateAccesses: 2600},
+	}
+	var net simnet.Stats
+	net.Bytes[msg.TPageReply] = 90_000
+	net.Bytes[msg.TBarrierArrive] = 10_000
+	net.Bytes[msg.TBitmapReply] = 15_000
+	r.Net = net
+	return r
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestIntervalsPerBarrier(t *testing.T) {
+	r := synthetic()
+	approx(t, "IntervalsPerBarrier", r.IntervalsPerBarrier(), float64(40+44)/20)
+	r.Procs = nil
+	approx(t, "no barriers", r.IntervalsPerBarrier(), 0)
+}
+
+func TestIntervalsUsedPct(t *testing.T) {
+	r := synthetic()
+	approx(t, "IntervalsUsedPct", r.IntervalsUsedPct(), 15)
+	r.Det.IntervalsTotal = 0
+	approx(t, "empty", r.IntervalsUsedPct(), 0)
+}
+
+func TestBitmapsUsedPct(t *testing.T) {
+	r := synthetic()
+	approx(t, "BitmapsUsedPct", r.BitmapsUsedPct(), 10) // 20 of 200
+	r.Procs = nil
+	approx(t, "empty", r.BitmapsUsedPct(), 0)
+}
+
+func TestMsgOverheadPct(t *testing.T) {
+	r := synthetic()
+	// total=115000, bitmap round=15000, read notices=1000 → 1000/99000.
+	approx(t, "MsgOverheadPct", r.MsgOverheadPct(), 100*1000.0/99000.0)
+}
+
+func TestAccessRates(t *testing.T) {
+	r := synthetic()
+	sh, pr := r.AccessRates()
+	approx(t, "shared/s", sh, 2400/2.0)
+	approx(t, "private/s", pr, 5600/2.0)
+	r.VirtualNS = 0
+	sh, pr = r.AccessRates()
+	approx(t, "zero-time shared", sh, 0)
+	approx(t, "zero-time private", pr, 0)
+}
+
+func TestSlowdownAndBreakdownArithmetic(t *testing.T) {
+	base := &Result{VirtualNS: 1_000_000_000}
+	det := synthetic()
+	det.Procs[0].TProcCall = 100_000_000
+	det.Procs[1].TProcCall = 100_000_000
+	det.Procs[0].TAccessCheck = 300_000_000
+	det.Procs[1].TAccessCheck = 500_000_000
+	det.Procs[0].TIntervalCmp = 50_000_000
+	approx(t, "Slowdown", Slowdown(base, det), 2)
+
+	o := Breakdown(base, det)
+	approx(t, "ProcCall%", o.ProcCall, 10)       // avg 100ms / 1s
+	approx(t, "AccessCheck%", o.AccessCheck, 40) // avg 400ms / 1s
+	approx(t, "Intervals%", o.Intervals, 5)      // serialized, not averaged
+	if o.Total() < o.ProcCall+o.AccessCheck+o.Intervals {
+		t.Errorf("Total %v lost components", o.Total())
+	}
+}
+
+func TestPaperReferenceTablesComplete(t *testing.T) {
+	for _, app := range AppNames {
+		if _, ok := PaperTable1[app]; !ok {
+			t.Errorf("PaperTable1 missing %s", app)
+		}
+		if _, ok := PaperTable3[app]; !ok {
+			t.Errorf("PaperTable3 missing %s", app)
+		}
+		if _, ok := PaperFigure3[app]; !ok {
+			t.Errorf("PaperFigure3 missing %s", app)
+		}
+		if PaperScaleFactors[app] <= 0 {
+			t.Errorf("PaperScaleFactors missing %s", app)
+		}
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if _, err := Run(RunConfig{App: "nope", Procs: 1}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestComputeEnhancementsArithmetic(t *testing.T) {
+	base := &Result{VirtualNS: 1_000_000_000}
+	det := &Result{VirtualNS: 2_000_000_000, Model: costmodel.Default()}
+	det.Procs = []dsm.Stats{{SharedReads: 600_000, SharedWrites: 200_000, PrivateAccesses: 1_200_000}}
+	e := ComputeEnhancements(base, det)
+	approx(t, "BaseOverheadPct", e.BaseOverheadPct, 100)
+	approx(t, "StoreShare", e.StoreShare, 0.25)
+	approx(t, "PrivateShare", e.PrivateShare, 0.6)
+	if !(e.CombinedPct < e.InlinedPct && e.InlinedPct < e.BaseOverheadPct) {
+		t.Errorf("enhancement ordering broken: %+v", e)
+	}
+	if !(e.DiffWritePct < e.BaseOverheadPct && e.IPAPct < e.BaseOverheadPct) {
+		t.Errorf("enhancements did not reduce overhead: %+v", e)
+	}
+	// The paper's §6.5 estimate: stores are ~25% of accesses and
+	// instrumentation ~68% of overhead, so diff-writes should save ≥17% of
+	// the measured overhead when instrumentation dominates.
+	if sav := e.BaseOverheadPct - e.DiffWritePct; sav <= 0 {
+		t.Errorf("no diff-write saving: %v", sav)
+	}
+}

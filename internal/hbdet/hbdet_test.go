@@ -1,0 +1,135 @@
+package hbdet
+
+import (
+	"testing"
+
+	"lrcrace/internal/mem"
+)
+
+func TestWWRace(t *testing.T) {
+	d := New(2)
+	d.Write(0, 8)
+	d.Write(1, 8)
+	races := d.Races()
+	if len(races) != 1 || !races[0].PrevWrite || !races[0].CurWrite {
+		t.Fatalf("races = %v", races)
+	}
+	if races[0].String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestRWRace(t *testing.T) {
+	d := New(2)
+	d.Write(0, 8)
+	d.Read(1, 8)
+	if n := len(d.Races()); n != 1 {
+		t.Fatalf("write→read: %d races", n)
+	}
+	d2 := New(2)
+	d2.Read(0, 8)
+	d2.Write(1, 8)
+	if n := len(d2.Races()); n != 1 {
+		t.Fatalf("read→write: %d races", n)
+	}
+}
+
+func TestLockOrders(t *testing.T) {
+	d := New(2)
+	d.Acquire(0, 5)
+	d.Write(0, 8)
+	d.Release(0, 5)
+	d.Acquire(1, 5)
+	d.Write(1, 8)
+	d.Release(1, 5)
+	if n := len(d.Races()); n != 0 {
+		t.Fatalf("locked accesses raced: %v", d.Races())
+	}
+}
+
+func TestDifferentLocksDoNotOrder(t *testing.T) {
+	d := New(2)
+	d.Acquire(0, 1)
+	d.Write(0, 8)
+	d.Release(0, 1)
+	d.Acquire(1, 2)
+	d.Write(1, 8)
+	d.Release(1, 2)
+	if n := len(d.Races()); n != 1 {
+		t.Fatalf("different locks should not order: %v", d.Races())
+	}
+}
+
+func TestBarrierOrders(t *testing.T) {
+	d := New(3)
+	d.Write(0, 8)
+	for p := 0; p < 3; p++ {
+		d.BarrierArrive(p, 0)
+	}
+	for p := 0; p < 3; p++ {
+		d.BarrierDepart(p, 0)
+	}
+	d.Write(1, 8)
+	d.Read(2, 8)
+	// The second write and the read race with each other, but neither races
+	// with the pre-barrier write... actually write(1) vs read(2) are
+	// concurrent (same epoch, no sync): 1 race.
+	if n := len(d.Races()); n != 1 {
+		t.Fatalf("races = %v", d.Races())
+	}
+}
+
+func TestSameProcNeverRaces(t *testing.T) {
+	d := New(2)
+	d.Write(0, 8)
+	d.Read(0, 8)
+	d.Write(0, 8)
+	if n := len(d.Races()); n != 0 {
+		t.Fatalf("same-process accesses raced: %v", d.Races())
+	}
+}
+
+func TestConcurrentReadsNoRace(t *testing.T) {
+	d := New(3)
+	d.Read(0, 8)
+	d.Read(1, 8)
+	d.Read(2, 8)
+	if n := len(d.Races()); n != 0 {
+		t.Fatalf("read-read flagged: %v", d.Races())
+	}
+}
+
+func TestWriteThenConcurrentReadersAllFlagged(t *testing.T) {
+	d := New(3)
+	d.Write(0, 8)
+	d.Read(1, 8)
+	d.Read(2, 8)
+	if n := len(d.Races()); n != 2 {
+		t.Fatalf("races = %v, want 2", d.Races())
+	}
+}
+
+func TestTransitiveOrderViaThirdProcess(t *testing.T) {
+	d := New(3)
+	d.Write(0, 8)
+	d.Release(0, 1)
+	d.Acquire(1, 1)
+	d.Release(1, 2)
+	d.Acquire(2, 2)
+	d.Write(2, 8) // ordered after P0's write via P1
+	if n := len(d.Races()); n != 0 {
+		t.Fatalf("transitive order missed: %v", d.Races())
+	}
+}
+
+func TestRacyAddrs(t *testing.T) {
+	d := New(2)
+	d.Write(0, 16)
+	d.Write(1, 16)
+	d.Write(0, 8)
+	d.Write(1, 8)
+	addrs := d.RacyAddrs()
+	if len(addrs) != 2 || addrs[0] != mem.Addr(8) || addrs[1] != mem.Addr(16) {
+		t.Fatalf("RacyAddrs = %v", addrs)
+	}
+}

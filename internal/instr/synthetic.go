@@ -1,0 +1,116 @@
+package instr
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Profile gives the per-category load/store budget of one application
+// binary. The budgets for the four benchmark applications are taken from
+// the paper's Table 2 — they are properties of the original Alpha
+// executables, which we cannot rebuild — while the classification itself is
+// performed for real by Classify over the generated instruction stream.
+// (See DESIGN.md, substitution table.)
+type Profile struct {
+	App     string
+	Stack   int
+	Static  int
+	Library int
+	CVM     int
+	Dynamic int // instructions whose base is computed → instrumented
+}
+
+// PaperProfiles are the Table 2 budgets of the four applications.
+var PaperProfiles = map[string]Profile{
+	"FFT":   {App: "FFT", Stack: 1285, Static: 1496, Library: 124716, CVM: 3910, Dynamic: 261},
+	"SOR":   {App: "SOR", Stack: 342, Static: 1304, Library: 48717, CVM: 3910, Dynamic: 126},
+	"TSP":   {App: "TSP", Stack: 244, Static: 1213, Library: 48717, CVM: 3910, Dynamic: 350},
+	"Water": {App: "Water", Stack: 649, Static: 1919, Library: 124716, CVM: 3910, Dynamic: 528},
+}
+
+// Synthesize builds a deterministic instruction-stream binary realizing the
+// profile: application functions with interleaved stack/static/dynamic
+// accesses, plus library and CVM code regions. The same profile always
+// yields the same binary.
+func Synthesize(p Profile) *Binary {
+	r := rand.New(rand.NewSource(seedFor(p.App)))
+	b := &Binary{Name: p.App}
+
+	// Application code: spread the app-region instructions over functions
+	// of 20–120 instructions with the three base classes shuffled together,
+	// the way compiled code mixes them.
+	appInstrs := make([]Instr, 0, p.Stack+p.Static+p.Dynamic)
+	for i := 0; i < p.Stack; i++ {
+		appInstrs = append(appInstrs, Instr{Kind: kindFor(r), Base: BaseFP})
+	}
+	for i := 0; i < p.Static; i++ {
+		appInstrs = append(appInstrs, Instr{Kind: kindFor(r), Base: BaseGP})
+	}
+	for i := 0; i < p.Dynamic; i++ {
+		appInstrs = append(appInstrs, Instr{Kind: kindFor(r), Base: BaseDyn})
+	}
+	r.Shuffle(len(appInstrs), func(i, j int) {
+		appInstrs[i], appInstrs[j] = appInstrs[j], appInstrs[i]
+	})
+	for fi := 0; len(appInstrs) > 0; fi++ {
+		n := 20 + r.Intn(101)
+		if n > len(appInstrs) {
+			n = len(appInstrs)
+		}
+		b.Funcs = append(b.Funcs, Func{
+			Name:   fmt.Sprintf("%s_fn%d", p.App, fi),
+			Region: RegionApp,
+			Instrs: appInstrs[:n:n],
+		})
+		appInstrs = appInstrs[n:]
+	}
+
+	// Library and CVM regions: base classes are irrelevant there (the
+	// classifier skips whole regions), but populate realistically anyway.
+	emitRegion := func(region Region, name string, total int) {
+		for fi := 0; total > 0; fi++ {
+			n := 50 + r.Intn(301)
+			if n > total {
+				n = total
+			}
+			ins := make([]Instr, n)
+			for i := range ins {
+				base := BaseDyn
+				switch r.Intn(3) {
+				case 0:
+					base = BaseFP
+				case 1:
+					base = BaseGP
+				}
+				ins[i] = Instr{Kind: kindFor(r), Base: base}
+			}
+			b.Funcs = append(b.Funcs, Func{
+				Name:   fmt.Sprintf("%s%d", name, fi),
+				Region: region,
+				Instrs: ins,
+			})
+			total -= n
+		}
+	}
+	emitRegion(RegionLibrary, "lib_", p.Library)
+	emitRegion(RegionCVM, "cvm_", p.CVM)
+	return b
+}
+
+// kindFor draws a load or store with the paper's ~3:1 load:store ratio
+// ("approximately 25% of all data accesses are stores").
+func kindFor(r *rand.Rand) Kind {
+	if r.Intn(4) == 0 {
+		return Store
+	}
+	return Load
+}
+
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,268 @@
+// Package interval implements LRC interval records and the bookkeeping
+// around them: write notices, the read notices this paper adds, per-interval
+// word-access bitmaps, and the per-process log of known intervals with the
+// delta computation used to piggyback consistency information on
+// synchronization messages.
+package interval
+
+import (
+	"sort"
+
+	"lrcrace/internal/mem"
+	"lrcrace/internal/vc"
+)
+
+// Record describes one interval: who created it, its version vector, the
+// barrier epoch it belongs to, and the pages it wrote (write notices) and —
+// the modification this system makes to CVM — the pages it read (read
+// notices). Interval structures "contain version vectors that identify the
+// logical time associated with the interval, and permit checks for
+// concurrency".
+type Record struct {
+	ID    vc.IntervalID
+	VC    vc.VC
+	Epoch int32
+
+	// WriteNotices and ReadNotices are sorted page lists.
+	WriteNotices []mem.PageID
+	ReadNotices  []mem.PageID
+}
+
+// Clone returns a deep copy of r.
+func (r *Record) Clone() *Record {
+	c := &Record{ID: r.ID, VC: r.VC.Copy(), Epoch: r.Epoch}
+	c.WriteNotices = append([]mem.PageID(nil), r.WriteNotices...)
+	c.ReadNotices = append([]mem.PageID(nil), r.ReadNotices...)
+	return c
+}
+
+// Wrote reports whether page p appears in the write notices.
+func (r *Record) Wrote(p mem.PageID) bool { return containsPage(r.WriteNotices, p) }
+
+// Read reports whether page p appears in the read notices.
+func (r *Record) Read(p mem.PageID) bool { return containsPage(r.ReadNotices, p) }
+
+func containsPage(s []mem.PageID, p mem.PageID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= p })
+	return i < len(s) && s[i] == p
+}
+
+// SortPages sorts a page list in place (notices are kept sorted so that
+// membership tests and overlap scans are cheap).
+func SortPages(s []mem.PageID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// OverlapPages appends to dst every page that appears in both sorted lists
+// and returns the result. This is the page-granularity pre-filter: only
+// pages accessed by both intervals of a concurrent pair can carry a race,
+// and only those proceed to bitmap comparison.
+func OverlapPages(a, b []mem.PageID, dst []mem.PageID) []mem.PageID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	return dst
+}
+
+// Builder accumulates the access footprint of the process's current
+// interval: which pages were read/written, and per-page word bitmaps.
+type Builder struct {
+	layout mem.Layout
+	read   map[mem.PageID]mem.Bitmap
+	write  map[mem.PageID]mem.Bitmap
+}
+
+// NewBuilder returns a Builder for the given segment layout.
+func NewBuilder(l mem.Layout) *Builder {
+	return &Builder{
+		layout: l,
+		read:   make(map[mem.PageID]mem.Bitmap),
+		write:  make(map[mem.PageID]mem.Bitmap),
+	}
+}
+
+// NoteRead records a read of the word at a.
+func (b *Builder) NoteRead(a mem.Addr) {
+	p := b.layout.Page(a)
+	bm := b.read[p]
+	if bm == nil {
+		bm = mem.NewBitmap(b.layout.WordsPerPage())
+		b.read[p] = bm
+	}
+	bm.Set(b.layout.WordInPage(a))
+}
+
+// NoteWrite records a write of the word at a.
+func (b *Builder) NoteWrite(a mem.Addr) {
+	p := b.layout.Page(a)
+	bm := b.write[p]
+	if bm == nil {
+		bm = mem.NewBitmap(b.layout.WordsPerPage())
+		b.write[p] = bm
+	}
+	bm.Set(b.layout.WordInPage(a))
+}
+
+// Empty reports whether no accesses have been recorded.
+func (b *Builder) Empty() bool { return len(b.read) == 0 && len(b.write) == 0 }
+
+// BitmapCount returns the number of per-page bitmaps currently accumulated
+// (read plus write) — the bitmaps the next Finish will deposit.
+func (b *Builder) BitmapCount() int { return len(b.read) + len(b.write) }
+
+// WrotePage reports whether any word of page p has been written in the
+// current interval (used by the single-writer protocol to avoid re-sending
+// write faults, and by tests).
+func (b *Builder) WrotePage(p mem.PageID) bool { return b.write[p] != nil }
+
+// Finish turns the accumulated footprint into a Record with the given
+// identity and drains the builder for reuse. The per-page bitmaps are
+// deposited into store, keyed by the interval, where they stay until a
+// barrier check list requests them or the epoch is garbage collected.
+func (b *Builder) Finish(id vc.IntervalID, v vc.VC, epoch int32, store *BitmapStore) *Record {
+	r := &Record{ID: id, VC: v.Copy(), Epoch: epoch}
+	for p := range b.read {
+		r.ReadNotices = append(r.ReadNotices, p)
+	}
+	for p := range b.write {
+		r.WriteNotices = append(r.WriteNotices, p)
+	}
+	SortPages(r.ReadNotices)
+	SortPages(r.WriteNotices)
+	if store != nil {
+		store.put(id, b.read, b.write)
+	}
+	b.read = make(map[mem.PageID]mem.Bitmap)
+	b.write = make(map[mem.PageID]mem.Bitmap)
+	return r
+}
+
+// BitmapStore retains the word-access bitmaps of locally created intervals
+// until the race-detection pass at the next barrier has consumed them.
+// "Our system only discards trace information when it has been checked for
+// races" (§6.4).
+type BitmapStore struct {
+	read  map[key]mem.Bitmap
+	write map[key]mem.Bitmap
+}
+
+type key struct {
+	id   vc.IntervalID
+	page mem.PageID
+}
+
+// NewBitmapStore returns an empty store.
+func NewBitmapStore() *BitmapStore {
+	return &BitmapStore{read: make(map[key]mem.Bitmap), write: make(map[key]mem.Bitmap)}
+}
+
+func (s *BitmapStore) put(id vc.IntervalID, read, write map[mem.PageID]mem.Bitmap) {
+	for p, bm := range read {
+		s.read[key{id, p}] = bm
+	}
+	for p, bm := range write {
+		s.write[key{id, p}] = bm
+	}
+}
+
+// Get returns the read and write bitmaps of interval id on page p; either
+// may be nil if no such access occurred.
+func (s *BitmapStore) Get(id vc.IntervalID, p mem.PageID) (read, write mem.Bitmap) {
+	return s.read[key{id, p}], s.write[key{id, p}]
+}
+
+// DiscardEpoch drops all bitmaps belonging to intervals with Index <= hi for
+// the given process — called after the barrier's race check completes.
+func (s *BitmapStore) DiscardUpTo(proc int, hi vc.Index) {
+	for k := range s.read {
+		if k.id.Proc == proc && k.id.Index <= hi {
+			delete(s.read, k)
+		}
+	}
+	for k := range s.write {
+		if k.id.Proc == proc && k.id.Index <= hi {
+			delete(s.write, k)
+		}
+	}
+}
+
+// Len returns the number of stored (interval,page) bitmaps, read+write.
+func (s *BitmapStore) Len() int { return len(s.read) + len(s.write) }
+
+// Log is a process's table of known interval records — its own and those
+// received via synchronization messages — used to compute the consistency
+// deltas appended to lock grants and barrier messages.
+type Log struct {
+	byID map[vc.IntervalID]*Record
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{byID: make(map[vc.IntervalID]*Record)} }
+
+// Add inserts r (no-op if already present).
+func (l *Log) Add(r *Record) {
+	if _, ok := l.byID[r.ID]; !ok {
+		l.byID[r.ID] = r
+	}
+}
+
+// Get returns the record for id, or nil.
+func (l *Log) Get(id vc.IntervalID) *Record { return l.byID[id] }
+
+// Len returns the number of records held.
+func (l *Log) Len() int { return len(l.byID) }
+
+// Delta returns every known record not yet seen by a process whose version
+// vector is theirs — the "structures describing intervals seen by the
+// releaser but not the acquirer" that LRC piggybacks on synchronization
+// messages. Records are returned in (proc, index) order so transfer and
+// application are deterministic.
+func (l *Log) Delta(theirs vc.VC) []*Record { return l.DeltaCapped(theirs, nil) }
+
+// DeltaCapped is Delta restricted to records within the knowledge horizon
+// cap — used for lock grants, which must carry what the releaser had seen
+// *at the release*, not what the granter happens to know by grant time
+// (knowledge gained after the release is not ordered before the acquire,
+// and leaking it would create false happens-before-1 edges that hide
+// races). A nil cap means no restriction.
+func (l *Log) DeltaCapped(theirs, cap vc.VC) []*Record {
+	var out []*Record
+	for id, r := range l.byID {
+		if id.Index <= theirs[id.Proc] {
+			continue
+		}
+		if cap != nil && id.Index > cap[id.Proc] {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.Proc != out[j].ID.Proc {
+			return out[i].ID.Proc < out[j].ID.Proc
+		}
+		return out[i].ID.Index < out[j].ID.Index
+	})
+	return out
+}
+
+// PruneBefore discards records dominated by horizon: after a barrier every
+// process has seen every interval of the finished epoch, so records at or
+// below the horizon can never appear in a future delta. This is the
+// consistency-information garbage collection CVM runs at barriers.
+func (l *Log) PruneBefore(horizon vc.VC) {
+	for id := range l.byID {
+		if id.Index <= horizon[id.Proc] {
+			delete(l.byID, id)
+		}
+	}
+}

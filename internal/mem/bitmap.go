@@ -1,0 +1,94 @@
+package mem
+
+import "math/bits"
+
+// Bitmap records which words of a page were accessed during one interval.
+// One bit per word; for the default 8 KB page / 8-byte word geometry that is
+// 1024 bits = 128 bytes, matching the per-page bitmaps of the paper's
+// instrumentation. Bitmap comparison — the final arbiter of false vs. true
+// sharing — is a constant-time process dependent only on page size.
+type Bitmap []uint64
+
+// NewBitmap returns a zeroed bitmap for nwords words.
+func NewBitmap(nwords int) Bitmap {
+	return make(Bitmap, (nwords+63)/64)
+}
+
+// Set marks word w as accessed.
+func (b Bitmap) Set(w int) { b[w>>6] |= 1 << uint(w&63) }
+
+// Get reports whether word w is marked.
+func (b Bitmap) Get(w int) bool { return b[w>>6]&(1<<uint(w&63)) != 0 }
+
+// Empty reports whether no word is marked.
+func (b Bitmap) Empty() bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of marked words.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, x := range b {
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
+// Or merges o into b.
+func (b Bitmap) Or(o Bitmap) {
+	for i, x := range o {
+		b[i] |= x
+	}
+}
+
+// Clone returns an independent copy.
+func (b Bitmap) Clone() Bitmap {
+	c := make(Bitmap, len(b))
+	copy(c, b)
+	return c
+}
+
+// Reset clears all bits.
+func (b Bitmap) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Intersects reports whether b and o share any marked word — the core
+// true-sharing test.
+func (b Bitmap) Intersects(o Bitmap) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlap appends to dst the word indexes marked in both b and o and
+// returns the result. These are the words involved in a data race.
+func (b Bitmap) Overlap(o Bitmap, dst []int) []int {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		x := b[i] & o[i]
+		for x != 0 {
+			t := bits.TrailingZeros64(x)
+			dst = append(dst, i*64+t)
+			x &= x - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,113 @@
+// Package mem models the shared address space of the DSM: a paged segment
+// of bytes, addressed by word, plus the word-granularity access bitmaps the
+// race detector uses to distinguish false sharing from true sharing.
+//
+// Addresses are offsets into the shared segment, which in the paper is the
+// dynamically allocated shared data region of the application (CVM allocates
+// all shared memory dynamically, which is what allows ATOM to statically
+// eliminate accesses through the static-data base register).
+package mem
+
+import "fmt"
+
+const (
+	// WordSize is the access granularity in bytes. The paper tracks
+	// accesses "at the minimum granularity of data accesses, which is
+	// typically a single word"; we use 8-byte words, the natural scalar
+	// size on the Alpha and of float64, the dominant type in the
+	// benchmark applications.
+	WordSize = 8
+
+	// DefaultPageSize mirrors the 8 KB pages of the DECstation Alphas used
+	// in the paper ("the large page size of the DECstations").
+	DefaultPageSize = 8192
+)
+
+// Addr is a byte offset into the shared segment.
+type Addr uint64
+
+// PageID numbers pages within the segment.
+type PageID int32
+
+// Layout describes the paging geometry of a segment.
+type Layout struct {
+	PageSize int // bytes per page; must be a multiple of WordSize
+	NumPages int
+}
+
+// NewLayout validates and builds a layout covering size bytes.
+func NewLayout(size, pageSize int) (Layout, error) {
+	if pageSize <= 0 || pageSize%WordSize != 0 {
+		return Layout{}, fmt.Errorf("mem: page size %d not a positive multiple of %d", pageSize, WordSize)
+	}
+	if size <= 0 {
+		return Layout{}, fmt.Errorf("mem: segment size %d not positive", size)
+	}
+	np := (size + pageSize - 1) / pageSize
+	return Layout{PageSize: pageSize, NumPages: np}, nil
+}
+
+// Size returns the total byte size of the segment.
+func (l Layout) Size() int { return l.PageSize * l.NumPages }
+
+// Page returns the page containing a.
+func (l Layout) Page(a Addr) PageID { return PageID(int(a) / l.PageSize) }
+
+// WordInPage returns the word index of a within its page.
+func (l Layout) WordInPage(a Addr) int { return (int(a) % l.PageSize) / WordSize }
+
+// PageBase returns the address of the first byte of page p.
+func (l Layout) PageBase(p PageID) Addr { return Addr(int(p) * l.PageSize) }
+
+// WordsPerPage returns the number of words per page.
+func (l Layout) WordsPerPage() int { return l.PageSize / WordSize }
+
+// Contains reports whether a names a word wholly inside the segment.
+func (l Layout) Contains(a Addr) bool {
+	return int(a)+WordSize <= l.Size()
+}
+
+// Segment is one process's local copy of the shared address space. Each DSM
+// process holds its own Segment; coherence traffic (page fetches, diffs)
+// moves bytes between them.
+type Segment struct {
+	Layout
+	data []byte
+}
+
+// NewSegment allocates a zeroed segment with the given layout.
+func NewSegment(l Layout) *Segment {
+	return &Segment{Layout: l, data: make([]byte, l.Size())}
+}
+
+// Word reads the 8-byte word at a (little-endian).
+func (s *Segment) Word(a Addr) uint64 {
+	b := s.data[a : a+WordSize]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// SetWord writes the 8-byte word at a (little-endian).
+func (s *Segment) SetWord(a Addr, v uint64) {
+	b := s.data[a : a+WordSize]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// Page returns the byte slice backing page p; the caller must not retain it
+// across coherence operations.
+func (s *Segment) PageBytes(p PageID) []byte {
+	base := int(p) * s.PageSize
+	return s.data[base : base+s.PageSize]
+}
+
+// CopyPageIn overwrites page p with src (len must equal PageSize).
+func (s *Segment) CopyPageIn(p PageID, src []byte) {
+	copy(s.PageBytes(p), src)
+}

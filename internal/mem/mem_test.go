@@ -1,0 +1,205 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	if _, err := NewLayout(100, 0); err == nil {
+		t.Error("zero page size accepted")
+	}
+	if _, err := NewLayout(100, 12); err == nil {
+		t.Error("page size not multiple of word size accepted")
+	}
+	if _, err := NewLayout(0, 64); err == nil {
+		t.Error("zero segment size accepted")
+	}
+	l, err := NewLayout(100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumPages != 2 {
+		t.Errorf("NumPages = %d, want 2 (rounded up)", l.NumPages)
+	}
+	if l.Size() != 128 {
+		t.Errorf("Size = %d, want 128", l.Size())
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l, _ := NewLayout(4*DefaultPageSize, DefaultPageSize)
+	if l.WordsPerPage() != 1024 {
+		t.Errorf("WordsPerPage = %d, want 1024", l.WordsPerPage())
+	}
+	a := Addr(DefaultPageSize + 3*WordSize)
+	if l.Page(a) != 1 {
+		t.Errorf("Page(%d) = %d, want 1", a, l.Page(a))
+	}
+	if l.WordInPage(a) != 3 {
+		t.Errorf("WordInPage(%d) = %d, want 3", a, l.WordInPage(a))
+	}
+	if l.PageBase(2) != Addr(2*DefaultPageSize) {
+		t.Errorf("PageBase(2) = %d", l.PageBase(2))
+	}
+	if !l.Contains(Addr(l.Size() - WordSize)) {
+		t.Error("last word reported outside segment")
+	}
+	if l.Contains(Addr(l.Size())) {
+		t.Error("address past end reported inside segment")
+	}
+}
+
+func TestSegmentWordRoundTrip(t *testing.T) {
+	l, _ := NewLayout(2*DefaultPageSize, DefaultPageSize)
+	s := NewSegment(l)
+	vals := map[Addr]uint64{
+		0:                  0xdeadbeefcafef00d,
+		8:                  1,
+		Addr(l.Size() - 8): ^uint64(0),
+	}
+	for a, v := range vals {
+		s.SetWord(a, v)
+	}
+	for a, v := range vals {
+		if got := s.Word(a); got != v {
+			t.Errorf("Word(%d) = %#x, want %#x", a, got, v)
+		}
+	}
+}
+
+func TestSegmentPageCopy(t *testing.T) {
+	l, _ := NewLayout(2*256, 256)
+	s := NewSegment(l)
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	s.CopyPageIn(1, src)
+	if s.Word(256) != 0x0706050403020100 {
+		t.Errorf("word after CopyPageIn = %#x", s.Word(256))
+	}
+	got := s.PageBytes(1)
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("PageBytes[%d] = %d, want %d", i, got[i], src[i])
+		}
+	}
+	// Page 0 untouched.
+	if s.Word(0) != 0 {
+		t.Errorf("page 0 corrupted: %#x", s.Word(0))
+	}
+}
+
+func TestPropertyWordRoundTrip(t *testing.T) {
+	l, _ := NewLayout(DefaultPageSize, DefaultPageSize)
+	s := NewSegment(l)
+	f := func(w uint16, v uint64) bool {
+		a := Addr(int(w) % l.WordsPerPage() * WordSize)
+		s.SetWord(a, v)
+		return s.Word(a) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(1024)
+	if len(b) != 16 {
+		t.Errorf("len = %d, want 16", len(b))
+	}
+	if !b.Empty() {
+		t.Error("new bitmap not empty")
+	}
+	b.Set(0)
+	b.Set(63)
+	b.Set(64)
+	b.Set(1023)
+	for _, w := range []int{0, 63, 64, 1023} {
+		if !b.Get(w) {
+			t.Errorf("Get(%d) = false", w)
+		}
+	}
+	if b.Get(1) || b.Get(512) {
+		t.Error("unset bits reported set")
+	}
+	if b.Count() != 4 {
+		t.Errorf("Count = %d, want 4", b.Count())
+	}
+	if b.Empty() {
+		t.Error("non-empty bitmap reported empty")
+	}
+	b.Reset()
+	if !b.Empty() {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestBitmapIntersectsAndOverlap(t *testing.T) {
+	a := NewBitmap(256)
+	b := NewBitmap(256)
+	a.Set(5)
+	a.Set(100)
+	a.Set(200)
+	b.Set(6)
+	b.Set(100)
+	b.Set(200)
+	if !a.Intersects(b) {
+		t.Error("overlapping bitmaps reported disjoint")
+	}
+	words := a.Overlap(b, nil)
+	if len(words) != 2 || words[0] != 100 || words[1] != 200 {
+		t.Errorf("Overlap = %v, want [100 200]", words)
+	}
+
+	c := NewBitmap(256)
+	c.Set(7)
+	if a.Intersects(c) {
+		t.Error("disjoint bitmaps reported intersecting — false sharing misdiagnosed as race")
+	}
+	if w := a.Overlap(c, nil); len(w) != 0 {
+		t.Errorf("Overlap of disjoint = %v", w)
+	}
+}
+
+func TestBitmapOrClone(t *testing.T) {
+	a := NewBitmap(128)
+	b := NewBitmap(128)
+	a.Set(1)
+	b.Set(2)
+	c := a.Clone()
+	c.Or(b)
+	if !c.Get(1) || !c.Get(2) {
+		t.Error("Or missing bits")
+	}
+	if a.Get(2) {
+		t.Error("Clone aliases original")
+	}
+}
+
+// Property: Overlap(a,b) = exactly the set positions counted by popcount of
+// the AND, and Intersects agrees with non-empty Overlap.
+func TestPropertyOverlapConsistent(t *testing.T) {
+	f := func(xs, ys [4]uint64) bool {
+		a := Bitmap(xs[:])
+		b := Bitmap(ys[:])
+		words := a.Overlap(b, nil)
+		n := 0
+		for i := 0; i < 256; i++ {
+			if a.Get(i) && b.Get(i) {
+				if n >= len(words) || words[n] != i {
+					return false
+				}
+				n++
+			}
+		}
+		if n != len(words) {
+			return false
+		}
+		return a.Intersects(b) == (len(words) > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package msg defines the wire messages of the DSM and race detector and a
+// compact hand-rolled binary encoding for them.
+//
+// Every message really is serialized to bytes on send and parsed again on
+// receive, so the byte counts the harness reports (e.g. the read-notice
+// bandwidth overhead of Table 3) are measured from genuine encodings, not
+// estimated. The encoding is little-endian and fixed-width; individual read
+// and write notices have identical size (4 bytes), matching the paper's
+// observation that "individual read and write notices are the same size".
+package msg
+
+import (
+	"errors"
+	"fmt"
+
+	"lrcrace/internal/mem"
+	"lrcrace/internal/vc"
+)
+
+// ErrTruncated is returned when a decode runs past the end of the buffer.
+var ErrTruncated = errors.New("msg: truncated message")
+
+// ErrCorrupt is returned for structurally invalid payloads.
+var ErrCorrupt = errors.New("msg: corrupt message")
+
+// Encoder appends fixed-width little-endian fields to a buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+func (e *Encoder) U16(v uint16) {
+	e.buf = append(e.buf, byte(v), byte(v>>8))
+}
+func (e *Encoder) U32(v uint32) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (e *Encoder) U64(v uint64) {
+	e.buf = append(e.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// Blob writes a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// VC writes a version vector.
+func (e *Encoder) VC(v vc.VC) {
+	e.U16(uint16(len(v)))
+	for _, x := range v {
+		e.U32(uint32(x))
+	}
+}
+
+// IntervalID writes an interval identifier.
+func (e *Encoder) IntervalID(id vc.IntervalID) {
+	e.U16(uint16(id.Proc))
+	e.U32(uint32(id.Index))
+}
+
+// Pages writes a page list. Each notice costs noticeSize bytes.
+func (e *Encoder) Pages(ps []mem.PageID) {
+	e.U32(uint32(len(ps)))
+	for _, p := range ps {
+		e.I32(int32(p))
+	}
+}
+
+// Bitmap writes an access bitmap (possibly nil).
+func (e *Encoder) Bitmap(b mem.Bitmap) {
+	e.U32(uint32(len(b)))
+	for _, w := range b {
+		e.U64(w)
+	}
+}
+
+// NoticeSize is the encoded size in bytes of one read or write notice.
+const NoticeSize = 4
+
+// Decoder consumes fields written by Encoder.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps b.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first error encountered.
+func (d *Decoder) err2(need int) bool {
+	if d.err != nil {
+		return true
+	}
+	if d.off+need > len(d.buf) {
+		d.err = ErrTruncated
+		return true
+	}
+	return false
+}
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Done reports whether the whole buffer was consumed without error.
+func (d *Decoder) Done() bool { return d.err == nil && d.off == len(d.buf) }
+
+func (d *Decoder) U8() uint8 {
+	if d.err2(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+func (d *Decoder) U16() uint16 {
+	if d.err2(2) {
+		return 0
+	}
+	b := d.buf[d.off:]
+	d.off += 2
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+func (d *Decoder) U32() uint32 {
+	if d.err2(4) {
+		return 0
+	}
+	b := d.buf[d.off:]
+	d.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+func (d *Decoder) U64() uint64 {
+	if d.err2(8) {
+		return 0
+	}
+	b := d.buf[d.off:]
+	d.off += 8
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// Blob reads a length-prefixed byte slice.
+func (d *Decoder) Blob() []byte {
+	n := int(d.U32())
+	if d.err2(n) {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:])
+	d.off += n
+	return b
+}
+
+// VC reads a version vector.
+func (d *Decoder) VC() vc.VC {
+	n := int(d.U16())
+	if d.err != nil || n > 1024 {
+		if n > 1024 {
+			d.err = ErrCorrupt
+		}
+		return nil
+	}
+	v := make(vc.VC, n)
+	for i := range v {
+		v[i] = vc.Index(d.U32())
+	}
+	return v
+}
+
+// IntervalID reads an interval identifier.
+func (d *Decoder) IntervalID() vc.IntervalID {
+	p := int(d.U16())
+	i := vc.Index(d.U32())
+	return vc.IntervalID{Proc: p, Index: i}
+}
+
+// Pages reads a page list.
+func (d *Decoder) Pages() []mem.PageID {
+	n := int(d.U32())
+	if d.err2(n * NoticeSize) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	ps := make([]mem.PageID, n)
+	for i := range ps {
+		ps[i] = mem.PageID(d.I32())
+	}
+	return ps
+}
+
+// Bitmap reads an access bitmap.
+func (d *Decoder) Bitmap() mem.Bitmap {
+	n := int(d.U32())
+	if d.err2(n * 8) {
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make(mem.Bitmap, n)
+	for i := range b {
+		b[i] = d.U64()
+	}
+	return b
+}
+
+// check is a helper for final validation in Unmarshal.
+func finish(d *Decoder, t Type) error {
+	if d.err != nil {
+		return fmt.Errorf("decoding %v: %w", t, d.err)
+	}
+	if !d.Done() {
+		return fmt.Errorf("decoding %v: %w (trailing bytes)", t, ErrCorrupt)
+	}
+	return nil
+}

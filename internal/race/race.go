@@ -1,0 +1,398 @@
+// Package race implements the paper's contribution: on-the-fly data-race
+// detection driven by the ordering metadata of a lazy-release-consistent
+// DSM.
+//
+// The detection procedure runs at global synchronization points (barriers),
+// where the barrier master holds complete information about every interval
+// of the finishing epoch:
+//
+//  1. Intervals carry version vectors, write notices and (this system's
+//     addition) read notices.
+//  2. The master enumerates pairs of intervals from different processes in
+//     the current epoch and keeps the concurrent ones — a constant-time
+//     version-vector check per pair.
+//  3. For each concurrent pair, read/write page notices are intersected; a
+//     race can only exist on a page written in both intervals, or written in
+//     one and read in the other. Pairs with overlap enter the check list.
+//  4. The check list travels with the barrier release; processes return the
+//     word-granularity access bitmaps named by it.
+//  5. The master compares bitmaps: disjoint word sets are false sharing,
+//     overlapping words are data races, reported by address.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/vc"
+)
+
+// AccessKind labels one side of a race.
+type AccessKind uint8
+
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Endpoint is one access of a racing pair: which interval performed it and
+// whether it was a read or a write.
+type Endpoint struct {
+	Interval vc.IntervalID
+	Kind     AccessKind
+}
+
+// Report describes one detected data race: two concurrent accesses to the
+// same shared word, at least one a write. The system reports "the address
+// of the affected variable, together with the interval indexes"; symbol
+// tables map the address back to a variable (the harness attaches variable
+// names via the applications' layout tables).
+type Report struct {
+	Page  mem.PageID
+	Word  int      // word index within the page
+	Addr  mem.Addr // byte address of the word in the shared segment
+	Epoch int32
+	A, B  Endpoint
+}
+
+// WriteWrite reports whether both endpoints are writes.
+func (r Report) WriteWrite() bool { return r.A.Kind == Write && r.B.Kind == Write }
+
+func (r Report) String() string {
+	kind := "read-write"
+	if r.WriteWrite() {
+		kind = "write-write"
+	}
+	return fmt.Sprintf("%s race at addr 0x%x (page %d word %d, epoch %d): %s in %v ~ %s in %v",
+		kind, uint64(r.Addr), r.Page, r.Word, r.Epoch,
+		r.A.Kind, r.A.Interval, r.B.Kind, r.B.Interval)
+}
+
+// CheckEntry names a concurrent interval pair and an overlapping page whose
+// bitmaps must be compared — one line of the paper's "check list".
+type CheckEntry struct {
+	A, B vc.IntervalID
+	Page mem.PageID
+}
+
+// Stats counts the work done by the comparison algorithm; these feed the
+// dynamic metrics of Table 3 and the Intervals/Bitmaps overhead components
+// of Figure 3.
+type Stats struct {
+	Epochs            int
+	IntervalsTotal    int // intervals examined across all epochs
+	PairComparisons   int // version-vector comparisons performed
+	ConcurrentPairs   int // pairs found concurrent
+	OverlappingPairs  int // concurrent pairs with page-list overlap
+	IntervalsInvolved int // intervals appearing in >=1 overlapping pair
+	CheckEntries      int // (pair, page) lines on check lists
+	NoticesScanned    int // page-notice elements examined during overlap tests
+	BitmapsCompared   int // bitmaps fetched and compared (read+write)
+	WordOverlaps      int // racing words found (before dedup)
+	SuppressedReports int // reports dropped by first-race filtering
+}
+
+// Options configure the detector.
+type Options struct {
+	// FirstOnly implements §6.4: report only "first" races — races not
+	// affected by a prior race. Because a barrier orders everything before
+	// it with everything after it, all first races fall in the earliest
+	// epoch that contains any race; later epochs are suppressed.
+	FirstOnly bool
+
+	// PageBitmapOverlap selects the §6.2 alternative page-list overlap
+	// implementation: O(pages-in-system) bitmap intersection instead of
+	// the O(n²)-flavored sorted-list merge. Results are identical; the
+	// ablation benchmark compares their cost.
+	PageBitmapOverlap bool
+
+	// PrunedPairs replaces the paper's "very simple" all-pairs interval
+	// scan with an index-ordered variant that skips ordered prefixes
+	// outright: for a given interval σ_q^j, every interval of process p
+	// with index ≤ vc(σ_q^j)[p] precedes it and need not be examined.
+	// This is the bypassing the paper notes program/synchronization order
+	// makes possible ("the same act that creates intervals also removes
+	// many interval pairs from consideration"). Results are identical;
+	// PairComparisons counts only the candidates actually examined.
+	PrunedPairs bool
+	// NumPages must be set when PageBitmapOverlap is true.
+	NumPages int
+}
+
+// Detector is the barrier master's race-detection state. It persists across
+// epochs so that first-race filtering can remember the earliest racy epoch.
+type Detector struct {
+	opts   Options
+	layout mem.Layout
+	stats  Stats
+
+	firstRacyEpoch int32 // -1 until a race is seen
+
+	// racyRecords retains the interval records behind reported races so
+	// ExplainReport can reconstruct derivations after epoch metadata is
+	// discarded.
+	racyRecords map[vc.IntervalID]*interval.Record
+
+	scratchA, scratchB mem.Bitmap // page-bitmap scratch for §6.2 mode
+}
+
+// NewDetector returns a detector for a segment with the given layout.
+func NewDetector(l mem.Layout, opts Options) *Detector {
+	d := &Detector{opts: opts, layout: l, firstRacyEpoch: -1}
+	if opts.PageBitmapOverlap {
+		n := opts.NumPages
+		if n == 0 {
+			n = l.NumPages
+		}
+		d.scratchA = mem.NewBitmap(n)
+		d.scratchB = mem.NewBitmap(n)
+	}
+	return d
+}
+
+// Stats returns accumulated counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// BuildCheckList runs steps 2–3 on the records of one epoch: it finds
+// concurrent interval pairs and intersects their page notices, returning the
+// check list. Records must all belong to the same epoch; intervals of
+// earlier epochs are separated from them by the previous barrier and so are
+// ordered with respect to them — they never need to be examined.
+func (d *Detector) BuildCheckList(records []*interval.Record) []CheckEntry {
+	d.stats.Epochs++
+	d.stats.IntervalsTotal += len(records)
+	var entries []CheckEntry
+	involved := make(map[vc.IntervalID]bool)
+	examine := func(a, b *interval.Record) {
+		d.stats.ConcurrentPairs++
+		pages := d.overlap(a, b)
+		if len(pages) == 0 {
+			return
+		}
+		d.stats.OverlappingPairs++
+		involved[a.ID] = true
+		involved[b.ID] = true
+		for _, p := range pages {
+			entries = append(entries, CheckEntry{A: a.ID, B: b.ID, Page: p})
+		}
+	}
+	if d.opts.PrunedPairs {
+		d.prunedScan(records, examine)
+	} else {
+		for i := 0; i < len(records); i++ {
+			for j := i + 1; j < len(records); j++ {
+				a, b := records[i], records[j]
+				if a.ID.Proc == b.ID.Proc {
+					continue // totally ordered by program order
+				}
+				d.stats.PairComparisons++
+				if !vc.Concurrent(a.ID, a.VC, b.ID, b.VC) {
+					continue
+				}
+				examine(a, b)
+			}
+		}
+	}
+	d.stats.IntervalsInvolved += len(involved)
+	d.stats.CheckEntries += len(entries)
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.A != b.A {
+			return lessID(a.A, b.A)
+		}
+		if a.B != b.B {
+			return lessID(a.B, b.B)
+		}
+		return a.Page < b.Page
+	})
+	return entries
+}
+
+// prunedScan enumerates exactly the concurrent cross-process pairs using
+// per-process index order: for each interval b and each other process p,
+// intervals of p with index ≤ b.VC[p] precede b and are skipped without a
+// comparison; the remainder need only the reverse-direction test.
+func (d *Detector) prunedScan(records []*interval.Record, examine func(a, b *interval.Record)) {
+	byProc := map[int][]*interval.Record{}
+	for _, r := range records {
+		byProc[r.ID.Proc] = append(byProc[r.ID.Proc], r)
+	}
+	var procs []int
+	for p := range byProc {
+		sort.Slice(byProc[p], func(i, j int) bool { return byProc[p][i].ID.Index < byProc[p][j].ID.Index })
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for pi := 0; pi < len(procs); pi++ {
+		for qi := pi + 1; qi < len(procs); qi++ {
+			as, bs := byProc[procs[pi]], byProc[procs[qi]]
+			for _, b := range bs {
+				// Skip the prefix of p-intervals b has already seen.
+				seen := b.VC[procs[pi]]
+				start := sort.Search(len(as), func(i int) bool { return as[i].ID.Index > seen })
+				for _, a := range as[start:] {
+					// a ⊀ b by construction; b ≺ a iff a saw b's index.
+					d.stats.PairComparisons++
+					if a.VC[procs[qi]] >= b.ID.Index {
+						continue
+					}
+					examine(a, b)
+				}
+			}
+		}
+	}
+}
+
+func lessID(a, b vc.IntervalID) bool {
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	return a.Index < b.Index
+}
+
+// overlap returns the pages on which a race between a and b could exist:
+// written by both, or written by one and read by the other.
+func (d *Detector) overlap(a, b *interval.Record) []mem.PageID {
+	d.stats.NoticesScanned += len(a.WriteNotices) + len(a.ReadNotices) +
+		len(b.WriteNotices) + len(b.ReadNotices)
+	if d.opts.PageBitmapOverlap {
+		return d.overlapViaBitmaps(a, b)
+	}
+	var pages []mem.PageID
+	pages = interval.OverlapPages(a.WriteNotices, b.WriteNotices, pages)
+	pages = interval.OverlapPages(a.WriteNotices, b.ReadNotices, pages)
+	pages = interval.OverlapPages(a.ReadNotices, b.WriteNotices, pages)
+	return dedupPages(pages)
+}
+
+// overlapViaBitmaps is the §6.2 linear-in-system-pages variant.
+func (d *Detector) overlapViaBitmaps(a, b *interval.Record) []mem.PageID {
+	setBits := func(bm mem.Bitmap, lists ...[]mem.PageID) {
+		bm.Reset()
+		for _, l := range lists {
+			for _, p := range l {
+				bm.Set(int(p))
+			}
+		}
+	}
+	var out []mem.PageID
+	collect := func(words []int) {
+		for _, w := range words {
+			out = append(out, mem.PageID(w))
+		}
+	}
+	// W_a ∩ (W_b ∪ R_b)
+	setBits(d.scratchA, a.WriteNotices)
+	setBits(d.scratchB, b.WriteNotices, b.ReadNotices)
+	collect(d.scratchA.Overlap(d.scratchB, nil))
+	// R_a ∩ W_b
+	setBits(d.scratchA, a.ReadNotices)
+	setBits(d.scratchB, b.WriteNotices)
+	collect(d.scratchA.Overlap(d.scratchB, nil))
+	return dedupPages(out)
+}
+
+func dedupPages(pages []mem.PageID) []mem.PageID {
+	if len(pages) < 2 {
+		return pages
+	}
+	interval.SortPages(pages)
+	out := pages[:1]
+	for _, p := range pages[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BitmapSource supplies the word-access bitmaps named by check entries. At
+// the barrier master this is backed by the bitmaps returned in the second
+// barrier round; in single-process use it is backed directly by a
+// BitmapStore.
+type BitmapSource interface {
+	Bitmaps(id vc.IntervalID, p mem.PageID) (read, write mem.Bitmap)
+}
+
+// StoreSource adapts an interval.BitmapStore to a BitmapSource.
+type StoreSource struct{ Store *interval.BitmapStore }
+
+// Bitmaps implements BitmapSource.
+func (s StoreSource) Bitmaps(id vc.IntervalID, p mem.PageID) (read, write mem.Bitmap) {
+	return s.Store.Get(id, p)
+}
+
+// Compare runs step 5: word-bitmap comparison over the check list. It
+// returns the data races found, applying first-race filtering if enabled.
+// epoch tags the reports.
+func (d *Detector) Compare(entries []CheckEntry, src BitmapSource, epoch int32) []Report {
+	var reports []Report
+	for _, e := range entries {
+		ra, wa := src.Bitmaps(e.A, e.Page)
+		rb, wb := src.Bitmaps(e.B, e.Page)
+		for _, bm := range []mem.Bitmap{ra, wa, rb, wb} {
+			if bm != nil {
+				d.stats.BitmapsCompared++
+			}
+		}
+		add := func(x, y mem.Bitmap, kx, ky AccessKind) {
+			if x == nil || y == nil {
+				return
+			}
+			for _, w := range x.Overlap(y, nil) {
+				d.stats.WordOverlaps++
+				reports = append(reports, Report{
+					Page:  e.Page,
+					Word:  w,
+					Addr:  d.layout.PageBase(e.Page) + mem.Addr(w*mem.WordSize),
+					Epoch: epoch,
+					A:     Endpoint{Interval: e.A, Kind: kx},
+					B:     Endpoint{Interval: e.B, Kind: ky},
+				})
+			}
+		}
+		add(wa, wb, Write, Write)
+		add(wa, rb, Write, Read)
+		add(ra, wb, Read, Write)
+	}
+	if d.opts.FirstOnly && len(reports) > 0 {
+		if d.firstRacyEpoch < 0 {
+			d.firstRacyEpoch = epoch
+		}
+		if epoch != d.firstRacyEpoch {
+			d.stats.SuppressedReports += len(reports)
+			return nil
+		}
+	}
+	return reports
+}
+
+// DedupByAddr collapses reports to one representative per (address, kind
+// pair), preserving first-seen order — the form in which races are printed
+// for the user (repeated dynamic instances of the same static race collapse
+// to one line).
+func DedupByAddr(reports []Report) []Report {
+	type k struct {
+		addr mem.Addr
+		ww   bool
+	}
+	seen := make(map[k]bool)
+	var out []Report
+	for _, r := range reports {
+		kk := k{r.Addr, r.WriteWrite()}
+		if !seen[kk] {
+			seen[kk] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,453 @@
+package race
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/vc"
+)
+
+func testLayout(t *testing.T) mem.Layout {
+	t.Helper()
+	l, err := mem.NewLayout(16*mem.DefaultPageSize, mem.DefaultPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// build constructs an interval record plus bitmaps from explicit accesses.
+func build(l mem.Layout, store *interval.BitmapStore, id vc.IntervalID, v vc.VC, epoch int32, reads, writes []mem.Addr) *interval.Record {
+	b := interval.NewBuilder(l)
+	for _, a := range reads {
+		b.NoteRead(a)
+	}
+	for _, a := range writes {
+		b.NoteWrite(a)
+	}
+	return b.Finish(id, v, epoch, store)
+}
+
+// TestFigure2Scenario reproduces the paper's Figure 2: P1 writes x in σ1^1
+// (before its release) and writes y in σ1^2; P2 acquires (seeing σ1^1) and
+// writes in σ2^2. If P1's second write is to the same page as P2's write,
+// the pair σ1^2–σ2^2 is concurrent with page overlap; whether it is a race
+// depends on the words.
+func TestFigure2Scenario(t *testing.T) {
+	l := testLayout(t)
+	x := l.PageBase(0)                  // variable x on page 0
+	y := l.PageBase(0) + 8*mem.WordSize // y: same page, different word
+	z := l.PageBase(3)                  // z: different page
+
+	mk := func(secondWrite mem.Addr, p2Write mem.Addr) ([]*interval.Record, *interval.BitmapStore) {
+		store := interval.NewBitmapStore()
+		// P1 = proc 0: σ0^1 writes x, σ0^2 writes secondWrite.
+		r11 := build(l, store, vc.IntervalID{Proc: 0, Index: 1}, vc.VC{1, 0}, 0, nil, []mem.Addr{x})
+		r12 := build(l, store, vc.IntervalID{Proc: 0, Index: 2}, vc.VC{2, 0}, 0, nil, []mem.Addr{secondWrite})
+		// P2 = proc 1: σ1^2 begins with the acquire matching P1's release,
+		// so its vector has seen σ0^1 but not σ0^2.
+		r22 := build(l, store, vc.IntervalID{Proc: 1, Index: 2}, vc.VC{1, 2}, 0, nil, []mem.Addr{p2Write})
+		return []*interval.Record{r11, r12, r22}, store
+	}
+
+	t.Run("same word is a race", func(t *testing.T) {
+		recs, store := mk(y, y)
+		d := NewDetector(l, Options{})
+		entries := d.BuildCheckList(recs)
+		if len(entries) != 1 {
+			t.Fatalf("check list = %v, want one entry", entries)
+		}
+		reports := d.Compare(entries, StoreSource{store}, 0)
+		if len(reports) != 1 {
+			t.Fatalf("reports = %v, want one WW race", reports)
+		}
+		if !reports[0].WriteWrite() || reports[0].Addr != y {
+			t.Errorf("report = %+v", reports[0])
+		}
+	})
+
+	t.Run("different words on same page is false sharing", func(t *testing.T) {
+		recs, store := mk(y, x)
+		// P2 writing x races with σ0^1's write of x? No: σ0^1 ≺ σ1^2.
+		// σ0^2 wrote y, σ1^2 wrote x — same page, different words.
+		d := NewDetector(l, Options{})
+		entries := d.BuildCheckList(recs)
+		if len(entries) != 1 {
+			t.Fatalf("check list = %v, want one entry (page overlap exists)", entries)
+		}
+		if reports := d.Compare(entries, StoreSource{store}, 0); len(reports) != 0 {
+			t.Errorf("false sharing reported as race: %v", reports)
+		}
+	})
+
+	t.Run("different pages need no bitmap comparison", func(t *testing.T) {
+		recs, store := mk(z, y)
+		d := NewDetector(l, Options{})
+		entries := d.BuildCheckList(recs)
+		if len(entries) != 0 {
+			t.Fatalf("check list = %v, want empty (no page overlap)", entries)
+		}
+		if d.Stats().ConcurrentPairs == 0 {
+			t.Error("concurrent pair not found")
+		}
+		if reports := d.Compare(entries, StoreSource{store}, 0); len(reports) != 0 {
+			t.Errorf("unexpected reports: %v", reports)
+		}
+		_ = store
+	})
+}
+
+// TestOrderedPairNotChecked: a release/acquire-ordered pair must be skipped
+// even if both touch the same word.
+func TestOrderedPairNotChecked(t *testing.T) {
+	l := testLayout(t)
+	store := interval.NewBitmapStore()
+	x := l.PageBase(1)
+	a := build(l, store, vc.IntervalID{Proc: 0, Index: 1}, vc.VC{1, 0}, 0, nil, []mem.Addr{x})
+	// Proc 1's interval has seen σ0^1.
+	b := build(l, store, vc.IntervalID{Proc: 1, Index: 1}, vc.VC{1, 1}, 0, nil, []mem.Addr{x})
+	d := NewDetector(l, Options{})
+	entries := d.BuildCheckList([]*interval.Record{a, b})
+	if len(entries) != 0 {
+		t.Errorf("ordered pair produced check entries: %v", entries)
+	}
+}
+
+// TestReadWriteRace: unsynchronized read vs write (the TSP pattern).
+func TestReadWriteRace(t *testing.T) {
+	l := testLayout(t)
+	store := interval.NewBitmapStore()
+	bound := l.PageBase(2) + 40
+	w := build(l, store, vc.IntervalID{Proc: 0, Index: 1}, vc.VC{1, 0}, 0, nil, []mem.Addr{bound})
+	r := build(l, store, vc.IntervalID{Proc: 1, Index: 1}, vc.VC{0, 1}, 0, []mem.Addr{bound}, nil)
+	d := NewDetector(l, Options{})
+	entries := d.BuildCheckList([]*interval.Record{w, r})
+	reports := d.Compare(entries, StoreSource{store}, 0)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v, want one", reports)
+	}
+	rep := reports[0]
+	if rep.WriteWrite() {
+		t.Error("read-write race classified as write-write")
+	}
+	if rep.Addr != bound {
+		t.Errorf("addr = %#x, want %#x", rep.Addr, bound)
+	}
+}
+
+// TestSameProcessNeverRaces: intervals of one process are program-ordered.
+func TestSameProcessNeverRaces(t *testing.T) {
+	l := testLayout(t)
+	store := interval.NewBitmapStore()
+	x := l.PageBase(0)
+	a := build(l, store, vc.IntervalID{Proc: 0, Index: 1}, vc.VC{1, 0}, 0, nil, []mem.Addr{x})
+	b := build(l, store, vc.IntervalID{Proc: 0, Index: 2}, vc.VC{2, 0}, 0, nil, []mem.Addr{x})
+	d := NewDetector(l, Options{})
+	if entries := d.BuildCheckList([]*interval.Record{a, b}); len(entries) != 0 {
+		t.Errorf("same-process intervals on check list: %v", entries)
+	}
+	if d.Stats().PairComparisons != 0 {
+		t.Error("same-process pair consumed a vector comparison")
+	}
+}
+
+// TestFirstRaceFiltering (§6.4): races in epochs after the earliest racy
+// epoch are suppressed; races in the same epoch are all reported.
+func TestFirstRaceFiltering(t *testing.T) {
+	l := testLayout(t)
+	d := NewDetector(l, Options{FirstOnly: true})
+
+	epochRecords := func(epoch int32, addrs ...mem.Addr) ([]*interval.Record, *interval.BitmapStore) {
+		store := interval.NewBitmapStore()
+		var recs []*interval.Record
+		for i, a := range addrs {
+			recs = append(recs, build(l, store,
+				vc.IntervalID{Proc: i, Index: vc.Index(epoch*2 + 1)},
+				func() vc.VC { v := vc.New(len(addrs)); v[i] = vc.Index(epoch*2 + 1); return v }(),
+				epoch, nil, []mem.Addr{a}))
+		}
+		return recs, store
+	}
+
+	// Epoch 0: no race (different pages).
+	recs, store := epochRecords(0, l.PageBase(0), l.PageBase(1))
+	if got := d.Compare(d.BuildCheckList(recs), StoreSource{store}, 0); len(got) != 0 {
+		t.Fatalf("epoch 0 races = %v", got)
+	}
+	// Epoch 1: two races — both reported (same epoch ⇒ both "first").
+	recs, store = epochRecords(1, l.PageBase(2), l.PageBase(2))
+	got := d.Compare(d.BuildCheckList(recs), StoreSource{store}, 1)
+	if len(got) != 1 {
+		t.Fatalf("epoch 1 races = %v, want 1", got)
+	}
+	// Epoch 2: race suppressed.
+	recs, store = epochRecords(2, l.PageBase(3), l.PageBase(3))
+	got = d.Compare(d.BuildCheckList(recs), StoreSource{store}, 2)
+	if len(got) != 0 {
+		t.Errorf("epoch 2 races not suppressed: %v", got)
+	}
+	if d.Stats().SuppressedReports == 0 {
+		t.Error("suppression not counted")
+	}
+}
+
+func TestDedupByAddr(t *testing.T) {
+	l := testLayout(t)
+	mk := func(addr mem.Addr, ww bool) Report {
+		k := Read
+		if ww {
+			k = Write
+		}
+		return Report{Addr: addr, Page: l.Page(addr), Word: l.WordInPage(addr),
+			A: Endpoint{Kind: Write}, B: Endpoint{Kind: k}}
+	}
+	in := []Report{mk(8, true), mk(8, true), mk(8, false), mk(16, true)}
+	out := DedupByAddr(in)
+	if len(out) != 3 {
+		t.Errorf("dedup kept %d, want 3 (%v)", len(out), out)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Addr: 0x40, Page: 0, Word: 8, Epoch: 2,
+		A: Endpoint{vc.IntervalID{Proc: 0, Index: 1}, Write},
+		B: Endpoint{vc.IntervalID{Proc: 1, Index: 1}, Write}}
+	s := r.String()
+	if s == "" || r.A.Kind.String() != "write" || (Read).String() != "read" {
+		t.Errorf("String rendering broken: %q", s)
+	}
+}
+
+// randomEpoch builds a random single-epoch workload and returns records,
+// store and the set of true races computed by brute force over all access
+// pairs using the happens-before relation directly.
+func randomEpoch(r *rand.Rand, l mem.Layout) ([]*interval.Record, *interval.BitmapStore, map[[2]mem.Addr]bool) {
+	nproc := 2 + r.Intn(3)
+	type access struct {
+		id   vc.IntervalID
+		v    vc.VC
+		addr mem.Addr
+		wr   bool
+	}
+	var accesses []access
+	store := interval.NewBitmapStore()
+	var recs []*interval.Record
+
+	// Chain of vcs: each process has 1-2 intervals; random acquire edges.
+	cur := make([]vc.VC, nproc)
+	idx := make([]vc.Index, nproc)
+	for p := range cur {
+		cur[p] = vc.New(nproc)
+	}
+	for p := 0; p < nproc; p++ {
+		k := 1 + r.Intn(2)
+		for i := 0; i < k; i++ {
+			if r.Intn(2) == 0 {
+				cur[p].Merge(cur[r.Intn(nproc)])
+			}
+			idx[p]++
+			cur[p][p] = idx[p]
+			id := vc.IntervalID{Proc: p, Index: idx[p]}
+			na := 1 + r.Intn(3)
+			b := interval.NewBuilder(l)
+			var myAccesses []access
+			for a := 0; a < na; a++ {
+				addr := mem.Addr(r.Intn(4*l.WordsPerPage())) * mem.WordSize
+				wr := r.Intn(2) == 0
+				if wr {
+					b.NoteWrite(addr)
+				} else {
+					b.NoteRead(addr)
+				}
+				myAccesses = append(myAccesses, access{id, cur[p].Copy(), addr, wr})
+			}
+			recs = append(recs, b.Finish(id, cur[p], 0, store))
+			accesses = append(accesses, myAccesses...)
+		}
+	}
+	want := make(map[[2]mem.Addr]bool)
+	for i := 0; i < len(accesses); i++ {
+		for j := i + 1; j < len(accesses); j++ {
+			a, b := accesses[i], accesses[j]
+			if a.addr != b.addr || (!a.wr && !b.wr) || a.id.Proc == b.id.Proc {
+				continue
+			}
+			if vc.Concurrent(a.id, a.v, b.id, b.v) {
+				want[[2]mem.Addr{a.addr, a.addr}] = true
+			}
+		}
+	}
+	return recs, store, want
+}
+
+// TestPropertyDetectorMatchesBruteForce: the detector finds exactly the
+// races a brute-force all-pairs happens-before check finds (by address).
+func TestPropertyDetectorMatchesBruteForce(t *testing.T) {
+	l := testLayout(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs, store, want := randomEpoch(r, l)
+		d := NewDetector(l, Options{})
+		reports := d.Compare(d.BuildCheckList(recs), StoreSource{store}, 0)
+		got := make(map[[2]mem.Addr]bool)
+		for _, rep := range reports {
+			got[[2]mem.Addr{rep.Addr, rep.Addr}] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPageBitmapOverlapEquivalent: §6.2 bitmap page lists produce
+// identical check lists and races to the sorted-list merge.
+func TestPropertyPageBitmapOverlapEquivalent(t *testing.T) {
+	l := testLayout(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs, store, _ := randomEpoch(r, l)
+		d1 := NewDetector(l, Options{})
+		d2 := NewDetector(l, Options{PageBitmapOverlap: true})
+		e1 := d1.BuildCheckList(recs)
+		e2 := d2.BuildCheckList(recs)
+		if len(e1) != len(e2) {
+			return false
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				return false
+			}
+		}
+		r1 := d1.Compare(e1, StoreSource{store}, 0)
+		r2 := d2.Compare(e2, StoreSource{store}, 0)
+		return len(r1) == len(r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// canonicalEntries normalizes check-list orientation for comparison.
+func canonicalEntries(es []CheckEntry) map[CheckEntry]bool {
+	out := make(map[CheckEntry]bool, len(es))
+	for _, e := range es {
+		if lessID(e.B, e.A) {
+			e.A, e.B = e.B, e.A
+		}
+		out[e] = true
+	}
+	return out
+}
+
+// TestPropertyPrunedPairsEquivalent: the index-pruned scan finds exactly
+// the same check list as the all-pairs scan, with no more comparisons.
+func TestPropertyPrunedPairsEquivalent(t *testing.T) {
+	l := testLayout(t)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		recs, _, _ := randomEpoch(r, l)
+		d1 := NewDetector(l, Options{})
+		d2 := NewDetector(l, Options{PrunedPairs: true})
+		e1 := canonicalEntries(d1.BuildCheckList(recs))
+		e2 := canonicalEntries(d2.BuildCheckList(recs))
+		if len(e1) != len(e2) {
+			return false
+		}
+		for k := range e1 {
+			if !e2[k] {
+				return false
+			}
+		}
+		// Pruning must not examine more pairs than the naive scan, and the
+		// concurrent-pair counts must agree exactly.
+		return d2.Stats().PairComparisons <= d1.Stats().PairComparisons &&
+			d2.Stats().ConcurrentPairs == d1.Stats().ConcurrentPairs &&
+			d2.Stats().OverlappingPairs == d1.Stats().OverlappingPairs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrunedPairsSkipsOrderedChains: a fully lock-ordered epoch needs zero
+// comparisons under pruning (every pair's ordered prefix covers it).
+func TestPrunedPairsSkipsOrderedChains(t *testing.T) {
+	l := testLayout(t)
+	// A chain: σ0^1 ≺ σ1^1 ≺ σ2^1 (each sees all previous).
+	recs := []*interval.Record{
+		{ID: vc.IntervalID{Proc: 0, Index: 1}, VC: vc.VC{1, 0, 0}},
+		{ID: vc.IntervalID{Proc: 1, Index: 1}, VC: vc.VC{1, 1, 0}},
+		{ID: vc.IntervalID{Proc: 2, Index: 1}, VC: vc.VC{1, 1, 1}},
+	}
+	naive := NewDetector(l, Options{})
+	naive.BuildCheckList(recs)
+	pruned := NewDetector(l, Options{PrunedPairs: true})
+	pruned.BuildCheckList(recs)
+	if naive.Stats().PairComparisons != 3 {
+		t.Errorf("naive comparisons = %d, want 3", naive.Stats().PairComparisons)
+	}
+	if pruned.Stats().PairComparisons != 0 {
+		t.Errorf("pruned comparisons = %d, want 0 (all pairs chain-ordered)", pruned.Stats().PairComparisons)
+	}
+}
+
+// TestExplain covers the derivation renderer and report retention.
+func TestExplain(t *testing.T) {
+	l := testLayout(t)
+	store := interval.NewBitmapStore()
+	x := l.PageBase(2)
+	a := build(l, store, vc.IntervalID{Proc: 0, Index: 3}, vc.VC{3, 0}, 0, nil, []mem.Addr{x})
+	b := build(l, store, vc.IntervalID{Proc: 1, Index: 2}, vc.VC{1, 2}, 0, []mem.Addr{x}, nil)
+
+	text := Explain(a, b)
+	for _, want := range []string{"⇒ concurrent", "page 2", "vc(σ1^2)[P0] = 1 < 3", "vc(σ0^3)[P1] = 0 < 2"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Explain missing %q:\n%s", want, text)
+		}
+	}
+
+	// Ordered pair explains the chain.
+	c := build(l, store, vc.IntervalID{Proc: 1, Index: 4}, vc.VC{3, 4}, 0, nil, []mem.Addr{x})
+	if text := Explain(a, c); !strings.Contains(text, "⇒ ordered") ||
+		!strings.Contains(text, "the acquire chain carried it") {
+		t.Errorf("ordered Explain wrong:\n%s", text)
+	}
+
+	// Same process.
+	d0 := build(l, store, vc.IntervalID{Proc: 0, Index: 4}, vc.VC{4, 0}, 0, nil, []mem.Addr{x})
+	if text := Explain(a, d0); !strings.Contains(text, "program order") {
+		t.Errorf("same-process Explain wrong:\n%s", text)
+	}
+
+	// Full detector path: Compare then Retain then ExplainReport.
+	det := NewDetector(l, Options{})
+	entries := det.BuildCheckList([]*interval.Record{a, b})
+	reports := det.Compare(entries, StoreSource{store}, 0)
+	if len(reports) != 1 {
+		t.Fatalf("reports = %v", reports)
+	}
+	if _, ok := det.ExplainReport(reports[0]); ok {
+		t.Error("explanation available before Retain")
+	}
+	det.Retain(reports, []*interval.Record{a, b})
+	text2, ok := det.ExplainReport(reports[0])
+	if !ok || !strings.Contains(text2, "⇒ concurrent") {
+		t.Errorf("ExplainReport = %q, %v", text2, ok)
+	}
+	if _, ok := det.ExplainReport(Report{A: Endpoint{Interval: vc.IntervalID{Proc: 9, Index: 9}}}); ok {
+		t.Error("unknown report explained")
+	}
+}

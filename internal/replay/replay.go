@@ -1,0 +1,194 @@
+// Package replay implements the paper's §6.1 two-run reference
+// identification scheme. Detected races are reported by address; finding
+// the *instructions* involved would require retaining a program counter for
+// every shared access, which is prohibitive. Instead:
+//
+//   - Run 1 records the synchronization order (the per-lock sequence of
+//     tenures, as serialized by each lock's manager) alongside normal race
+//     detection. This is the paper's proposed CVM modification "to save
+//     synchronization ordering information from the first run".
+//   - Run 2 enforces the same per-lock tenure order — the lock manager
+//     defers requests that arrive ahead of their recorded turn — making the
+//     execution's synchronization ordering deterministic, and gathers
+//     call-site information only for accesses to the conflicting address.
+//
+// The "program counter" captured in run 2 is a real Go caller PC, resolved
+// to function, file and line — the honest analogue of the Alpha PC plus
+// symbol table the paper describes.
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"lrcrace/internal/mem"
+)
+
+// SyncRecord is the synchronization order of one run: for every lock, the
+// sequence of processes granted tenures, in manager serialization order.
+type SyncRecord struct {
+	mu    sync.Mutex
+	order map[int][]int
+}
+
+// NewSyncRecord returns an empty record.
+func NewSyncRecord() *SyncRecord {
+	return &SyncRecord{order: make(map[int][]int)}
+}
+
+// RecordGrantOrder implements the dsm recording hook: requester was
+// serialized as the next tenure of lock.
+func (r *SyncRecord) RecordGrantOrder(lock, requester int) {
+	r.mu.Lock()
+	r.order[lock] = append(r.order[lock], requester)
+	r.mu.Unlock()
+}
+
+// Order returns the recorded tenure sequence for lock.
+func (r *SyncRecord) Order(lock int) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.order[lock]...)
+}
+
+// Locks returns the locks with recorded history.
+func (r *SyncRecord) Locks() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []int
+	for l := range r.order {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Equal reports whether two records describe the same ordering.
+func (r *SyncRecord) Equal(o *SyncRecord) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(r.order) != len(o.order) {
+		return false
+	}
+	for l, seq := range r.order {
+		oseq := o.order[l]
+		if len(seq) != len(oseq) {
+			return false
+		}
+		for i := range seq {
+			if seq[i] != oseq[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Enforcer replays a SyncRecord: the lock manager consults it to decide
+// whether a request may be serialized now or must wait for its turn.
+type Enforcer struct {
+	mu  sync.Mutex
+	rec *SyncRecord
+	pos map[int]int
+}
+
+// NewEnforcer wraps a recorded order.
+func NewEnforcer(rec *SyncRecord) *Enforcer {
+	return &Enforcer{rec: rec, pos: make(map[int]int)}
+}
+
+// MayProceed reports whether requester is the next recorded tenure of lock
+// and, if so, consumes that slot. Requests beyond the recorded history
+// (e.g. the search explores slightly differently) are allowed through.
+func (e *Enforcer) MayProceed(lock, requester int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rec.mu.Lock()
+	seq := e.rec.order[lock]
+	e.rec.mu.Unlock()
+	i := e.pos[lock]
+	if i >= len(seq) {
+		return true // past recorded history: no constraint
+	}
+	if seq[i] != requester {
+		return false
+	}
+	e.pos[lock] = i + 1
+	return true
+}
+
+// AccessSite is one captured access to the watched address.
+type AccessSite struct {
+	Proc  int
+	Write bool
+	PC    uintptr
+	Func  string
+	File  string
+	Line  int
+}
+
+func (s AccessSite) String() string {
+	kind := "read"
+	if s.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("%s by P%d at %s (%s:%d)", kind, s.Proc, s.Func, s.File, s.Line)
+}
+
+// SiteCollector gathers the call sites of accesses to one address — the
+// run-2 instrumentation of the two-run scheme. It implements the dsm watch
+// hook.
+type SiteCollector struct {
+	Addr mem.Addr
+
+	mu    sync.Mutex
+	sites []AccessSite
+	seen  map[uintptr]bool
+}
+
+// NewSiteCollector watches addr.
+func NewSiteCollector(addr mem.Addr) *SiteCollector {
+	return &SiteCollector{Addr: addr, seen: make(map[uintptr]bool)}
+}
+
+// WatchedAddr implements the dsm watch hook.
+func (c *SiteCollector) WatchedAddr() mem.Addr { return c.Addr }
+
+// NoteAccess implements the dsm watch hook: record the first application
+// frame above the DSM access layer, deduplicated by PC.
+func (c *SiteCollector) NoteAccess(proc int, write bool) {
+	var pcs [16]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		f, more := frames.Next()
+		if f.Function == "" {
+			return
+		}
+		if !strings.Contains(f.Function, "internal/dsm.") {
+			c.mu.Lock()
+			if !c.seen[f.PC] {
+				c.seen[f.PC] = true
+				c.sites = append(c.sites, AccessSite{
+					Proc: proc, Write: write, PC: f.PC,
+					Func: f.Function, File: f.File, Line: f.Line,
+				})
+			}
+			c.mu.Unlock()
+			return
+		}
+		if !more {
+			return
+		}
+	}
+}
+
+// Sites returns the distinct access sites captured.
+func (c *SiteCollector) Sites() []AccessSite {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]AccessSite(nil), c.sites...)
+}

@@ -1,0 +1,188 @@
+// Package simnet is the simulated interconnect of the DSM: one endpoint per
+// process, unbounded FIFO delivery, and per-message-type traffic statistics.
+//
+// It substitutes for the paper's 155 Mbit ATM + UDP transport. Every send
+// marshals the message to bytes and every delivery re-parses those bytes,
+// so (a) no memory is ever shared between "processes" through a message,
+// exactly as on a real wire, and (b) the byte counts behind the bandwidth
+// results of Table 3 come from real encodings. Virtual transmission time is
+// computed by the receiver from the sender's virtual send time and the
+// byte count (see costmodel).
+package simnet
+
+import (
+	"fmt"
+	"sync"
+
+	"lrcrace/internal/msg"
+)
+
+// UDPOverhead is the per-message header overhead charged to the wire
+// (UDP + IP + AAL5 framing, rounded).
+const UDPOverhead = 42
+
+// DefaultMTU is the largest datagram the transport carries unfragmented —
+// the "system maximum" message size the paper ran into when read notices
+// grew ("current message sizes are already at system maximums"). Larger
+// payloads are fragmented: each fragment is a message (and pays latency).
+const DefaultMTU = 63 * 1024
+
+// Delivery is one received message with its wire metadata.
+type Delivery struct {
+	From  int
+	VTime int64 // sender's virtual clock at send
+	Bytes int   // full wire size including UDPOverhead
+	Frags int   // datagrams the payload needed (1 unless it exceeded the MTU)
+	Msg   msg.Message
+}
+
+// Stats aggregates traffic counters. Counters are totals across all
+// endpoints; the race-detection-specific byte counters are filled in by the
+// DSM layer (which knows which bytes are read notices).
+type Stats struct {
+	Messages [msg.NumTypes]int64
+	Bytes    [msg.NumTypes]int64
+}
+
+// TotalMessages returns the number of messages sent.
+func (s Stats) TotalMessages() int64 {
+	var n int64
+	for _, x := range s.Messages {
+		n += x
+	}
+	return n
+}
+
+// TotalBytes returns the number of wire bytes sent.
+func (s Stats) TotalBytes() int64 {
+	var n int64
+	for _, x := range s.Bytes {
+		n += x
+	}
+	return n
+}
+
+// Network connects n endpoints with reliable, ordered, unbounded queues.
+type Network struct {
+	n      int
+	mtu    int
+	queues []*queue
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New returns a network with n endpoints, numbered 0..n-1, and DefaultMTU.
+func New(n int) *Network {
+	nw := &Network{n: n, mtu: DefaultMTU, queues: make([]*queue, n)}
+	for i := range nw.queues {
+		nw.queues[i] = newQueue()
+	}
+	return nw
+}
+
+// SetMTU overrides the fragmentation threshold (before traffic starts).
+func (nw *Network) SetMTU(bytes int) {
+	if bytes < 128 {
+		bytes = 128
+	}
+	nw.mtu = bytes
+}
+
+// Size returns the number of endpoints.
+func (nw *Network) Size() int { return nw.n }
+
+// Send marshals m, accounts for it, and enqueues it at to, returning the
+// wire size in bytes. vtime is the sender's virtual clock at the moment of
+// sending. The message is re-parsed before delivery so sender and receiver
+// never share memory.
+func (nw *Network) Send(from, to int, m msg.Message, vtime int64) int {
+	if to < 0 || to >= nw.n {
+		panic(fmt.Sprintf("simnet: send to invalid endpoint %d", to))
+	}
+	wire := msg.Marshal(m)
+	parsed, err := msg.Unmarshal(wire)
+	if err != nil {
+		panic(fmt.Sprintf("simnet: message %v does not survive the wire: %v", m.Type(), err))
+	}
+	frags := (len(wire) + nw.mtu - 1) / nw.mtu
+	if frags < 1 {
+		frags = 1
+	}
+	size := len(wire) + frags*UDPOverhead
+
+	nw.mu.Lock()
+	nw.stats.Messages[m.Type()] += int64(frags)
+	nw.stats.Bytes[m.Type()] += int64(size)
+	nw.mu.Unlock()
+
+	nw.queues[to].push(Delivery{From: from, VTime: vtime, Bytes: size, Frags: frags, Msg: parsed})
+	return size
+}
+
+// Recv blocks until a message for proc arrives; ok is false after Close.
+func (nw *Network) Recv(proc int) (Delivery, bool) {
+	return nw.queues[proc].pop()
+}
+
+// Close shuts down all endpoints; blocked Recv calls return ok=false after
+// draining queued messages.
+func (nw *Network) Close() {
+	for _, q := range nw.queues {
+		q.close()
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (nw *Network) Stats() Stats {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.stats
+}
+
+// queue is an unbounded FIFO with blocking pop. Unbounded capacity keeps
+// the protocol deadlock-free regardless of traffic bursts (real CVM relies
+// on kernel socket buffering plus retransmission for the same property).
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Delivery
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(d Delivery) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return // dropped, like a packet to a dead host
+	}
+	q.items = append(q.items, d)
+	q.cond.Signal()
+}
+
+func (q *queue) pop() (Delivery, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Delivery{}, false
+	}
+	d := q.items[0]
+	q.items = q.items[1:]
+	return d, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,180 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+
+	"lrcrace/internal/msg"
+)
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	nw := New(2)
+	defer nw.Close()
+	sent := &msg.PageReq{Page: 7, Write: true}
+	nw.Send(0, 1, sent, 12345)
+	d, ok := nw.Recv(1)
+	if !ok {
+		t.Fatal("Recv returned !ok")
+	}
+	if d.From != 0 || d.VTime != 12345 {
+		t.Errorf("metadata: %+v", d)
+	}
+	got, ok := d.Msg.(*msg.PageReq)
+	if !ok || got.Page != 7 || !got.Write {
+		t.Errorf("payload: %+v", d.Msg)
+	}
+	if got == sent {
+		t.Error("receiver shares memory with sender")
+	}
+	if d.Bytes <= UDPOverhead {
+		t.Errorf("Bytes = %d, want > header", d.Bytes)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	nw := New(2)
+	defer nw.Close()
+	for i := 0; i < 50; i++ {
+		nw.Send(0, 1, &msg.PageReq{Page: 0}, int64(i))
+	}
+	for i := 0; i < 50; i++ {
+		d, ok := nw.Recv(1)
+		if !ok || d.VTime != int64(i) {
+			t.Fatalf("delivery %d: vtime = %d ok=%v", i, d.VTime, ok)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	nw := New(3)
+	defer nw.Close()
+	nw.Send(0, 1, &msg.PageReq{Page: 1}, 0)
+	nw.Send(1, 2, &msg.PageReq{Page: 2}, 0)
+	nw.Send(2, 0, &msg.DiffAck{}, 0)
+	s := nw.Stats()
+	if s.Messages[msg.TPageReq] != 2 || s.Messages[msg.TDiffAck] != 1 {
+		t.Errorf("message counts: %+v", s.Messages)
+	}
+	if s.TotalMessages() != 3 {
+		t.Errorf("TotalMessages = %d", s.TotalMessages())
+	}
+	if s.Bytes[msg.TPageReq] <= 2*UDPOverhead {
+		t.Errorf("PageReq bytes = %d", s.Bytes[msg.TPageReq])
+	}
+	if s.TotalBytes() < s.Bytes[msg.TPageReq] {
+		t.Error("TotalBytes inconsistent")
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	nw := New(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := nw.Recv(0)
+		done <- ok
+	}()
+	nw.Close()
+	if ok := <-done; ok {
+		t.Error("Recv returned ok after Close with empty queue")
+	}
+	// Send after close is dropped silently.
+	nw.Send(0, 0, &msg.DiffAck{}, 0)
+	if _, ok := nw.Recv(0); ok {
+		t.Error("message delivered after close")
+	}
+}
+
+func TestCloseDrainsQueued(t *testing.T) {
+	nw := New(1)
+	nw.Send(0, 0, &msg.PageReq{Page: 3}, 0)
+	nw.Close()
+	d, ok := nw.Recv(0)
+	if !ok || d.Msg.(*msg.PageReq).Page != 3 {
+		t.Errorf("queued message lost on close: ok=%v", ok)
+	}
+	if _, ok := nw.Recv(0); ok {
+		t.Error("phantom message after drain")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	nw := New(4)
+	defer nw.Close()
+	const per = 200
+	var wg sync.WaitGroup
+	for from := 0; from < 4; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				nw.Send(from, 3, &msg.PageReq{Page: 1}, int64(i))
+			}
+		}(from)
+	}
+	counts := make(map[int]int)
+	for i := 0; i < 3*per+per; i++ {
+		d, ok := nw.Recv(3)
+		if !ok {
+			t.Fatal("short delivery")
+		}
+		counts[d.From]++
+	}
+	wg.Wait()
+	for from := 0; from < 4; from++ {
+		if counts[from] != per {
+			t.Errorf("from %d: got %d, want %d", from, counts[from], per)
+		}
+	}
+	if got := nw.Stats().TotalMessages(); got != 4*per {
+		t.Errorf("TotalMessages = %d, want %d", got, 4*per)
+	}
+}
+
+func TestSendInvalidEndpointPanics(t *testing.T) {
+	nw := New(1)
+	defer nw.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for invalid endpoint")
+		}
+	}()
+	nw.Send(0, 5, &msg.DiffAck{}, 0)
+}
+
+// TestFragmentation: payloads above the MTU count as multiple datagrams.
+func TestFragmentation(t *testing.T) {
+	nw := New(2)
+	nw.SetMTU(256)
+	defer nw.Close()
+	small := &msg.PageReply{Page: 1, Data: make([]byte, 100)}
+	big := &msg.PageReply{Page: 2, Data: make([]byte, 1000)}
+	nw.Send(0, 1, small, 0)
+	nw.Send(0, 1, big, 0)
+
+	d1, _ := nw.Recv(1)
+	if d1.Frags != 1 {
+		t.Errorf("small frags = %d", d1.Frags)
+	}
+	d2, _ := nw.Recv(1)
+	if d2.Frags < 4 { // ~1010 wire bytes / 256
+		t.Errorf("big frags = %d, want >=4", d2.Frags)
+	}
+	if d2.Bytes <= 1000+UDPOverhead {
+		t.Errorf("fragmented payload should pay per-fragment headers: %d", d2.Bytes)
+	}
+	s := nw.Stats()
+	if s.Messages[msg.TPageReply] != int64(1+d2.Frags) {
+		t.Errorf("message count = %d, want %d", s.Messages[msg.TPageReply], 1+d2.Frags)
+	}
+}
+
+func TestSetMTUFloor(t *testing.T) {
+	nw := New(1)
+	nw.SetMTU(1) // clamped to 128
+	defer nw.Close()
+	nw.Send(0, 0, &msg.DiffAck{}, 0)
+	d, _ := nw.Recv(0)
+	if d.Frags != 1 {
+		t.Errorf("tiny message fragmented: %d", d.Frags)
+	}
+}

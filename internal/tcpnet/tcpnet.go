@@ -1,0 +1,310 @@
+// Package tcpnet is a real-sockets transport for the DSM: a full mesh of
+// loopback TCP connections carrying the same serialized messages as the
+// simulated network. It exists to make the claim behind the paper's system
+// literal — CVM is "written entirely as a user-level library" over UDP; this
+// transport runs the whole DSM, detector included, over an actual kernel
+// network stack. TCP (rather than UDP) supplies the reliability and
+// per-pair ordering the protocol assumes, which CVM layered over UDP with
+// its own end-to-end retransmission.
+//
+// Virtual-time accounting is identical to simnet: the receiver computes
+// modeled wire time from the sender's clock and the byte count, so the
+// performance results do not depend on which transport ran.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"lrcrace/internal/msg"
+	"lrcrace/internal/simnet"
+)
+
+// frameHeader is [from u16][frags u16][vtime i64][payloadLen u32].
+const frameHeader = 2 + 2 + 8 + 4
+
+// maxFrame bounds a payload to catch stream desync early.
+const maxFrame = 64 << 20
+
+// Network is a full mesh of loopback TCP connections between n endpoints.
+type Network struct {
+	n   int
+	mtu int
+
+	listeners []net.Listener
+	conns     [][]net.Conn   // conns[from][to], nil on the diagonal
+	sendMu    [][]sync.Mutex // one writer lock per connection
+
+	queues []*queue
+
+	mu     sync.Mutex
+	stats  simnet.Stats
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds the mesh on 127.0.0.1 ephemeral ports and starts the reader
+// goroutines.
+func New(n int) (*Network, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tcpnet: n = %d", n)
+	}
+	nw := &Network{n: n, mtu: simnet.DefaultMTU}
+	nw.queues = make([]*queue, n)
+	for i := range nw.queues {
+		nw.queues[i] = newQueue()
+	}
+	nw.conns = make([][]net.Conn, n)
+	nw.sendMu = make([][]sync.Mutex, n)
+	for i := range nw.conns {
+		nw.conns[i] = make([]net.Conn, n)
+		nw.sendMu[i] = make([]sync.Mutex, n)
+	}
+
+	// One listener per endpoint.
+	nw.listeners = make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			nw.Close()
+			return nil, fmt.Errorf("tcpnet: listen: %w", err)
+		}
+		nw.listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+
+	// Dial the full mesh: from < to dials; the accept side learns the
+	// dialer's identity from a hello byte pair.
+	var dialErr error
+	var wg sync.WaitGroup
+	for to := 0; to < n; to++ {
+		wg.Add(1)
+		go func(to int) {
+			defer wg.Done()
+			for k := 0; k < to; k++ { // expect dials from every from < to
+				c, err := nw.listeners[to].Accept()
+				if err != nil {
+					dialErr = err
+					return
+				}
+				var hello [2]byte
+				if _, err := io.ReadFull(c, hello[:]); err != nil {
+					dialErr = err
+					return
+				}
+				from := int(binary.LittleEndian.Uint16(hello[:]))
+				nw.conns[to][from] = c // to also sends to from on this conn
+			}
+		}(to)
+	}
+	for from := 0; from < n; from++ {
+		for to := from + 1; to < n; to++ {
+			c, err := net.Dial("tcp", addrs[to])
+			if err != nil {
+				dialErr = err
+				continue
+			}
+			var hello [2]byte
+			binary.LittleEndian.PutUint16(hello[:], uint16(from))
+			if _, err := c.Write(hello[:]); err != nil {
+				dialErr = err
+				continue
+			}
+			nw.conns[from][to] = c
+		}
+	}
+	wg.Wait()
+	if dialErr != nil {
+		nw.Close()
+		return nil, fmt.Errorf("tcpnet: mesh setup: %w", dialErr)
+	}
+
+	// Reader goroutines: one per connection endpoint direction. Connection
+	// conns[a][b] carries frames in both directions (a→b written by a,
+	// b→a written by b), so each side reads its own end.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b || nw.conns[a][b] == nil {
+				continue
+			}
+			nw.wg.Add(1)
+			go nw.readLoop(a, nw.conns[a][b])
+		}
+	}
+	return nw, nil
+}
+
+// readLoop parses frames arriving at endpoint owner on c.
+func (nw *Network) readLoop(owner int, c net.Conn) {
+	defer nw.wg.Done()
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(c, hdr); err != nil {
+			return
+		}
+		from := int(binary.LittleEndian.Uint16(hdr[0:]))
+		frags := int(binary.LittleEndian.Uint16(hdr[2:]))
+		vtime := int64(binary.LittleEndian.Uint64(hdr[4:]))
+		plen := binary.LittleEndian.Uint32(hdr[12:])
+		if plen > maxFrame {
+			return
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(c, payload); err != nil {
+			return
+		}
+		m, err := msg.Unmarshal(payload)
+		if err != nil {
+			return // corrupted stream: drop the connection
+		}
+		nw.queues[owner].push(simnet.Delivery{
+			From:  from,
+			VTime: vtime,
+			Bytes: len(payload) + frags*simnet.UDPOverhead,
+			Frags: frags,
+			Msg:   m,
+		})
+	}
+}
+
+// Send implements dsm.Transport.
+func (nw *Network) Send(from, to int, m msg.Message, vtime int64) int {
+	wire := msg.Marshal(m)
+	frags := (len(wire) + nw.mtu - 1) / nw.mtu
+	if frags < 1 {
+		frags = 1
+	}
+	size := len(wire) + frags*simnet.UDPOverhead
+
+	nw.mu.Lock()
+	nw.stats.Messages[m.Type()] += int64(frags)
+	nw.stats.Bytes[m.Type()] += int64(size)
+	closed := nw.closed
+	nw.mu.Unlock()
+	if closed {
+		return size
+	}
+
+	if from == to {
+		// Loopback without touching the kernel (a process messaging
+		// itself, e.g. the barrier master's own arrival).
+		parsed, err := msg.Unmarshal(wire)
+		if err != nil {
+			panic(fmt.Sprintf("tcpnet: message %v does not survive the wire: %v", m.Type(), err))
+		}
+		nw.queues[to].push(simnet.Delivery{From: from, VTime: vtime, Bytes: size, Frags: frags, Msg: parsed})
+		return size
+	}
+
+	c := nw.conns[from][to]
+	if c == nil {
+		c = nw.conns[to][from]
+	}
+	if c == nil {
+		return size // torn down
+	}
+	hdr := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(from))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(frags))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(vtime))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(wire)))
+
+	mu := &nw.sendMu[from][to]
+	mu.Lock()
+	_, err1 := c.Write(hdr)
+	_, err2 := c.Write(wire)
+	mu.Unlock()
+	if err1 != nil || err2 != nil {
+		return size // receiver gone (shutdown path)
+	}
+	return size
+}
+
+// Recv implements dsm.Transport.
+func (nw *Network) Recv(proc int) (simnet.Delivery, bool) {
+	return nw.queues[proc].pop()
+}
+
+// Close implements dsm.Transport: tear down sockets and unblock receivers.
+func (nw *Network) Close() {
+	nw.mu.Lock()
+	if nw.closed {
+		nw.mu.Unlock()
+		return
+	}
+	nw.closed = true
+	nw.mu.Unlock()
+
+	for _, l := range nw.listeners {
+		if l != nil {
+			l.Close()
+		}
+	}
+	for a := range nw.conns {
+		for b := range nw.conns[a] {
+			if nw.conns[a][b] != nil {
+				nw.conns[a][b].Close()
+			}
+		}
+	}
+	nw.wg.Wait()
+	for _, q := range nw.queues {
+		q.close()
+	}
+}
+
+// Stats implements dsm.Transport.
+func (nw *Network) Stats() simnet.Stats {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.stats
+}
+
+// queue mirrors simnet's unbounded FIFO.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []simnet.Delivery
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(d simnet.Delivery) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, d)
+	q.cond.Signal()
+}
+
+func (q *queue) pop() (simnet.Delivery, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return simnet.Delivery{}, false
+	}
+	d := q.items[0]
+	q.items = q.items[1:]
+	return d, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

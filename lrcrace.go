@@ -1,0 +1,179 @@
+// Package lrcrace is an implementation and experimental reproduction of
+// "Online Data-Race Detection via Coherency Guarantees" (Perković &
+// Keleher, OSDI 1996): an on-the-fly data-race detector built into a
+// lazy-release-consistent (LRC) software distributed shared memory system.
+//
+// The key idea of the paper is that an LRC DSM already maintains enough
+// ordering metadata — intervals, version vectors, write notices — to decide
+// in constant time whether two shared accesses are concurrent. Adding read
+// notices and word-granularity access bitmaps, and running a comparison
+// pass at barriers, yields a detector for every data race that occurs in an
+// execution, with no compiler support.
+//
+// The package exposes the full system:
+//
+//   - a CVM-equivalent DSM (System/Proc): paged shared memory with
+//     per-process copies, a single-writer ownership protocol and a
+//     multi-writer home-based diff protocol, distributed locks, barriers,
+//     and a simulated network that really serializes every message;
+//   - the race detector, enabled with Config.Detect, reporting races by
+//     address with symbol-table resolution;
+//   - §6.4 first-race filtering (Config.FirstOnly), §6.5 diff-derived write
+//     detection (Config.WritesFromDiffs), and the §6.1 two-run replay
+//     scheme (SyncRecord/Enforcer/SiteCollector);
+//   - the four benchmark applications of the paper's evaluation (FFT, SOR,
+//     TSP with its deliberately racy tour bound, Water with the seeded
+//     Splash2 write-write bug), and the experiment harness that regenerates
+//     every table and figure.
+//
+// # Quick start
+//
+//	sys, _ := lrcrace.New(lrcrace.Config{NumProcs: 2, SharedSize: 8192, Detect: true})
+//	x, _ := sys.AllocWords("x", 1)
+//	_ = sys.Run(func(p *lrcrace.Proc) {
+//	    p.Write(x, uint64(p.ID())) // unsynchronized concurrent writes
+//	    p.Barrier()                // detection runs here
+//	})
+//	for _, r := range lrcrace.DedupRaces(sys.Races()) {
+//	    fmt.Println(r) // write-write race at addr 0x0 ...
+//	}
+package lrcrace
+
+import (
+	"io"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/harness"
+	"lrcrace/internal/hbdet"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/race"
+	"lrcrace/internal/replay"
+	"lrcrace/internal/tcpnet"
+	"lrcrace/internal/trace"
+)
+
+// Core DSM and detector types.
+type (
+	// Config configures a System; see the field docs in internal/dsm.
+	Config = dsm.Config
+	// System is one DSM instance: shared segment, processes, detector.
+	System = dsm.System
+	// Proc is the per-process handle the worker function receives.
+	Proc = dsm.Proc
+	// Protocol selects the coherence protocol.
+	Protocol = dsm.ProtocolKind
+	// Symbol names an allocated shared variable.
+	Symbol = dsm.Symbol
+	// Addr is a byte offset into the shared segment.
+	Addr = mem.Addr
+	// Race is one detected data race.
+	Race = race.Report
+	// DetectorStats are the comparison-algorithm counters.
+	DetectorStats = race.Stats
+)
+
+// Coherence protocols.
+const (
+	// SingleWriter is the ownership-migration protocol the paper ran.
+	SingleWriter = dsm.SingleWriter
+	// MultiWriter is the home-based twin/diff protocol of §6.5.
+	MultiWriter = dsm.MultiWriter
+	// EagerRC is eager release consistency — the §3.1 comparison point;
+	// coherence only, no race detection (ERC lacks the LRC metadata the
+	// detector leverages).
+	EagerRC = dsm.EagerRC
+)
+
+// New builds a DSM instance. Allocate shared variables with Alloc, then
+// call Run with the per-process worker.
+func New(cfg Config) (*System, error) { return dsm.New(cfg) }
+
+// DedupRaces collapses dynamic race reports to one representative per
+// (address, kind), preserving order — the form in which races are printed.
+func DedupRaces(rs []Race) []Race { return race.DedupByAddr(rs) }
+
+// Replay (§6.1 two-run reference identification).
+type (
+	// SyncRecord stores a run's per-lock tenure order (run 1).
+	SyncRecord = replay.SyncRecord
+	// Enforcer replays a recorded order (run 2).
+	Enforcer = replay.Enforcer
+	// SiteCollector captures call sites of accesses to a watched address.
+	SiteCollector = replay.SiteCollector
+	// AccessSite is one captured racing instruction.
+	AccessSite = replay.AccessSite
+)
+
+// NewSyncRecord returns an empty synchronization-order record.
+func NewSyncRecord() *SyncRecord { return replay.NewSyncRecord() }
+
+// NewEnforcer wraps a recorded order for replay.
+func NewEnforcer(rec *SyncRecord) *Enforcer { return replay.NewEnforcer(rec) }
+
+// NewSiteCollector watches one shared address during a replay run.
+func NewSiteCollector(addr Addr) *SiteCollector { return replay.NewSiteCollector(addr) }
+
+// Post-mortem tracing (the §7 baseline the online approach obsoletes).
+type (
+	// TraceWriter logs every access and synchronization event; attach it
+	// via Config.Tracer.
+	TraceWriter = trace.Writer
+	// TraceReader iterates a trace log.
+	TraceReader = trace.Reader
+)
+
+// NewTraceWriter starts a trace log on w for an nprocs-process run.
+func NewTraceWriter(w io.Writer, nprocs int) (*TraceWriter, error) {
+	return trace.NewWriter(w, nprocs)
+}
+
+// AnalyzeTrace replays a trace log through the happens-before detector and
+// returns the racy addresses — the post-mortem pipeline in one call.
+func AnalyzeTrace(r io.Reader) ([]Addr, error) { return trace.Analyze(r) }
+
+// Transport is the message-carrying contract; the default is the in-memory
+// simulated network.
+type Transport = dsm.Transport
+
+// NewTCPTransport builds a real loopback-TCP transport for n processes:
+// the whole DSM, detector included, then runs over actual kernel sockets
+// (pass it via Config.Transport).
+func NewTCPTransport(n int) (Transport, error) { return tcpnet.New(n) }
+
+// Reference detector (cross-validation).
+type (
+	// HBDetector is a classic vector-clock happens-before detector that
+	// can be attached to a run via Config.Tracer.
+	HBDetector = hbdet.Detector
+)
+
+// NewHBDetector returns a happens-before reference detector for n procs.
+func NewHBDetector(n int) *HBDetector { return hbdet.New(n) }
+
+// Experiments.
+type (
+	// ExperimentConfig describes one harness run.
+	ExperimentConfig = harness.RunConfig
+	// ExperimentResult carries a run's metrics.
+	ExperimentResult = harness.Result
+	// Suite caches baseline/detection pairs and prints the paper's tables.
+	Suite = harness.Suite
+)
+
+// RunExperiment executes one benchmark configuration and verifies the
+// application's result.
+func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) {
+	return harness.Run(cfg)
+}
+
+// NewSuite builds a table-generation suite (scale 0 → 1, procs 0 → 8).
+func NewSuite(scale float64, procs int) *Suite { return harness.NewSuite(scale, procs) }
+
+// WriteTable2 prints the paper's Table 2 (static instrumentation
+// statistics); it needs no runs.
+func WriteTable2(w io.Writer) { harness.Table2(w) }
+
+// Apps lists the registered benchmark applications.
+func Apps() []string {
+	return []string{"FFT", "SOR", "TSP", "Water"}
+}

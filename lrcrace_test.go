@@ -1,0 +1,143 @@
+package lrcrace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lrcrace"
+)
+
+// TestFacadeQuickstart exercises the documented public-API flow.
+func TestFacadeQuickstart(t *testing.T) {
+	sys, err := lrcrace.New(lrcrace.Config{NumProcs: 2, SharedSize: 8192, Detect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := sys.AllocWords("x", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.Run(func(p *lrcrace.Proc) {
+		p.Write(x, uint64(p.ID()))
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	races := lrcrace.DedupRaces(sys.Races())
+	if len(races) != 1 || !races[0].WriteWrite() {
+		t.Fatalf("races = %v", sys.Races())
+	}
+	if sym, ok := sys.SymbolAt(races[0].Addr); !ok || sym.Name != "x" {
+		t.Errorf("symbol = %+v", sym)
+	}
+}
+
+// TestFacadeHBDetector attaches the reference detector through the facade.
+func TestFacadeHBDetector(t *testing.T) {
+	hb := lrcrace.NewHBDetector(2)
+	sys, err := lrcrace.New(lrcrace.Config{
+		NumProcs: 2, SharedSize: 4096, Detect: true, Tracer: hb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := sys.AllocWords("x", 1)
+	if err := sys.Run(func(p *lrcrace.Proc) {
+		p.Write(x, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.RacyAddrs()) != len(lrcrace.DedupRaces(sys.Races())) {
+		t.Errorf("detectors disagree: hb=%v lrc=%v", hb.RacyAddrs(), sys.Races())
+	}
+}
+
+// TestFacadeReplay drives the §6.1 flow through the facade types.
+func TestFacadeReplay(t *testing.T) {
+	rec := lrcrace.NewSyncRecord()
+	sys, _ := lrcrace.New(lrcrace.Config{
+		NumProcs: 2, SharedSize: 4096, Detect: true, SyncRecorder: rec,
+	})
+	x, _ := sys.AllocWords("x", 1)
+	worker := func(p *lrcrace.Proc) {
+		p.Lock(0)
+		p.Write(x, p.Read(x)+1)
+		p.Unlock(0)
+		_ = p.Read(x) // racy
+	}
+	if err := sys.Run(worker); err != nil {
+		t.Fatal(err)
+	}
+	races := lrcrace.DedupRaces(sys.Races())
+	if len(races) == 0 {
+		t.Fatal("no race in run 1")
+	}
+
+	watch := lrcrace.NewSiteCollector(races[0].Addr)
+	sys2, _ := lrcrace.New(lrcrace.Config{
+		NumProcs: 2, SharedSize: 4096, Detect: true,
+		SyncEnforcer: lrcrace.NewEnforcer(rec), Watch: watch,
+	})
+	if _, err := sys2.AllocWords("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.Run(worker); err != nil {
+		t.Fatal(err)
+	}
+	if len(watch.Sites()) == 0 {
+		t.Error("no sites collected in run 2")
+	}
+}
+
+// TestFacadeExperiment runs one small harness experiment.
+func TestFacadeExperiment(t *testing.T) {
+	res, err := lrcrace.RunExperiment(lrcrace.ExperimentConfig{
+		App: "SOR", Scale: 0.1, Procs: 2, Detect: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualNS == 0 || len(res.Races) != 0 {
+		t.Errorf("unexpected result: vt=%d races=%v", res.VirtualNS, res.Races)
+	}
+}
+
+func TestFacadeTable2(t *testing.T) {
+	var buf bytes.Buffer
+	lrcrace.WriteTable2(&buf)
+	out := buf.String()
+	for _, app := range lrcrace.Apps() {
+		if !strings.Contains(out, app) {
+			t.Errorf("Table 2 missing %s:\n%s", app, out)
+		}
+	}
+	if !strings.Contains(out, "124716") {
+		t.Errorf("Table 2 missing paper values:\n%s", out)
+	}
+}
+
+// TestFacadeTCPTransport runs the quickstart flow over real sockets.
+func TestFacadeTCPTransport(t *testing.T) {
+	tr, err := lrcrace.NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := lrcrace.New(lrcrace.Config{
+		NumProcs: 2, SharedSize: 8192, Detect: true, Transport: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := sys.AllocWords("x", 1)
+	if err := sys.Run(func(p *lrcrace.Proc) {
+		p.Write(x, uint64(p.ID()))
+		p.Barrier()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if races := lrcrace.DedupRaces(sys.Races()); len(races) != 1 {
+		t.Errorf("races over TCP = %v", races)
+	}
+}
