@@ -3,6 +3,7 @@ package dsm
 import (
 	"math"
 
+	"lrcrace/internal/dsm/debuglog"
 	"lrcrace/internal/interval"
 	"lrcrace/internal/mem"
 	"lrcrace/internal/msg"
@@ -286,7 +287,7 @@ func (p *Proc) flushDiffsLocked() {
 	v := p.vnow
 	for pg, twin := range p.twins {
 		entries := diffPage(p.seg.PageBytes(pg), twin)
-		if dbg != nil && len(entries) == 0 {
+		if debuglog.Enabled() && len(entries) == 0 {
 			dbgf("p%d EMPTY-DIFF page %d at interval %d (twinned but unchanged)", p.id, pg, p.curIndex)
 		}
 		p.st.DiffsFlushed++
@@ -364,7 +365,7 @@ func (p *Proc) Lock(id int) {
 	if !ok || int(grant.Lock) != id {
 		p.protocolBug("Lock(%d) answered with %#v", id, d.Msg)
 	}
-	if dbg != nil {
+	if debuglog.Enabled() {
 		ids := ""
 		for _, r := range grant.Intervals {
 			ids += r.ID.String() + " "

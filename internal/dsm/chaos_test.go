@@ -1,0 +1,233 @@
+package dsm
+
+import (
+	"reflect"
+	"testing"
+
+	"lrcrace/internal/mem"
+	"lrcrace/internal/race"
+	"lrcrace/internal/simnet"
+)
+
+// chaosPlan is the acceptance-criteria chaos mix: 10% drop, 5% dup,
+// bounded reordering.
+func chaosPlan(seed int64) *simnet.FaultPlan {
+	return &simnet.FaultPlan{Seed: seed, Drop: 0.10, Dup: 0.05, Reorder: 0.10, MaxReorder: 3}
+}
+
+// newChaosSys mirrors newSys with the lossy wire and the reliability
+// sublayer enabled.
+func newChaosSys(t *testing.T, nproc int, proto ProtocolKind, detect bool, seed int64) *System {
+	t.Helper()
+	s, err := New(Config{
+		NumProcs:   nproc,
+		SharedSize: 16 * 1024,
+		PageSize:   1024,
+		Protocol:   proto,
+		Detect:     detect,
+		Faults:     chaosPlan(seed),
+		Reliable:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// raceKeys reduces reports to a comparable, order-independent set.
+func raceKeys(reports []race.Report) map[string]bool {
+	keys := map[string]bool{}
+	for _, r := range race.DedupByAddr(reports) {
+		keys[r.String()] = true
+	}
+	return keys
+}
+
+// runFigure2 drives the paper's Figure 2 execution (same as
+// TestPaperFigure2EndToEnd) on the given system and returns the deduped
+// races.
+func runFigure2(t *testing.T, s *System, p1SecondWrite, p2Write int) []race.Report {
+	t.Helper()
+	page0, _ := s.Alloc("page0", 1024)
+	addr := func(word int) mem.Addr { return page0 + mem.Addr(word*8) }
+	p1Released := make(chan struct{})
+	p2Acquired := make(chan struct{})
+	err := s.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Lock(0)
+			p.Write(addr(0), 1)
+			p.Unlock(0)
+			close(p1Released)
+			<-p2Acquired
+			p.Write(addr(p1SecondWrite), 2)
+		} else {
+			<-p1Released
+			p.Lock(0)
+			p.Write(addr(p2Write), 3)
+			p.Unlock(0)
+			close(p2Acquired)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return race.DedupByAddr(s.Races())
+}
+
+// TestChaosFigure2SameRaces runs Figure 2 over the chaos wire and demands
+// the exact same race sets as the reliable run: the reliability sublayer
+// must make a 10%-drop wire protocol-invisible.
+func TestChaosFigure2SameRaces(t *testing.T) {
+	for _, tc := range []struct {
+		name                   string
+		p1SecondWrite, p2Write int
+	}{
+		{"same-word", 8, 8},
+		{"false-sharing", 8, 9},
+		{"ordered-then-racy", 0, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reliable := runFigure2(t, newSys(t, 2, SingleWriter, true), tc.p1SecondWrite, tc.p2Write)
+			chaosSys := newChaosSys(t, 2, SingleWriter, true, 0xC0FFEE)
+			chaos := runFigure2(t, chaosSys, tc.p1SecondWrite, tc.p2Write)
+			if !reflect.DeepEqual(raceKeys(reliable), raceKeys(chaos)) {
+				t.Errorf("race sets differ:\nreliable: %v\nchaos:    %v", reliable, chaos)
+			}
+			st := chaosSys.NetStats()
+			if st.TotalDropped() == 0 {
+				t.Error("chaos wire dropped nothing — plan not applied")
+			}
+			if st.Retransmits == 0 {
+				t.Error("no retransmissions despite drops")
+			}
+		})
+	}
+}
+
+// runFigure5 drives a deterministic (real-time gated) rendering of the
+// paper's Figure 5 missing-synchronization queue on the given system:
+// P1 publishes without a release pairing, P2 consumes without an acquire,
+// P3 scribbles into the consumed slot afterwards. Every access is gated
+// by channels, so the race set is identical run to run.
+func runFigure5(t *testing.T, s *System) []race.Report {
+	t.Helper()
+	qPtr, _ := s.AllocWords("qPtr", 1)
+	qEmpty, _ := s.AllocWords("qEmpty", 1)
+	buf, _ := s.AllocWords("buf", 64)
+	p1Done := make(chan struct{})
+	p2Done := make(chan struct{})
+	err := s.Run(func(p *Proc) {
+		switch p.ID() {
+		case 0:
+			p.Write(buf+mem.Addr(32*8), 99)
+			p.Write(qPtr, 32)
+			p.Write(qEmpty, 0)
+			close(p1Done)
+		case 1:
+			<-p1Done
+			if p.Read(qEmpty) == 0 {
+				idx := p.Read(qPtr)
+				p.Read(buf + mem.Addr(idx*8))
+			}
+			close(p2Done)
+		case 2:
+			<-p2Done
+			p.Write(buf+mem.Addr(32*8), 7)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return race.DedupByAddr(s.Races())
+}
+
+func TestChaosFigure5SameRaces(t *testing.T) {
+	reliable := runFigure5(t, newSys(t, 3, SingleWriter, true))
+	chaosSys := newChaosSys(t, 3, SingleWriter, true, 0xBADCAB)
+	chaos := runFigure5(t, chaosSys)
+	if !reflect.DeepEqual(raceKeys(reliable), raceKeys(chaos)) {
+		t.Errorf("race sets differ:\nreliable: %v\nchaos:    %v", reliable, chaos)
+	}
+	if st := chaosSys.NetStats(); st.TotalDropped() == 0 || st.Retransmits == 0 {
+		t.Errorf("chaos not exercised: dropped=%d retransmits=%d", st.TotalDropped(), st.Retransmits)
+	}
+}
+
+// TestChaosBothProtocols runs a lock-ordered increment chain under chaos
+// on both coherence protocols: result correctness (no lost updates)
+// proves page replies, diffs and grants all survive the lossy wire.
+func TestChaosBothProtocols(t *testing.T) {
+	bothProtocols(t, func(t *testing.T, proto ProtocolKind) {
+		s := newChaosSys(t, 4, proto, false, 77)
+		counter, _ := s.AllocWords("counter", 1)
+		const rounds = 5
+		err := s.Run(func(p *Proc) {
+			for r := 0; r < rounds; r++ {
+				p.Lock(0)
+				p.Write(counter, p.Read(counter)+1)
+				p.Unlock(0)
+			}
+			p.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.SnapshotWord(counter); got != 4*rounds {
+			t.Errorf("counter = %d, want %d (lost update over chaos wire)", got, 4*rounds)
+		}
+	})
+}
+
+// TestChaosDeterministicRaceSets runs the same chaos seed twice over a
+// deterministic scenario: identical race.Report sets both times (the
+// replay property fault injection must preserve).
+func TestChaosDeterministicRaceSets(t *testing.T) {
+	run := func() map[string]bool {
+		s := newChaosSys(t, 2, SingleWriter, true, 31337)
+		return raceKeys(runFigure2(t, s, 8, 8))
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same chaos seed produced different race sets:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestChaosRequiresReliable: the config layer refuses a lossy plan
+// without the reliability sublayer.
+func TestChaosRequiresReliable(t *testing.T) {
+	_, err := New(Config{
+		NumProcs:   2,
+		SharedSize: 4096,
+		Faults:     chaosPlan(1),
+	})
+	if err == nil {
+		t.Fatal("lossy FaultPlan without Reliable accepted")
+	}
+	// A malformed plan is rejected at New, not deferred to Run.
+	if _, err := New(Config{
+		NumProcs:   2,
+		SharedSize: 4096,
+		Faults:     &simnet.FaultPlan{Seed: 1, Drop: 1.5},
+		Reliable:   true,
+	}); err == nil {
+		t.Fatal("Drop=1.5 accepted at New")
+	}
+	// Jitter alone preserves the FIFO/reliable contract and is allowed.
+	if _, err := New(Config{
+		NumProcs:   2,
+		SharedSize: 4096,
+		Faults:     &simnet.FaultPlan{Seed: 1, JitterNS: 1000},
+	}); err != nil {
+		t.Fatalf("jitter-only plan rejected: %v", err)
+	}
+	// Faults on a custom transport are rejected.
+	nw := simnet.New(2)
+	if _, err := New(Config{
+		NumProcs:   2,
+		SharedSize: 4096,
+		Transport:  nw,
+		Faults:     &simnet.FaultPlan{Seed: 1, JitterNS: 1000},
+	}); err == nil {
+		t.Fatal("Faults with custom Transport accepted")
+	}
+}

@@ -1,27 +1,20 @@
 package dsm
 
 import (
-	"fmt"
-	"sync"
-
+	"lrcrace/internal/dsm/debuglog"
 	"lrcrace/internal/mem"
 )
 
-// debugLog is a development aid: when enabled, protocol events are recorded
-// in one globally ordered list. Tests enable it to diagnose rare
-// interleaving bugs; it is off (nil) in normal operation.
-type debugLog struct {
-	mu     sync.Mutex
-	events []string
-}
-
-var dbg *debugLog
+// The development event log lives in internal/dsm/debuglog so that the
+// transports (tcpnet, reliable) can log into the same globally ordered
+// stream without importing the DSM; these wrappers keep the historical
+// dsm-level API used by tests.
 
 // EnableDebugLog turns on the development event log (tests only).
-func EnableDebugLog() { dbg = &debugLog{} }
+func EnableDebugLog() { debuglog.Enable() }
 
 // DisableDebugLog turns it off.
-func DisableDebugLog() { dbg = nil; dbgWatch = 0; dbgWatchOn = false }
+func DisableDebugLog() { debuglog.Disable(); dbgWatch = 0; dbgWatchOn = false }
 
 var (
 	dbgWatch   mem.Addr
@@ -32,20 +25,6 @@ var (
 func DebugWatchAddr(a mem.Addr) { dbgWatch = a; dbgWatchOn = true }
 
 // DebugEvents returns the recorded events.
-func DebugEvents() []string {
-	if dbg == nil {
-		return nil
-	}
-	dbg.mu.Lock()
-	defer dbg.mu.Unlock()
-	return append([]string(nil), dbg.events...)
-}
+func DebugEvents() []string { return debuglog.Events() }
 
-func dbgf(format string, args ...interface{}) {
-	if dbg == nil {
-		return
-	}
-	dbg.mu.Lock()
-	dbg.events = append(dbg.events, fmt.Sprintf(format, args...))
-	dbg.mu.Unlock()
-}
+func dbgf(format string, args ...interface{}) { debuglog.Logf(format, args...) }

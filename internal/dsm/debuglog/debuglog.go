@@ -1,0 +1,51 @@
+// Package debuglog is a development aid shared by the DSM and its
+// transports: when enabled, protocol events from every layer (coherence
+// handlers, the reliability sublayer, tcpnet stream errors) are recorded
+// in one globally ordered list. Tests enable it to diagnose rare
+// interleaving bugs; it is off in normal operation and a single atomic
+// load when disabled.
+package debuglog
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type eventLog struct {
+	mu     sync.Mutex
+	events []string
+}
+
+var current atomic.Pointer[eventLog]
+
+// Enable turns on the event log (tests only), clearing prior events.
+func Enable() { current.Store(&eventLog{}) }
+
+// Disable turns the log off and discards its contents.
+func Disable() { current.Store(nil) }
+
+// Enabled reports whether events are being recorded.
+func Enabled() bool { return current.Load() != nil }
+
+// Events returns a copy of the recorded events, in global order.
+func Events() []string {
+	l := current.Load()
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.events...)
+}
+
+// Logf records one formatted event; it is a no-op while disabled.
+func Logf(format string, args ...interface{}) {
+	l := current.Load()
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.events = append(l.events, fmt.Sprintf(format, args...))
+	l.mu.Unlock()
+}

@@ -31,6 +31,7 @@ import (
 	"lrcrace/internal/mem"
 	"lrcrace/internal/msg"
 	"lrcrace/internal/race"
+	"lrcrace/internal/reliable"
 	"lrcrace/internal/simnet"
 )
 
@@ -104,8 +105,27 @@ type Config struct {
 
 	// Transport overrides the message transport; nil → the in-memory
 	// simulated network. The transport must deliver reliably and preserve
-	// per-sender-pair FIFO order (both simnet and tcpnet do).
+	// per-sender-pair FIFO order (both simnet and tcpnet do) — or Reliable
+	// must be set to restore that contract on top of it.
 	Transport Transport
+
+	// Faults makes the simulated network lossy: a deterministic,
+	// seed-driven plan of per-link drops, duplications, bounded
+	// reordering, and latency jitter (see simnet.FaultPlan). Only valid
+	// with the default simnet transport (Transport == nil). A plan with
+	// drop/dup/reorder requires Reliable, since the protocol assumes
+	// reliable FIFO links.
+	Faults *simnet.FaultPlan
+
+	// Reliable layers the CVM-style end-to-end retransmission sublayer
+	// (internal/reliable) over the transport: per-link sequence numbers,
+	// cumulative piggybacked ACKs, timeout retransmission with backoff,
+	// and receiver-side dedup/resequencing. This is what lets the DSM run
+	// unchanged over a lossy wire, exactly as CVM ran over raw UDP.
+	Reliable bool
+
+	// ReliableConfig tunes the sublayer's timers; zero value → defaults.
+	ReliableConfig reliable.Config
 
 	// RealMsgDelay, when positive, makes each process's service thread
 	// sleep this long before handling a message, coupling real scheduling
@@ -182,6 +202,17 @@ func (c *Config) fill() error {
 	}
 	if c.Detect && c.Protocol == EagerRC {
 		return fmt.Errorf("dsm: race detection requires LRC metadata (intervals, version vectors, notices) that the eager protocol does not maintain — use SingleWriter or MultiWriter")
+	}
+	if c.Faults != nil && c.Transport != nil {
+		return fmt.Errorf("dsm: Faults applies only to the built-in simulated network (Transport must be nil)")
+	}
+	if c.Faults.Lossy() && !c.Reliable {
+		return fmt.Errorf("dsm: a lossy FaultPlan (drop/dup/reorder) breaks the reliable-FIFO contract the protocol assumes; set Reliable to layer end-to-end retransmission over it")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("dsm: %w", err)
+		}
 	}
 	return nil
 }
@@ -301,7 +332,14 @@ func (s *System) run(app func(p *Proc)) error {
 	if s.cfg.Transport != nil {
 		s.nw = s.cfg.Transport
 	} else {
-		s.nw = simnet.New(n)
+		nw := simnet.New(n)
+		if err := nw.SetFaults(s.cfg.Faults); err != nil {
+			return err
+		}
+		s.nw = nw
+	}
+	if s.cfg.Reliable {
+		s.nw = reliable.Wrap(s.nw, n, s.cfg.ReliableConfig)
 	}
 	s.procs = make([]*Proc, n)
 	for i := 0; i < n; i++ {

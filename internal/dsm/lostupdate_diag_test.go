@@ -13,7 +13,7 @@ import (
 // global order. A lost update shows as two sections reading the same value.
 func TestLostUpdateDiagnosis(t *testing.T) {
 	for iter := 0; iter < 300; iter++ {
-		dbg = &debugLog{}
+		EnableDebugLog()
 		s := newSys(t, 4, SingleWriter, false)
 		slots, _ := s.AllocWords("slots", 4)
 		sum, _ := s.AllocWords("sum", 1)
@@ -43,11 +43,11 @@ func TestLostUpdateDiagnosis(t *testing.T) {
 			}
 		}
 		if got != 32 {
-			for _, l := range dbg.events {
+			for _, l := range DebugEvents() {
 				t.Log(l)
 			}
 			t.Fatalf("iter %d: sum = %d, want 32", iter, got)
 		}
-		dbg = nil
+		DisableDebugLog()
 	}
 }

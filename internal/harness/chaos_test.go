@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/simnet"
+)
+
+// TestChaosSoakSOR is the acceptance soak: a full application kernel (SOR)
+// runs over the reliability sublayer on a wire with 10% drop, 5% dup and
+// reordering, passes its result verification, reports the same racy
+// variables as the fault-free run, and shows nonzero retransmit counters.
+func TestChaosSoakSOR(t *testing.T) {
+	base := RunConfig{
+		App:      "SOR",
+		Scale:    0.05,
+		Procs:    4,
+		Protocol: dsm.SingleWriter,
+		Detect:   true,
+	}
+	clean, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaos := base
+	chaos.Faults = &simnet.FaultPlan{Seed: 20260805, Drop: 0.10, Dup: 0.05, Reorder: 0.10, MaxReorder: 3}
+	chaos.Reliable = true
+	dirty, err := Run(chaos) // Run verifies the SOR result internally
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cv, dv := clean.RacyVariables(), dirty.RacyVariables()
+	sort.Strings(cv)
+	sort.Strings(dv)
+	if !reflect.DeepEqual(cv, dv) {
+		t.Errorf("racy variables differ: clean=%v chaos=%v", cv, dv)
+	}
+
+	st := dirty.Net
+	if st.TotalDropped() == 0 {
+		t.Error("chaos wire dropped nothing")
+	}
+	if st.Retransmits == 0 {
+		t.Error("no retransmissions despite 10%% drop")
+	}
+	if st.RetransBytes == 0 {
+		t.Error("retransmit bytes not accounted")
+	}
+	if st.Errors != 0 {
+		t.Errorf("reliability layer reported %d errors (dead links)", st.Errors)
+	}
+}

@@ -36,6 +36,12 @@ type RunConfig struct {
 	// RealMsgDelay couples real scheduling to wire latency; needed by the
 	// lock-queue application (TSP) at small scales. 0 → per-app default.
 	RealMsgDelay time.Duration
+	// Faults injects deterministic wire faults (drops, duplicates,
+	// reordering, jitter) into the simulated network; a lossy plan
+	// requires Reliable.
+	Faults *simnet.FaultPlan
+	// Reliable layers CVM-style end-to-end retransmission over the wire.
+	Reliable bool
 	// Tracer optionally observes the run (reference detectors, trace logs).
 	Tracer dsm.Tracer
 	// Verify runs the application's result check (on by default via Run).
@@ -89,6 +95,8 @@ func Run(cfg RunConfig) (*Result, error) {
 		WritesFromDiffs:   cfg.WritesFromDiffs,
 		RealMsgDelay:      delay,
 		Tracer:            cfg.Tracer,
+		Faults:            cfg.Faults,
+		Reliable:          cfg.Reliable,
 	})
 	if err != nil {
 		return nil, err

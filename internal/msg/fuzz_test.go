@@ -18,6 +18,8 @@ func FuzzUnmarshal(f *testing.F) {
 		&DiffFlush{Page: 9, Entries: []DiffEntry{{Word: 1, Val: 2}}},
 		&Inval{Pages: []mem.PageID{3, 4, 5}},
 		&BitmapReply{Epoch: 2, Entries: []BitmapEntry{{Proc: 1, Index: 2, Page: 3, Read: mem.NewBitmap(64)}}},
+		&RelData{Seq: 9, Ack: 4, Payload: Marshal(&PageReq{Page: 1, Write: true})},
+		&RelAck{Ack: 11},
 	}
 	for _, m := range seeds {
 		f.Add(Marshal(m))

@@ -37,6 +37,14 @@ const (
 	TBarrierRelease
 	TBitmapReply
 	TBarrierDone
+
+	// Reliability sublayer (internal/reliable): CVM-style end-to-end
+	// retransmission over a lossy wire. RelData wraps one marshaled
+	// protocol message with a per-link sequence number and a piggybacked
+	// cumulative acknowledgment; RelAck is a pure acknowledgment sent when
+	// there is no reverse traffic to ride on.
+	TRelData
+	TRelAck
 )
 
 var typeNames = map[Type]string{
@@ -46,6 +54,7 @@ var typeNames = map[Type]string{
 	TInval: "Inval", TInvalAck: "InvalAck",
 	TBarrierArrive: "BarrierArrive", TBarrierRelease: "BarrierRelease",
 	TBitmapReply: "BitmapReply", TBarrierDone: "BarrierDone",
+	TRelData: "RelData", TRelAck: "RelAck",
 }
 
 func (t Type) String() string {
@@ -56,7 +65,7 @@ func (t Type) String() string {
 }
 
 // NumTypes bounds Type values for stats arrays.
-const NumTypes = int(TBarrierDone) + 1
+const NumTypes = int(TRelAck) + 1
 
 // Message is a wire message.
 type Message interface {
@@ -106,6 +115,10 @@ func Unmarshal(b []byte) (Message, error) {
 		m = decodeBitmapReply(d)
 	case TBarrierDone:
 		m = decodeBarrierDone(d)
+	case TRelData:
+		m = decodeRelData(d)
+	case TRelAck:
+		m = &RelAck{Ack: d.U32()}
 	default:
 		return nil, fmt.Errorf("msg: unknown type %d: %w", uint8(t), ErrCorrupt)
 	}
@@ -513,6 +526,40 @@ func decodeBitmapReply(d *Decoder) *BitmapReply {
 	}
 	return m
 }
+
+// --- reliability sublayer envelopes ---
+
+// RelData is one reliably-delivered protocol message on a directed link:
+// Payload is the marshaled inner message, Seq its per-link sequence number
+// (first message is 1), and Ack the cumulative acknowledgment of the
+// reverse direction (every message of the peer's stream up to and
+// including Ack has been received) — the piggyback CVM uses to avoid pure
+// acknowledgment traffic on request/reply exchanges.
+type RelData struct {
+	Seq     uint32
+	Ack     uint32
+	Payload []byte
+}
+
+func (*RelData) Type() Type { return TRelData }
+func (m *RelData) encode(e *Encoder) {
+	e.U32(m.Seq)
+	e.U32(m.Ack)
+	e.Blob(m.Payload)
+}
+func decodeRelData(d *Decoder) *RelData {
+	return &RelData{Seq: d.U32(), Ack: d.U32(), Payload: d.Blob()}
+}
+
+// RelAck is a pure cumulative acknowledgment, sent by a delayed-ack timer
+// (or on receipt of a duplicate) when no reverse RelData is available to
+// piggyback on.
+type RelAck struct {
+	Ack uint32
+}
+
+func (*RelAck) Type() Type          { return TRelAck }
+func (m *RelAck) encode(e *Encoder) { e.U32(m.Ack) }
 
 // BarrierDone ends the bitmap round, delivering the races the master found
 // in this epoch; workers may now discard the epoch's bitmaps.

@@ -134,6 +134,27 @@ func TestRoundTripBarrier(t *testing.T) {
 	}
 }
 
+func TestRoundTripReliability(t *testing.T) {
+	inner := Marshal(&PageReply{Page: 3, Ownership: true, Data: []byte{9, 8, 7}})
+	data := &RelData{Seq: 42, Ack: 41, Payload: inner}
+	got := roundTrip(t, data).(*RelData)
+	if !reflect.DeepEqual(got, data) {
+		t.Errorf("RelData: got %+v want %+v", got, data)
+	}
+	// The payload must itself unmarshal back to the wrapped message.
+	m, err := Unmarshal(got.Payload)
+	if err != nil {
+		t.Fatalf("payload unmarshal: %v", err)
+	}
+	if pr := m.(*PageReply); pr.Page != 3 || !pr.Ownership || !reflect.DeepEqual(pr.Data, []byte{9, 8, 7}) {
+		t.Errorf("wrapped PageReply: got %+v", pr)
+	}
+	ack := &RelAck{Ack: 99}
+	if got := roundTrip(t, ack).(*RelAck); *got != *ack {
+		t.Errorf("RelAck: got %+v want %+v", got, ack)
+	}
+}
+
 func TestUnmarshalErrors(t *testing.T) {
 	if _, err := Unmarshal([]byte{0xff}); err == nil {
 		t.Error("unknown type accepted")
@@ -153,6 +174,8 @@ func TestUnmarshalErrors(t *testing.T) {
 		&BarrierRelease{Epoch: 1, GlobalVC: []uint32{1}, NeedBitmaps: true},
 		&BitmapReply{Epoch: 1, Entries: []BitmapEntry{{Read: mem.NewBitmap(64)}}},
 		&BarrierDone{Epoch: 1, Races: []race.Report{{}}},
+		&RelData{Seq: 1, Ack: 2, Payload: []byte{1, 2, 3}},
+		&RelAck{Ack: 7},
 	}
 	for _, m := range msgs {
 		full := Marshal(m)

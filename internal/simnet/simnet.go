@@ -39,9 +39,28 @@ type Delivery struct {
 // Stats aggregates traffic counters. Counters are totals across all
 // endpoints; the race-detection-specific byte counters are filled in by the
 // DSM layer (which knows which bytes are read notices).
+//
+// Messages/Bytes count everything that entered the wire, including
+// network-duplicated copies and (when the internal/reliable sublayer fills
+// them in) retransmissions and acknowledgments — so Table-3-style bandwidth
+// numbers stay honest under chaos.
 type Stats struct {
 	Messages [msg.NumTypes]int64
 	Bytes    [msg.NumTypes]int64
+
+	// Fault injection (FaultPlan), counted per wire message type.
+	Dropped    [msg.NumTypes]int64
+	Duplicated [msg.NumTypes]int64
+	Reordered  int64
+
+	// Reliability sublayer (internal/reliable).
+	Retransmits  int64 // data packets resent by the retransmission timer
+	RetransBytes int64 // wire bytes of those resends (also in Bytes)
+	Deduped      int64 // receiver-side duplicate suppressions
+
+	// Receiver-side framing/decode failures (tcpnet stream desync,
+	// oversized or corrupt frames).
+	Errors int64
 }
 
 // TotalMessages returns the number of messages sent.
@@ -62,29 +81,60 @@ func (s Stats) TotalBytes() int64 {
 	return n
 }
 
-// Network connects n endpoints with reliable, ordered, unbounded queues.
+// TotalDropped returns the number of messages the faulty wire discarded.
+func (s Stats) TotalDropped() int64 {
+	var n int64
+	for _, x := range s.Dropped {
+		n += x
+	}
+	return n
+}
+
+// TotalDuplicated returns the number of messages the faulty wire doubled.
+func (s Stats) TotalDuplicated() int64 {
+	var n int64
+	for _, x := range s.Duplicated {
+		n += x
+	}
+	return n
+}
+
+// Network connects n endpoints with unbounded queues. Delivery is
+// reliable, ordered FIFO by default; SetFaults makes the wire lossy.
 type Network struct {
 	n      int
 	mtu    int
-	queues []*queue
+	queues []*Queue
 
-	mu    sync.Mutex
-	stats Stats
+	faults *FaultPlan
+	links  []*faultLink // per ordered pair, indexed from*n+to; nil without faults
+
+	mu      sync.Mutex
+	stats   Stats
+	started bool // first Send seen; SetMTU/SetFaults are sealed after this
 }
 
 // New returns a network with n endpoints, numbered 0..n-1, and DefaultMTU.
 func New(n int) *Network {
-	nw := &Network{n: n, mtu: DefaultMTU, queues: make([]*queue, n)}
+	nw := &Network{n: n, mtu: DefaultMTU, queues: make([]*Queue, n)}
 	for i := range nw.queues {
-		nw.queues[i] = newQueue()
+		nw.queues[i] = NewQueue()
 	}
 	return nw
 }
 
-// SetMTU overrides the fragmentation threshold (before traffic starts).
+// SetMTU overrides the fragmentation threshold. It must be called before
+// traffic starts: changing the threshold mid-run would silently skew the
+// per-fragment latency accounting, so it panics once a message has been
+// sent.
 func (nw *Network) SetMTU(bytes int) {
 	if bytes < 128 {
 		bytes = 128
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.started {
+		panic("simnet: SetMTU after traffic has started")
 	}
 	nw.mtu = bytes
 }
@@ -112,24 +162,34 @@ func (nw *Network) Send(from, to int, m msg.Message, vtime int64) int {
 	size := len(wire) + frags*UDPOverhead
 
 	nw.mu.Lock()
+	nw.started = true
 	nw.stats.Messages[m.Type()] += int64(frags)
 	nw.stats.Bytes[m.Type()] += int64(size)
 	nw.mu.Unlock()
 
-	nw.queues[to].push(Delivery{From: from, VTime: vtime, Bytes: size, Frags: frags, Msg: parsed})
+	d := Delivery{From: from, VTime: vtime, Bytes: size, Frags: frags, Msg: parsed}
+	if nw.faults == nil || from == to {
+		// Self-sends never traverse the wire (loopback), so they are
+		// exempt from fault injection even in chaos mode.
+		nw.queues[to].Push(d)
+		return size
+	}
+	nw.sendFaulty(from, to, d, m.Type(), frags, size)
 	return size
 }
 
 // Recv blocks until a message for proc arrives; ok is false after Close.
 func (nw *Network) Recv(proc int) (Delivery, bool) {
-	return nw.queues[proc].pop()
+	return nw.queues[proc].Pop()
 }
 
 // Close shuts down all endpoints; blocked Recv calls return ok=false after
-// draining queued messages.
+// draining queued messages (including any the fault injector was still
+// holding back for reordering).
 func (nw *Network) Close() {
+	nw.flushHeld()
 	for _, q := range nw.queues {
-		q.close()
+		q.Close()
 	}
 }
 
@@ -140,33 +200,40 @@ func (nw *Network) Stats() Stats {
 	return nw.stats
 }
 
-// queue is an unbounded FIFO with blocking pop. Unbounded capacity keeps
-// the protocol deadlock-free regardless of traffic bursts (real CVM relies
-// on kernel socket buffering plus retransmission for the same property).
-type queue struct {
+// Queue is an unbounded FIFO of deliveries with blocking Pop. Unbounded
+// capacity keeps the protocol deadlock-free regardless of traffic bursts
+// (real CVM relies on kernel socket buffering plus retransmission for the
+// same property). It is shared by every transport in the tree: simnet's
+// endpoints, tcpnet's per-endpoint inboxes, and reliable's resequenced
+// delivery queues.
+type Queue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	items  []Delivery
 	closed bool
 }
 
-func newQueue() *queue {
-	q := &queue{}
+// NewQueue returns an empty open queue.
+func NewQueue() *Queue {
+	q := &Queue{}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-func (q *queue) push(d Delivery) {
+// Push appends d; after Close it is a no-op (a packet to a dead host).
+func (q *Queue) Push(d Delivery) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return // dropped, like a packet to a dead host
+		return
 	}
 	q.items = append(q.items, d)
 	q.cond.Signal()
 }
 
-func (q *queue) pop() (Delivery, bool) {
+// Pop blocks for the next delivery; ok is false once the queue is closed
+// and drained.
+func (q *Queue) Pop() (Delivery, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.closed {
@@ -180,7 +247,8 @@ func (q *queue) pop() (Delivery, bool) {
 	return d, true
 }
 
-func (q *queue) close() {
+// Close marks the queue closed and wakes blocked Pops.
+func (q *Queue) Close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true

@@ -19,6 +19,7 @@ import (
 	"net"
 	"sync"
 
+	"lrcrace/internal/dsm/debuglog"
 	"lrcrace/internal/msg"
 	"lrcrace/internal/simnet"
 )
@@ -38,7 +39,7 @@ type Network struct {
 	conns     [][]net.Conn   // conns[from][to], nil on the diagonal
 	sendMu    [][]sync.Mutex // one writer lock per connection
 
-	queues []*queue
+	queues []*simnet.Queue
 
 	mu     sync.Mutex
 	stats  simnet.Stats
@@ -53,9 +54,9 @@ func New(n int) (*Network, error) {
 		return nil, fmt.Errorf("tcpnet: n = %d", n)
 	}
 	nw := &Network{n: n, mtu: simnet.DefaultMTU}
-	nw.queues = make([]*queue, n)
+	nw.queues = make([]*simnet.Queue, n)
 	for i := range nw.queues {
-		nw.queues[i] = newQueue()
+		nw.queues[i] = simnet.NewQueue()
 	}
 	nw.conns = make([][]net.Conn, n)
 	nw.sendMu = make([][]sync.Mutex, n)
@@ -78,8 +79,26 @@ func New(n int) (*Network, error) {
 	}
 
 	// Dial the full mesh: from < to dials; the accept side learns the
-	// dialer's identity from a hello byte pair.
-	var dialErr error
+	// dialer's identity from a hello byte pair. Setup errors from the N
+	// accept goroutines and the dialing loop are collected under a mutex
+	// (they run concurrently), and the first failure stops the dialing —
+	// there is no point building the rest of a half-broken mesh.
+	var (
+		errMu    sync.Mutex
+		setupErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if setupErr == nil {
+			setupErr = err
+		}
+		errMu.Unlock()
+	}
+	failed := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return setupErr != nil
+	}
 	var wg sync.WaitGroup
 	for to := 0; to < n; to++ {
 		wg.Add(1)
@@ -88,12 +107,12 @@ func New(n int) (*Network, error) {
 			for k := 0; k < to; k++ { // expect dials from every from < to
 				c, err := nw.listeners[to].Accept()
 				if err != nil {
-					dialErr = err
+					fail(err)
 					return
 				}
 				var hello [2]byte
 				if _, err := io.ReadFull(c, hello[:]); err != nil {
-					dialErr = err
+					fail(err)
 					return
 				}
 				from := int(binary.LittleEndian.Uint16(hello[:]))
@@ -101,26 +120,37 @@ func New(n int) (*Network, error) {
 			}
 		}(to)
 	}
+dial:
 	for from := 0; from < n; from++ {
 		for to := from + 1; to < n; to++ {
+			if failed() {
+				break dial
+			}
 			c, err := net.Dial("tcp", addrs[to])
 			if err != nil {
-				dialErr = err
-				continue
+				fail(err)
+				break dial
 			}
 			var hello [2]byte
 			binary.LittleEndian.PutUint16(hello[:], uint16(from))
 			if _, err := c.Write(hello[:]); err != nil {
-				dialErr = err
-				continue
+				fail(err)
+				break dial
 			}
 			nw.conns[from][to] = c
 		}
 	}
+	if failed() {
+		// Unblock accept goroutines still waiting for dials that will
+		// never come.
+		for _, l := range nw.listeners {
+			l.Close()
+		}
+	}
 	wg.Wait()
-	if dialErr != nil {
+	if err := setupErr; err != nil {
 		nw.Close()
-		return nil, fmt.Errorf("tcpnet: mesh setup: %w", dialErr)
+		return nil, fmt.Errorf("tcpnet: mesh setup: %w", err)
 	}
 
 	// Reader goroutines: one per connection endpoint direction. Connection
@@ -138,30 +168,37 @@ func New(n int) (*Network, error) {
 	return nw, nil
 }
 
-// readLoop parses frames arriving at endpoint owner on c.
+// readLoop parses frames arriving at endpoint owner on c. A corrupted or
+// oversized frame still drops the connection (the stream offset is lost —
+// resynchronizing a length-prefixed stream is not possible), but it is
+// counted in Stats.Errors and logged, so a desync diagnoses as an error
+// rather than a mystery hang.
 func (nw *Network) readLoop(owner int, c net.Conn) {
 	defer nw.wg.Done()
 	hdr := make([]byte, frameHeader)
 	for {
 		if _, err := io.ReadFull(c, hdr); err != nil {
-			return
+			return // peer closed (normal teardown path)
 		}
 		from := int(binary.LittleEndian.Uint16(hdr[0:]))
 		frags := int(binary.LittleEndian.Uint16(hdr[2:]))
 		vtime := int64(binary.LittleEndian.Uint64(hdr[4:]))
 		plen := binary.LittleEndian.Uint32(hdr[12:])
 		if plen > maxFrame {
+			nw.streamError(owner, c, fmt.Sprintf("oversized frame: %d bytes (max %d)", plen, maxFrame))
 			return
 		}
 		payload := make([]byte, plen)
 		if _, err := io.ReadFull(c, payload); err != nil {
+			nw.streamError(owner, c, fmt.Sprintf("truncated frame: %v", err))
 			return
 		}
 		m, err := msg.Unmarshal(payload)
 		if err != nil {
-			return // corrupted stream: drop the connection
+			nw.streamError(owner, c, fmt.Sprintf("corrupt payload: %v", err))
+			return
 		}
-		nw.queues[owner].push(simnet.Delivery{
+		nw.queues[owner].Push(simnet.Delivery{
 			From:  from,
 			VTime: vtime,
 			Bytes: len(payload) + frags*simnet.UDPOverhead,
@@ -169,6 +206,22 @@ func (nw *Network) readLoop(owner int, c net.Conn) {
 			Msg:   m,
 		})
 	}
+}
+
+// streamError records a framing/decode failure on a live connection.
+// Failures observed during shutdown are the teardown itself, not stream
+// corruption, and are not counted.
+func (nw *Network) streamError(owner int, c net.Conn, what string) {
+	nw.mu.Lock()
+	closed := nw.closed
+	if !closed {
+		nw.stats.Errors++
+	}
+	nw.mu.Unlock()
+	if closed {
+		return
+	}
+	debuglog.Logf("tcpnet: endpoint %d: dropping conn %v: %s", owner, c.RemoteAddr(), what)
 }
 
 // Send implements dsm.Transport.
@@ -196,7 +249,7 @@ func (nw *Network) Send(from, to int, m msg.Message, vtime int64) int {
 		if err != nil {
 			panic(fmt.Sprintf("tcpnet: message %v does not survive the wire: %v", m.Type(), err))
 		}
-		nw.queues[to].push(simnet.Delivery{From: from, VTime: vtime, Bytes: size, Frags: frags, Msg: parsed})
+		nw.queues[to].Push(simnet.Delivery{From: from, VTime: vtime, Bytes: size, Frags: frags, Msg: parsed})
 		return size
 	}
 
@@ -226,7 +279,7 @@ func (nw *Network) Send(from, to int, m msg.Message, vtime int64) int {
 
 // Recv implements dsm.Transport.
 func (nw *Network) Recv(proc int) (simnet.Delivery, bool) {
-	return nw.queues[proc].pop()
+	return nw.queues[proc].Pop()
 }
 
 // Close implements dsm.Transport: tear down sockets and unblock receivers.
@@ -253,7 +306,7 @@ func (nw *Network) Close() {
 	}
 	nw.wg.Wait()
 	for _, q := range nw.queues {
-		q.close()
+		q.Close()
 	}
 }
 
@@ -262,49 +315,4 @@ func (nw *Network) Stats() simnet.Stats {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	return nw.stats
-}
-
-// queue mirrors simnet's unbounded FIFO.
-type queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []simnet.Delivery
-	closed bool
-}
-
-func newQueue() *queue {
-	q := &queue{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-func (q *queue) push(d simnet.Delivery) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return
-	}
-	q.items = append(q.items, d)
-	q.cond.Signal()
-}
-
-func (q *queue) pop() (simnet.Delivery, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if len(q.items) == 0 {
-		return simnet.Delivery{}, false
-	}
-	d := q.items[0]
-	q.items = q.items[1:]
-	return d, true
-}
-
-func (q *queue) close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.cond.Broadcast()
 }

@@ -1,9 +1,13 @@
 package tcpnet
 
 import (
+	"encoding/binary"
+	"strings"
 	"testing"
+	"time"
 
 	"lrcrace/internal/dsm"
+	"lrcrace/internal/dsm/debuglog"
 	"lrcrace/internal/msg"
 	"lrcrace/internal/race"
 	"lrcrace/internal/simnet"
@@ -156,4 +160,60 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestCorruptFrameCounted injects a garbage frame directly onto a mesh
+// connection: the reader must count it in Stats.Errors and emit a debug
+// event, instead of dying silently.
+func TestCorruptFrameCounted(t *testing.T) {
+	debuglog.Enable()
+	defer debuglog.Disable()
+
+	nw, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Close()
+
+	// A healthy frame first, to prove the stream works.
+	nw.Send(0, 1, &msg.DiffAck{}, 1)
+	if _, ok := nw.Recv(1); !ok {
+		t.Fatal("healthy frame lost")
+	}
+
+	// Hand-build a frame whose payload is not a decodable message.
+	// conns[0][1] is endpoint 0's end of the 0↔1 connection; endpoint 1's
+	// readLoop parses whatever arrives on the other end.
+	payload := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	hdr := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint16(hdr[0:], 0)                     // from
+	binary.LittleEndian.PutUint16(hdr[2:], 1)                     // frags
+	binary.LittleEndian.PutUint64(hdr[4:], 42)                    // vtime
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload))) // plen
+	c := nw.conns[0][1]
+	if _, err := c.Write(append(hdr, payload...)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader drops the connection after the decode failure; wait for
+	// the error counter rather than sleeping a fixed interval.
+	deadline := time.Now().Add(2 * time.Second)
+	for nw.Stats().Errors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("corrupt frame never counted in Stats.Errors")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := nw.Stats().Errors; got != 1 {
+		t.Errorf("Errors = %d, want 1", got)
+	}
+	found := false
+	for _, ev := range debuglog.Events() {
+		if strings.Contains(ev, "tcpnet") && strings.Contains(ev, "corrupt") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no tcpnet corrupt-frame debug event in %v", debuglog.Events())
+	}
 }

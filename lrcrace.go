@@ -48,6 +48,7 @@ import (
 	"lrcrace/internal/mem"
 	"lrcrace/internal/race"
 	"lrcrace/internal/replay"
+	"lrcrace/internal/simnet"
 	"lrcrace/internal/tcpnet"
 	"lrcrace/internal/trace"
 )
@@ -70,6 +71,14 @@ type (
 	Race = race.Report
 	// DetectorStats are the comparison-algorithm counters.
 	DetectorStats = race.Stats
+	// FaultPlan injects deterministic wire faults (drops, duplicates,
+	// reordering, latency jitter) into the simulated network; set it via
+	// Config.Faults. A lossy plan requires Config.Reliable, which layers
+	// CVM-style end-to-end retransmission over the faulty wire.
+	FaultPlan = simnet.FaultPlan
+	// NetStats are the per-message-type wire counters a run accumulates,
+	// including fault-injection and retransmission counts.
+	NetStats = simnet.Stats
 )
 
 // Coherence protocols.
