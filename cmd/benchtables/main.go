@@ -31,6 +31,7 @@ func main() {
 	races := flag.Bool("races", false, "print only the race findings")
 	enhance := flag.Bool("enhancements", false, "print only the §6.5 enhancement predictions")
 	figProcs := flag.String("figprocs", "2,4,8", "processor counts for figure 4")
+	metricsOut := flag.String("metrics-out", "", "also write machine-readable metrics JSON (per-app baseline/detect snapshots) to this file")
 	flag.Parse()
 
 	suite := lrcrace.NewSuite(*scale, *procs)
@@ -73,5 +74,18 @@ func main() {
 	}
 	if all || *enhance {
 		run("enhancements", func() error { return suite.EnhancementsTable(out) })
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := suite.WriteMetricsJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics JSON: %s\n", *metricsOut)
 	}
 }

@@ -10,11 +10,15 @@
 //	racefind -app SOR -first
 //	racefind -app Water -trace water.trc     # also write a post-mortem log
 //	racefind -analyze water.trc              # offline analysis of a log
+//	racefind -app TSP -trace-out tsp.json    # Chrome/Perfetto cluster timeline
+//	racefind -app TSP -metrics-out tsp.prom  # Prometheus-style metrics
+//	racefind -app TSP -flight-recorder 256   # dump last events on failure
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -32,6 +36,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print the happens-before derivation for each distinct race")
 	traceOut := flag.String("trace", "", "also write a post-mortem trace log to this file (§7 baseline)")
 	analyze := flag.String("analyze", "", "skip running: analyze an existing trace log offline")
+	chromeOut := flag.String("trace-out", "", "write the run's protocol events as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
+	metricsOut := flag.String("metrics-out", "", "write the run's metrics in Prometheus text format")
+	flight := flag.Int("flight-recorder", 0, "arm the flight recorder: dump the last N events to stderr if the run fails (0 = off)")
 	flag.Parse()
 
 	if *analyze != "" {
@@ -63,6 +70,10 @@ func main() {
 	}
 	cfg.WritesFromDiffs = *diffs
 
+	if *chromeOut != "" || *metricsOut != "" || *flight > 0 {
+		cfg.Telemetry = &lrcrace.TelemetryConfig{FlightN: *flight}
+	}
+
 	var tw *lrcrace.TraceWriter
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -78,7 +89,19 @@ func main() {
 
 	res, err := lrcrace.RunExperiment(cfg)
 	if err != nil {
+		// If the flight recorder was armed, its dump already went to stderr
+		// at the moment of failure.
 		log.Fatal(err)
+	}
+	if rec := res.Telemetry; rec != nil {
+		if *chromeOut != "" {
+			writeFile(*chromeOut, rec.WriteChromeTrace)
+			fmt.Printf("chrome trace: %s (%d procs + system track; load in Perfetto)\n", *chromeOut, rec.Procs())
+		}
+		if *metricsOut != "" {
+			writeFile(*metricsOut, rec.Metrics().WriteProm)
+			fmt.Printf("metrics: %s\n", *metricsOut)
+		}
 	}
 	if tw != nil {
 		if err := tw.Close(); err != nil {
@@ -124,6 +147,19 @@ func main() {
 		d.ConcurrentPairs, d.OverlappingPairs, d.BitmapsCompared)
 	if d.SuppressedReports > 0 {
 		fmt.Printf("          %d later-epoch reports suppressed by first-race filtering\n", d.SuppressedReports)
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,51 +1,46 @@
-// Package debuglog is a development aid shared by the DSM and its
-// transports: when enabled, protocol events from every layer (coherence
-// handlers, the reliability sublayer, tcpnet stream errors) are recorded
-// in one globally ordered list. Tests enable it to diagnose rare
-// interleaving bugs; it is off in normal operation and a single atomic
-// load when disabled.
+// Package debuglog is the historical string-formatted development log of
+// the DSM and its transports, now a thin shim over the telemetry event
+// core (internal/telemetry) so that there is exactly one event pipeline:
+// Logf records a KLog event into the telemetry system ring, and Events
+// reads the KLog events back in global order. Tests keep the old API;
+// everything else about the old package holds — it is off in normal
+// operation and a single atomic load when disabled.
 package debuglog
 
 import (
-	"fmt"
-	"sync"
-	"sync/atomic"
+	"lrcrace/internal/telemetry"
 )
 
-type eventLog struct {
-	mu     sync.Mutex
-	events []string
+// Enable turns on the event log (tests only), clearing prior events. It
+// installs a fresh unbounded telemetry recorder with log capture on,
+// replacing any recorder currently installed.
+func Enable() {
+	telemetry.Start(telemetry.Config{Cap: -1, CaptureLog: true})
 }
 
-var current atomic.Pointer[eventLog]
+// Disable turns the log off and discards its contents (it stops the
+// telemetry recorder).
+func Disable() { telemetry.Stop() }
 
-// Enable turns on the event log (tests only), clearing prior events.
-func Enable() { current.Store(&eventLog{}) }
+// Enabled reports whether string events are being recorded.
+func Enabled() bool { return telemetry.LogCaptureEnabled() }
 
-// Disable turns the log off and discards its contents.
-func Disable() { current.Store(nil) }
-
-// Enabled reports whether events are being recorded.
-func Enabled() bool { return current.Load() != nil }
-
-// Events returns a copy of the recorded events, in global order.
+// Events returns a copy of the recorded string events, in global order.
 func Events() []string {
-	l := current.Load()
-	if l == nil {
+	r := telemetry.Active()
+	if r == nil {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return append([]string(nil), l.events...)
+	var out []string
+	for _, e := range r.Events() {
+		if e.Kind == telemetry.KLog {
+			out = append(out, e.Msg)
+		}
+	}
+	return out
 }
 
 // Logf records one formatted event; it is a no-op while disabled.
 func Logf(format string, args ...interface{}) {
-	l := current.Load()
-	if l == nil {
-		return
-	}
-	l.mu.Lock()
-	l.events = append(l.events, fmt.Sprintf(format, args...))
-	l.mu.Unlock()
+	telemetry.Logf(-1, 0, format, args...)
 }

@@ -33,6 +33,7 @@ import (
 	"lrcrace/internal/race"
 	"lrcrace/internal/reliable"
 	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
 )
 
 // ProtocolKind selects the coherence protocol.
@@ -126,6 +127,14 @@ type Config struct {
 
 	// ReliableConfig tunes the sublayer's timers; zero value → defaults.
 	ReliableConfig reliable.Config
+
+	// BarrierWallTimeout, when positive, bounds the *real* time a process
+	// will wait for a barrier release (or the barrier's bitmap round). On
+	// expiry the telemetry flight recorder is tripped — preserving the
+	// events leading up to the hang — and the run aborts with an error.
+	// Zero means wait forever (the default; deterministic tests should not
+	// depend on wall-clock timing).
+	BarrierWallTimeout time.Duration
 
 	// RealMsgDelay, when positive, makes each process's service thread
 	// sleep this long before handling a message, coupling real scheduling
@@ -363,6 +372,11 @@ func (s *System) run(app func(p *Proc)) error {
 			defer func() {
 				if r := recover(); r != nil {
 					errs[i] = fmt.Errorf("dsm: proc %d panicked: %v", i, r)
+					if !strings.Contains(fmt.Sprint(r), "network shut down") {
+						// Dump the flight recorder for the root cause only,
+						// not for every secondary panic it induces.
+						telemetry.Trip(fmt.Sprintf("proc %d panicked: %v", i, r))
+					}
 					// Unblock peers waiting on this process.
 					s.nw.Close()
 				}

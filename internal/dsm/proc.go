@@ -3,12 +3,14 @@ package dsm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"lrcrace/internal/interval"
 	"lrcrace/internal/mem"
 	"lrcrace/internal/msg"
 	"lrcrace/internal/race"
 	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
 	"lrcrace/internal/vc"
 )
 
@@ -135,6 +137,7 @@ type barrierState struct {
 	records  []*interval.Record
 	gvc      vc.VC
 	maxArr   int64
+	minArr   int64 // earliest virtual arrival this epoch; -1 = none yet
 	check    []race.CheckEntry
 	bmWait   bool
 	bmCount  int
@@ -204,7 +207,7 @@ func newProc(s *System, id int) *Proc {
 		}
 	}
 	if id == 0 {
-		p.bar = &barrierState{gvc: vc.New(n)}
+		p.bar = &barrierState{gvc: vc.New(n), minArr: -1}
 	}
 	return p
 }
@@ -263,6 +266,31 @@ func (p *Proc) waitReply() simnet.Delivery {
 	return d
 }
 
+// waitReplyTimeout is waitReply with the configured barrier wall timeout:
+// if the reply does not arrive within BarrierWallTimeout of real time, the
+// flight recorder is tripped (so the last events leading up to the hang are
+// preserved) and the process panics, which aborts the run. A zero timeout
+// waits forever.
+func (p *Proc) waitReplyTimeout(op string) simnet.Delivery {
+	to := p.sys.cfg.BarrierWallTimeout
+	if to <= 0 {
+		return p.waitReply()
+	}
+	t := time.NewTimer(to)
+	defer t.Stop()
+	select {
+	case d, ok := <-p.replyCh:
+		if !ok {
+			panic("dsm: network shut down while waiting for a reply")
+		}
+		return d
+	case <-t.C:
+		// The panic is recovered in run(), which trips the flight recorder
+		// with the root-cause reason (a second Trip here would double-dump).
+		panic(fmt.Sprintf("%s timed out after %v", op, to))
+	}
+}
+
 // bumpVTo advances the virtual clock to at least t.
 func (p *Proc) bumpVTo(t int64) {
 	if t > p.vnow {
@@ -307,6 +335,8 @@ func (p *Proc) closeIntervalLocked() {
 	p.log.Add(rec)
 	p.epochRecords = append(p.epochRecords, rec)
 	p.st.IntervalsCreated++
+	telemetry.Emit(p.id, telemetry.KIntervalClose, p.vnow,
+		int64(rec.ID.Index), int64(len(rec.WriteNotices)), int64(len(rec.ReadNotices)))
 	dbgf("p%d close interval %v vc=%v writes=%v", p.id, rec.ID, rec.VC, rec.WriteNotices)
 }
 

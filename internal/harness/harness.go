@@ -14,7 +14,9 @@ import (
 	"lrcrace/internal/dsm"
 	"lrcrace/internal/msg"
 	"lrcrace/internal/race"
+	"lrcrace/internal/reliable"
 	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
 
 	// Register the four benchmark applications.
 	_ "lrcrace/internal/apps/fft"
@@ -42,6 +44,16 @@ type RunConfig struct {
 	Faults *simnet.FaultPlan
 	// Reliable layers CVM-style end-to-end retransmission over the wire.
 	Reliable bool
+	// ReliableConfig tunes the retransmission sublayer's timers.
+	ReliableConfig reliable.Config
+	// BarrierWallTimeout bounds the real time a process waits for a
+	// barrier release before tripping the flight recorder and aborting.
+	BarrierWallTimeout time.Duration
+	// Telemetry, when non-nil, installs a telemetry recorder for the run
+	// (Procs defaults to the run's process count). The recorder is stopped
+	// when Run returns and is available as Result.Telemetry; its metrics
+	// registry additionally receives the run's raw counters (FillMetrics).
+	Telemetry *telemetry.Config
 	// Tracer optionally observes the run (reference detectors, trace logs).
 	Tracer dsm.Tracer
 	// Verify runs the application's result check (on by default via Run).
@@ -62,6 +74,10 @@ type Result struct {
 	Net       simnet.Stats
 	Procs     []dsm.Stats
 	MemBytes  int
+
+	// Telemetry is the run's stopped recorder when RunConfig.Telemetry was
+	// set (its metrics registry already includes the run's raw counters).
+	Telemetry *telemetry.Recorder
 }
 
 // appDefaultDelay gives TSP its real-latency coupling by default.
@@ -86,23 +102,37 @@ func Run(cfg RunConfig) (*Result, error) {
 		delay = appDefaultDelay(cfg.App)
 	}
 	sys, err := dsm.New(dsm.Config{
-		NumProcs:          cfg.Procs,
-		SharedSize:        app.SharedBytes(),
-		Protocol:          cfg.Protocol,
-		Detect:            cfg.Detect,
-		FirstOnly:         cfg.FirstOnly,
-		PageBitmapOverlap: cfg.PageBitmapOverlap,
-		WritesFromDiffs:   cfg.WritesFromDiffs,
-		RealMsgDelay:      delay,
-		Tracer:            cfg.Tracer,
-		Faults:            cfg.Faults,
-		Reliable:          cfg.Reliable,
+		NumProcs:           cfg.Procs,
+		SharedSize:         app.SharedBytes(),
+		Protocol:           cfg.Protocol,
+		Detect:             cfg.Detect,
+		FirstOnly:          cfg.FirstOnly,
+		PageBitmapOverlap:  cfg.PageBitmapOverlap,
+		WritesFromDiffs:    cfg.WritesFromDiffs,
+		RealMsgDelay:       delay,
+		Tracer:             cfg.Tracer,
+		Faults:             cfg.Faults,
+		Reliable:           cfg.Reliable,
+		ReliableConfig:     cfg.ReliableConfig,
+		BarrierWallTimeout: cfg.BarrierWallTimeout,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := app.Setup(sys); err != nil {
 		return nil, err
+	}
+	var rec *telemetry.Recorder
+	if cfg.Telemetry != nil {
+		tc := *cfg.Telemetry
+		if tc.Procs == 0 {
+			tc.Procs = cfg.Procs
+		}
+		rec = telemetry.Start(tc)
+		// Stop on every exit path so a failed run does not leave a stale
+		// global recorder installed (flight dumps happen at Trip time, so
+		// they are not lost).
+		defer telemetry.Stop()
 	}
 	start := time.Now()
 	if err := sys.Run(app.Worker); err != nil {
@@ -128,6 +158,10 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	for _, p := range sys.Procs() {
 		res.Procs = append(res.Procs, p.Stats())
+	}
+	if rec != nil {
+		res.Telemetry = rec
+		res.FillMetrics(rec.Metrics())
 	}
 	return res, nil
 }

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinySuite runs the full four-app suite at a deliberately small scale so
+// rendering tests exercise the real pipeline without the smoke test's cost.
+// The suite caches baseline/detect pairs, so the first test to touch an app
+// pays for it once.
+var tinySuite = NewSuite(0.02, 2)
+
+func renderToString(t *testing.T, name string, f func() error, b *bytes.Buffer) string {
+	t.Helper()
+	if err := f(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return b.String()
+}
+
+func assertAppRows(t *testing.T, name, out string) {
+	t.Helper()
+	for _, app := range AppNames {
+		if !strings.Contains(out, app) {
+			t.Errorf("%s output missing %s row:\n%s", name, app, out)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	var b bytes.Buffer
+	out := renderToString(t, "Table1", func() error { return tinySuite.Table1(&b) }, &b)
+	if !strings.Contains(out, "Table 1. Application Characteristics") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, col := range []string{"Input Set", "Synchronization", "Memory (KB)", "Intervals/Barrier", "Slowdown"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("Table1 missing column %q", col)
+		}
+	}
+	assertAppRows(t, "Table1", out)
+}
+
+func TestTable2Rendering(t *testing.T) {
+	var b bytes.Buffer
+	Table2(&b)
+	out := b.String()
+	if !strings.Contains(out, "Table 2. Instrumentation Statistics") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	assertAppRows(t, "Table2", out)
+	if !strings.Contains(out, "%") {
+		t.Error("Table2 missing eliminated-percentage column")
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	var b bytes.Buffer
+	out := renderToString(t, "Table3", func() error { return tinySuite.Table3(&b) }, &b)
+	if !strings.Contains(out, "Table 3. Dynamic Metrics") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, col := range []string{"Intervals Used", "Bitmaps Used", "Msg Ohead", "Shared acc/sec", "Private acc/sec"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("Table3 missing column %q", col)
+		}
+	}
+	assertAppRows(t, "Table3", out)
+}
+
+func TestFigure3Rendering(t *testing.T) {
+	var b bytes.Buffer
+	out := renderToString(t, "Figure3", func() error { return tinySuite.Figure3(&b) }, &b)
+	if !strings.Contains(out, "Figure 3. Overhead Breakdown") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, col := range []string{"CVM Mods", "Proc Call", "Access Check", "Intervals", "Bitmaps", "Total"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("Figure3 missing column %q", col)
+		}
+	}
+	assertAppRows(t, "Figure3", out)
+}
+
+func TestFigure4Rendering(t *testing.T) {
+	var b bytes.Buffer
+	out := renderToString(t, "Figure4",
+		func() error { return tinySuite.Figure4(&b, []int{2}) }, &b)
+	if !strings.Contains(out, "Figure 4. Slowdown Factor versus Number of Processors") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	assertAppRows(t, "Figure4", out)
+}
+
+func TestRacesReportRendering(t *testing.T) {
+	var b bytes.Buffer
+	out := renderToString(t, "RacesReport",
+		func() error { return tinySuite.RacesReport(&b) }, &b)
+	if !strings.Contains(out, "Detected data races") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	assertAppRows(t, "RacesReport", out)
+	// The paper's §5 finding at any scale: FFT and SOR are race-free.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "FFT") || strings.HasPrefix(line, "SOR") {
+			if !strings.Contains(line, "none") {
+				t.Errorf("expected no races: %q", line)
+			}
+		}
+	}
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := tinySuite.WriteMetricsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Scale    float64 `json:"scale"`
+		Procs    int     `json:"procs"`
+		Protocol string  `json:"protocol"`
+		Apps     map[string]struct {
+			Baseline json.RawMessage `json:"baseline"`
+			Detect   struct {
+				Counters map[string]int64 `json:"counters"`
+			} `json:"detect"`
+			Slowdown float64 `json:"slowdown"`
+		} `json:"apps"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v\n%s", err, b.String())
+	}
+	if doc.Scale != tinySuite.Scale || doc.Procs != tinySuite.Procs {
+		t.Fatalf("doc header = %+v", doc)
+	}
+	for _, app := range AppNames {
+		a, ok := doc.Apps[app]
+		if !ok {
+			t.Fatalf("metrics JSON missing app %s", app)
+		}
+		if a.Slowdown <= 0 {
+			t.Errorf("%s slowdown = %v", app, a.Slowdown)
+		}
+		var barriers int64
+		for k, v := range a.Detect.Counters {
+			if strings.HasPrefix(k, "dsm_barriers_total") {
+				barriers += v
+			}
+		}
+		if barriers == 0 {
+			t.Errorf("%s detect snapshot has no barrier counters", app)
+		}
+	}
+}

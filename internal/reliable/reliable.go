@@ -28,6 +28,7 @@ import (
 	"lrcrace/internal/dsm/debuglog"
 	"lrcrace/internal/msg"
 	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
 )
 
 // Inner is the transport being wrapped (structurally identical to
@@ -242,7 +243,11 @@ func (sl *sendLink) onTimeout() {
 		sl.mu.Unlock()
 		debuglog.Logf("reliable: link %d->%d dead: %d unacked after %d retries (first %v seq %d)",
 			sl.from, sl.to, nun, t.cfg.MaxRetries, first.typ, first.seq)
+		telemetry.Emit(sl.from, telemetry.KLinkDead, first.vtime,
+			int64(sl.to), int64(nun), int64(t.cfg.MaxRetries))
 		t.bumpStats(func(st *simnet.Stats) { st.Errors++ })
+		telemetry.Trip(fmt.Sprintf("reliable: link %d->%d dead after %d retries (%d unacked, first %v seq %d)",
+			sl.from, sl.to, t.cfg.MaxRetries, nun, first.typ, first.seq))
 		t.Close()
 		return
 	}
@@ -260,6 +265,8 @@ func (sl *sendLink) onTimeout() {
 			st.RetransBytes += int64(wire)
 		})
 	}
+	telemetry.Emit(sl.from, telemetry.KRetransmit, sl.unacked[0].vtime,
+		int64(sl.to), int64(len(sl.unacked)), int64(sl.retries))
 	sl.rto = time.Duration(float64(sl.rto) * t.cfg.Backoff)
 	if sl.rto > t.cfg.MaxRTO {
 		sl.rto = t.cfg.MaxRTO

@@ -1,0 +1,301 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a small metrics registry: counters, gauges and histograms
+// with optional labels, Prometheus-style text exposition, and a
+// JSON-serializable Snapshot. It is safe for concurrent use; instrument
+// handles (Counter/Gauge/Histogram) are lock-free after creation.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// Label is one metric label pair.
+type Label struct {
+	Key, Value string
+}
+
+type family struct {
+	name, help, typ string // typ: "counter", "gauge", "histogram"
+	series          map[string]metric
+	order           []string
+}
+
+type metric interface{}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	return b.String()
+}
+
+// seriesName renders name{k="v",...} for exposition and snapshot keys.
+func seriesName(name, lk string) string {
+	if lk == "" {
+		return name
+	}
+	return name + "{" + lk + "}"
+}
+
+func (r *Registry) family(name, help, typ string) *family {
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]metric)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+func (f *family) get(lk string, mk func() metric) metric {
+	m := f.series[lk]
+	if m == nil {
+		m = mk()
+		f.series[lk] = m
+		f.order = append(f.order, lk)
+	}
+	return m
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution (cumulative on exposition).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; an implicit +Inf follows
+	counts []atomic.Int64
+	count  atomic.Int64
+	sumMu  sync.Mutex
+	sum    float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumMu.Lock()
+	h.sum += v
+	h.sumMu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	h.sumMu.Lock()
+	defer h.sumMu.Unlock()
+	return h.sum
+}
+
+// Counter returns (creating if needed) the counter name{labels}.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	return f.get(labelKey(labels), func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns (creating if needed) the gauge name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	return f.get(labelKey(labels), func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns (creating if needed) the histogram name{labels} with
+// the given ascending upper bounds (nil → LatencyBuckets). Bounds are fixed
+// by the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	return f.get(labelKey(labels), func() metric {
+		if bounds == nil {
+			bounds = LatencyBuckets
+		}
+		return &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+	}).(*Histogram)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format,
+// deterministically ordered (families in registration order, series in
+// creation order).
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, lk := range f.order {
+			m := f.series[lk]
+			switch v := m.(type) {
+			case *Counter:
+				fmt.Fprintf(w, "%s %d\n", seriesName(f.name, lk), v.Value())
+			case *Gauge:
+				fmt.Fprintf(w, "%s %s\n", seriesName(f.name, lk), formatFloat(v.Value()))
+			case *Histogram:
+				cum := int64(0)
+				for i, b := range v.bounds {
+					cum += v.counts[i].Load()
+					fmt.Fprintf(w, "%s %d\n",
+						seriesName(f.name+"_bucket", joinLabels(lk, fmt.Sprintf("le=%q", formatFloat(b)))), cum)
+				}
+				cum += v.counts[len(v.bounds)].Load()
+				fmt.Fprintf(w, "%s %d\n",
+					seriesName(f.name+"_bucket", joinLabels(lk, `le="+Inf"`)), cum)
+				fmt.Fprintf(w, "%s %s\n", seriesName(f.name+"_sum", lk), formatFloat(v.Sum()))
+				fmt.Fprintf(w, "%s %d\n", seriesName(f.name+"_count", lk), v.Count())
+			}
+		}
+	}
+	return nil
+}
+
+func joinLabels(lk, extra string) string {
+	if lk == "" {
+		return extra
+	}
+	return lk + "," + extra
+}
+
+// HistSnapshot is a Histogram frozen for serialization. Bucket counts are
+// cumulative, matching the exposition format.
+type HistSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket. Only finite bounds are
+// listed; the implicit +Inf bucket's cumulative count is the snapshot's
+// Count field.
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot is a registry frozen for serialization: the machine-readable
+// form of a run's metrics. Keys are series names (name or name{labels}).
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot freezes the registry.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	for _, name := range r.order {
+		f := r.families[name]
+		for _, lk := range f.order {
+			key := seriesName(f.name, lk)
+			switch v := f.series[lk].(type) {
+			case *Counter:
+				s.Counters[key] = v.Value()
+			case *Gauge:
+				s.Gauges[key] = v.Value()
+			case *Histogram:
+				hs := HistSnapshot{Count: v.Count(), Sum: v.Sum()}
+				cum := int64(0)
+				for i, b := range v.bounds {
+					cum += v.counts[i].Load()
+					hs.Buckets = append(hs.Buckets, BucketCount{LE: b, Count: cum})
+				}
+				s.Histograms[key] = hs
+			}
+		}
+	}
+	return s
+}
+
+// CounterTotal sums every counter series of the family name (e.g. all
+// net_bytes_total{type=...} series). A series with no labels contributes
+// its value directly.
+func (s *Snapshot) CounterTotal(name string) int64 {
+	var n int64
+	for k, v := range s.Counters {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			n += v
+		}
+	}
+	return n
+}
+
+// MarshalJSON renders the snapshot with deterministic key order (Go maps
+// marshal sorted, so the default marshaler already suffices; this exists to
+// document the guarantee).
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot
+	return json.Marshal((*alias)(s))
+}

@@ -50,6 +50,7 @@ import (
 	"lrcrace/internal/replay"
 	"lrcrace/internal/simnet"
 	"lrcrace/internal/tcpnet"
+	"lrcrace/internal/telemetry"
 	"lrcrace/internal/trace"
 )
 
@@ -139,6 +140,30 @@ func NewTraceWriter(w io.Writer, nprocs int) (*TraceWriter, error) {
 // AnalyzeTrace replays a trace log through the happens-before detector and
 // returns the racy addresses — the post-mortem pipeline in one call.
 func AnalyzeTrace(r io.Reader) ([]Addr, error) { return trace.Analyze(r) }
+
+// Observability (internal/telemetry): the structured protocol-event
+// tracer, metrics registry, and flight recorder.
+type (
+	// TelemetryConfig configures a run's event recorder; set it via
+	// ExperimentConfig.Telemetry (or call telemetry.Start around a raw
+	// System.Run). The recorder exports Chrome trace-event JSON
+	// (WriteChromeTrace), Prometheus text (Metrics().WriteProm), and flight
+	// dumps (DumpFlight).
+	TelemetryConfig = telemetry.Config
+	// TelemetryRecorder is one recording session.
+	TelemetryRecorder = telemetry.Recorder
+	// MetricsRegistry holds counters/gauges/histograms.
+	MetricsRegistry = telemetry.Registry
+	// MetricsSnapshot is a registry frozen for JSON serialization; it
+	// subsumes dsm.Stats and simnet.Stats for harness runs.
+	MetricsSnapshot = telemetry.Snapshot
+)
+
+// StartTelemetry installs a global event recorder (see telemetry.Start).
+func StartTelemetry(cfg TelemetryConfig) *TelemetryRecorder { return telemetry.Start(cfg) }
+
+// StopTelemetry uninstalls the recorder and returns it for inspection.
+func StopTelemetry() *TelemetryRecorder { return telemetry.Stop() }
 
 // Transport is the message-carrying contract; the default is the in-memory
 // simulated network.
