@@ -13,6 +13,7 @@
 //	racefind -app TSP -trace-out tsp.json    # Chrome/Perfetto cluster timeline
 //	racefind -app TSP -metrics-out tsp.prom  # Prometheus-style metrics
 //	racefind -app TSP -flight-recorder 256   # dump last events on failure
+//	racefind -app TSP -barrier-timeout 30s   # abort (and dump) a stalled barrier
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 	chromeOut := flag.String("trace-out", "", "write the run's protocol events as Chrome trace-event JSON (open in Perfetto or chrome://tracing)")
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics in Prometheus text format")
 	flight := flag.Int("flight-recorder", 0, "arm the flight recorder: dump the last N events to stderr if the run fails (0 = off)")
+	barrierTimeout := flag.Duration("barrier-timeout", 0, "abort if a barrier round stalls this long in real time (trips the flight recorder; 0 = wait forever)")
 	flag.Parse()
 
 	if *analyze != "" {
@@ -59,11 +61,12 @@ func main() {
 	}
 
 	cfg := lrcrace.ExperimentConfig{
-		App:       canonical(*app),
-		Scale:     *scale,
-		Procs:     *procs,
-		Detect:    true,
-		FirstOnly: *first,
+		App:                canonical(*app),
+		Scale:              *scale,
+		Procs:              *procs,
+		Detect:             true,
+		FirstOnly:          *first,
+		BarrierWallTimeout: *barrierTimeout,
 	}
 	if *protocol == "mw" || *diffs {
 		cfg.Protocol = lrcrace.MultiWriter

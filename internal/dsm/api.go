@@ -41,7 +41,11 @@ func (p *Proc) Read(a mem.Addr) uint64 {
 	if w := p.sys.cfg.Watch; w != nil && a == w.WatchedAddr() {
 		w.NoteAccess(p.id, false)
 	}
+	doCrash := p.shouldCrashLocked(siteAccess)
 	p.mu.Unlock()
+	if doCrash {
+		p.crashNow()
+	}
 	return v
 }
 
@@ -106,7 +110,11 @@ func (p *Proc) Write(a mem.Addr, v uint64) {
 	if p.sys.cfg.Protocol != MultiWriter && len(p.pendFwd[pg]) > 0 {
 		p.drainPendingFwdsLocked(pg)
 	}
+	doCrash := p.shouldCrashLocked(siteAccess)
 	p.mu.Unlock()
+	if doCrash {
+		p.crashNow()
+	}
 }
 
 // ReadF64 reads the shared word at a as a float64.
@@ -165,7 +173,7 @@ func (p *Proc) readFaultLocked(pg mem.PageID) {
 	v := p.vnow
 	p.mu.Unlock()
 	p.send(p.home(pg), &msg.PageReq{Page: pg, Write: false}, v)
-	d := p.waitReply()
+	d := p.waitReplyTimeout("page fetch")
 	p.mu.Lock()
 	rep, ok := d.Msg.(*msg.PageReply)
 	if !ok || rep.Page != pg {
@@ -197,7 +205,7 @@ func (p *Proc) ownershipFaultLocked(pg mem.PageID) {
 	v := p.vnow
 	p.mu.Unlock()
 	p.send(p.home(pg), &msg.PageReq{Page: pg, Write: true}, v)
-	d := p.waitReply()
+	d := p.waitReplyTimeout("ownership fetch")
 	p.mu.Lock()
 	rep, ok := d.Msg.(*msg.PageReply)
 	if !ok || rep.Page != pg || !rep.Ownership {
@@ -233,7 +241,7 @@ func (p *Proc) fetchFromHomeLocked(pg mem.PageID, write bool) {
 	v := p.vnow
 	p.mu.Unlock()
 	p.send(p.home(pg), &msg.PageReq{Page: pg, Write: false}, v)
-	d := p.waitReply()
+	d := p.waitReplyTimeout("home fetch")
 	p.mu.Lock()
 	rep, ok := d.Msg.(*msg.PageReply)
 	if !ok || rep.Page != pg {
@@ -277,7 +285,7 @@ func (p *Proc) eagerReleaseLocked() {
 	}
 	for i := 0; i < acks; i++ {
 		p.mu.Unlock()
-		d := p.waitReply()
+		d := p.waitReplyTimeout("inval ack")
 		p.mu.Lock()
 		if _, ok := d.Msg.(*msg.InvalAck); !ok {
 			p.protocolBug("inval answered with %T", d.Msg)
@@ -328,7 +336,7 @@ func (p *Proc) flushDiffsLocked() {
 	}
 	for i := 0; i < acks; i++ {
 		p.mu.Unlock()
-		d := p.waitReply()
+		d := p.waitReplyTimeout("diff ack")
 		p.mu.Lock()
 		if _, ok := d.Msg.(*msg.DiffAck); !ok {
 			p.protocolBug("diff flush answered with %T", d.Msg)
@@ -374,7 +382,7 @@ func (p *Proc) Lock(id int) {
 	v := p.vnow
 	p.mu.Unlock()
 	p.send(id%p.n, req, v)
-	d := p.waitReply()
+	d := p.waitReplyTimeout("lock grant")
 	p.mu.Lock()
 	grant, ok := d.Msg.(*msg.AcquireGrant)
 	if !ok || int(grant.Lock) != id {
@@ -402,7 +410,11 @@ func (p *Proc) Lock(id int) {
 	// has been served (the chain passed through them to reach us); any
 	// leftover obligation was consumed by the manager's self-grant path.
 	ls.releasedUngranted = false
+	doCrash := p.shouldCrashLocked(siteLock)
 	p.mu.Unlock()
+	if doCrash {
+		p.crashNow()
+	}
 }
 
 // Unlock releases lock id: the critical section's interval is closed (and,
@@ -530,6 +542,14 @@ func (p *Proc) Barrier() {
 
 	var races []race.Report
 	if rel.NeedBitmaps {
+		p.mu.Lock()
+		doCrash := p.shouldCrashLocked(siteBitmap)
+		p.mu.Unlock()
+		if doCrash {
+			// Die between receiving the release and sending our bitmap
+			// reply, wedging the master mid-comparison.
+			p.crashNow()
+		}
 		p.sendBitmaps(rel)
 		dd := p.waitReplyTimeout("barrier bitmap round")
 		done, ok := dd.Msg.(*msg.BarrierDone)
@@ -552,6 +572,15 @@ func (p *Proc) Barrier() {
 	telemetry.Emit(p.id, telemetry.KBarrierDepart, p.vnow, int64(p.epoch), 0, p.vnow-v)
 	p.epoch++
 	p.startIntervalLocked()
+	if p.sys.ckpts != nil {
+		// The barrier departure is the recovery line: serialize this
+		// process's recovery state as of the start of the new epoch, then
+		// release the service thread, which has been holding back every
+		// message ordered after the departure trigger so none of them can
+		// contaminate the checkpoint (see awaitCheckpoint).
+		p.checkpointLocked()
+		p.ckptGate <- struct{}{}
+	}
 	p.mu.Unlock()
 }
 

@@ -1,0 +1,519 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/telemetry"
+	"lrcrace/internal/vc"
+)
+
+// Barrier-epoch checkpointing.
+//
+// A barrier is a global quiescence point: every interval of the finished
+// epoch has been closed, logged, exchanged, and checked for races; diffs
+// are flushed; no lock tenures or page fetches belonging to the epoch are
+// in flight. That makes the barrier departure the natural recovery line,
+// so at each departure every process serializes its recovery state — page
+// copies and protocol rights, twins, version vector, interval log and
+// stored bitmaps, lock table, accumulated race reports, statistics, and
+// (at process 0) the detector state — to bytes through the same codec
+// style internal/msg uses for wire messages. The encoding is versioned,
+// deterministic (map contents serialize in sorted order), and round-trips
+// byte-exactly, so checkpoint sizes are genuinely measurable.
+
+const (
+	ckptMagic   = 0x4c52434b // "LRCK"
+	ckptVersion = 1
+)
+
+// CheckpointStats summarizes checkpoint activity for a run.
+type CheckpointStats struct {
+	Count int   // checkpoints taken
+	Bytes int64 // total serialized bytes
+}
+
+// CheckpointStore is the stable store of serialized checkpoints, keyed by
+// (process, epoch). Coordinated rollback restores every process from the
+// latest epoch for which all processes have a checkpoint.
+type CheckpointStore struct {
+	mu     sync.Mutex
+	byProc map[int]map[int32][]byte
+	stats  CheckpointStats
+}
+
+// NewCheckpointStore returns an empty store.
+func NewCheckpointStore() *CheckpointStore {
+	return &CheckpointStore{byProc: make(map[int]map[int32][]byte)}
+}
+
+// Put deposits proc's checkpoint for epoch.
+func (cs *CheckpointStore) Put(proc int, epoch int32, b []byte) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	m := cs.byProc[proc]
+	if m == nil {
+		m = make(map[int32][]byte)
+		cs.byProc[proc] = m
+	}
+	if _, ok := m[epoch]; !ok {
+		cs.stats.Count++
+		cs.stats.Bytes += int64(len(b))
+	}
+	m[epoch] = b
+}
+
+// Get returns proc's checkpoint for epoch, or nil.
+func (cs *CheckpointStore) Get(proc int, epoch int32) []byte {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.byProc[proc][epoch]
+}
+
+// LatestCommonEpoch returns the highest epoch for which all n processes
+// hold a checkpoint — the recovery line of a coordinated rollback. Since
+// every process checkpoints at every barrier departure, this is the
+// minimum over processes of their latest checkpoint epoch; 0 (the initial
+// state, before any barrier) if some process has none.
+func (cs *CheckpointStore) LatestCommonEpoch(n int) int32 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	common := int32(-1)
+	for p := 0; p < n; p++ {
+		var latest int32
+		for e := range cs.byProc[p] {
+			if e > latest {
+				latest = e
+			}
+		}
+		if common < 0 || latest < common {
+			common = latest
+		}
+	}
+	if common < 0 {
+		common = 0
+	}
+	return common
+}
+
+// Stats returns cumulative checkpoint counters.
+func (cs *CheckpointStore) Stats() CheckpointStats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.stats
+}
+
+// checkpointLocked serializes this process's recovery state and deposits
+// it in the system's checkpoint store. Called at barrier departure (after
+// epoch++ and the new interval's start, so the checkpoint is exactly the
+// state execution resumes from) with p.mu held.
+func (p *Proc) checkpointLocked() {
+	b := p.encodeCheckpointLocked()
+	p.sys.ckpts.Put(p.id, p.epoch, b)
+	telemetry.Emit(p.id, telemetry.KCheckpoint, p.vnow, int64(p.epoch), int64(len(b)), 0)
+	dbgf("p%d checkpoint epoch %d: %d bytes", p.id, p.epoch, len(b))
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sortedPageSet(m map[mem.PageID]bool) []mem.PageID {
+	out := make([]mem.PageID, 0, len(m))
+	for pg := range m {
+		out = append(out, pg)
+	}
+	interval.SortPages(out)
+	return out
+}
+
+// encodeCheckpointLocked serializes the checkpointable state of p. The
+// caller holds p.mu (the service thread mutates this state under the same
+// lock, so the capture is atomic with respect to message handling).
+func (p *Proc) encodeCheckpointLocked() []byte {
+	e := &msg.Encoder{}
+	e.U32(ckptMagic)
+	e.U8(ckptVersion)
+	e.U16(uint16(p.id))
+	e.U16(uint16(p.n))
+	e.I32(p.epoch)
+	e.U32(uint32(p.curIndex))
+	e.I64(p.vnow)
+	e.VC(p.vcur)
+
+	// Page table and copies. Transient fault state (expecting/fetching/
+	// pendFwd) is quiescent at a barrier and is not serialized.
+	np := p.sys.layout.NumPages
+	e.U32(uint32(np))
+	for i := 0; i < np; i++ {
+		pg := mem.PageID(i)
+		e.U8(uint8(p.state[pg]))
+		e.U8(b2u8(p.owned[pg]))
+		e.I32(int32(p.dirOwner[pg]))
+		if p.state[pg] != pageInvalid {
+			e.U8(1)
+			e.Blob(p.seg.PageBytes(pg))
+		} else {
+			e.U8(0)
+		}
+	}
+
+	// Twins (multi-writer pristine copies), sorted by page.
+	twinPages := make([]mem.PageID, 0, len(p.twins))
+	for pg := range p.twins {
+		twinPages = append(twinPages, pg)
+	}
+	interval.SortPages(twinPages)
+	e.U32(uint32(len(twinPages)))
+	for _, pg := range twinPages {
+		e.I32(int32(pg))
+		e.Blob(p.twins[pg])
+	}
+
+	e.Pages(sortedPageSet(p.writtenPages))
+	e.Pages(sortedPageSet(p.pendingInval))
+
+	// Lock table: durable tenure state only. In-flight requests (awaiting,
+	// pending grants, replay deferrals) are transient and re-established by
+	// re-execution.
+	lockIDs := make([]int, 0, len(p.locks))
+	for id := range p.locks {
+		lockIDs = append(lockIDs, id)
+	}
+	sort.Ints(lockIDs)
+	e.U32(uint32(len(lockIDs)))
+	for _, id := range lockIDs {
+		ls := p.locks[id]
+		e.I32(int32(id))
+		e.U8(b2u8(ls.holding))
+		e.U8(b2u8(ls.releasedUngranted))
+		e.I64(ls.lastRelV)
+		if ls.relVC != nil {
+			e.U8(1)
+			e.VC(ls.relVC)
+		} else {
+			e.U8(0)
+		}
+		e.I32(int32(ls.lastHolder))
+	}
+
+	// Interval log, current-epoch record queue, and stored access bitmaps.
+	logRecs := p.log.Records()
+	e.U32(uint32(len(logRecs)))
+	for _, r := range logRecs {
+		msg.EncodeRecord(e, r)
+	}
+	e.U32(uint32(len(p.epochRecords)))
+	for _, r := range p.epochRecords {
+		msg.EncodeRecord(e, r)
+	}
+	ents := p.store.Entries()
+	e.U32(uint32(len(ents)))
+	for _, en := range ents {
+		e.IntervalID(en.ID)
+		e.I32(int32(en.Page))
+		e.U8(b2u8(en.Write))
+		e.Bitmap(en.Bits)
+	}
+
+	// Race reports and statistics.
+	e.U32(uint32(len(p.races)))
+	for _, r := range p.races {
+		msg.EncodeReport(e, r)
+	}
+	encodeProcStats(e, &p.st)
+
+	// Master extras: barrier epoch and the detector's mutable state.
+	if p.id == 0 && p.bar != nil {
+		e.U8(1)
+		e.I32(p.bar.epoch)
+		if det := p.sys.detector; det != nil {
+			e.U8(1)
+			st := det.SnapshotState()
+			encodeRaceStats(e, st.Stats)
+			e.I32(st.FirstRacyEpoch)
+			e.U32(uint32(len(st.RacyRecords)))
+			for _, r := range st.RacyRecords {
+				msg.EncodeRecord(e, r)
+			}
+		} else {
+			e.U8(0)
+		}
+	} else {
+		e.U8(0)
+	}
+	return e.Bytes()
+}
+
+func encodeProcStats(e *msg.Encoder, st *Stats) {
+	for _, v := range []int64{
+		st.SharedReads, st.SharedWrites, st.PrivateAccesses,
+		st.ReadFaults, st.WriteFaults, st.IntervalsCreated,
+		st.LockAcquires, st.Barriers, st.DiffsFlushed, st.DiffWords,
+		st.ComputeOps,
+		st.TProcCall, st.TAccessCheck, st.TCVMMods, st.TIntervalCmp, st.TBitmapCmp,
+		st.ReadNoticeBytes, st.SyncMsgBytes, st.BitmapsCreated, st.BitmapsSent,
+	} {
+		e.I64(v)
+	}
+}
+
+func decodeProcStats(d *msg.Decoder) Stats {
+	var st Stats
+	for _, f := range []*int64{
+		&st.SharedReads, &st.SharedWrites, &st.PrivateAccesses,
+		&st.ReadFaults, &st.WriteFaults, &st.IntervalsCreated,
+		&st.LockAcquires, &st.Barriers, &st.DiffsFlushed, &st.DiffWords,
+		&st.ComputeOps,
+		&st.TProcCall, &st.TAccessCheck, &st.TCVMMods, &st.TIntervalCmp, &st.TBitmapCmp,
+		&st.ReadNoticeBytes, &st.SyncMsgBytes, &st.BitmapsCreated, &st.BitmapsSent,
+	} {
+		*f = d.I64()
+	}
+	return st
+}
+
+func encodeRaceStats(e *msg.Encoder, st race.Stats) {
+	for _, v := range []int{
+		st.Epochs, st.IntervalsTotal, st.PairComparisons, st.ConcurrentPairs,
+		st.OverlappingPairs, st.IntervalsInvolved, st.CheckEntries,
+		st.NoticesScanned, st.BitmapsCompared, st.WordOverlaps, st.SuppressedReports,
+	} {
+		e.I64(int64(v))
+	}
+}
+
+func decodeRaceStats(d *msg.Decoder) race.Stats {
+	var st race.Stats
+	for _, f := range []*int{
+		&st.Epochs, &st.IntervalsTotal, &st.PairComparisons, &st.ConcurrentPairs,
+		&st.OverlappingPairs, &st.IntervalsInvolved, &st.CheckEntries,
+		&st.NoticesScanned, &st.BitmapsCompared, &st.WordOverlaps, &st.SuppressedReports,
+	} {
+		*f = int(d.I64())
+	}
+	return st
+}
+
+// ckptPage is one page-table entry of a decoded checkpoint.
+type ckptPage struct {
+	State    pageState
+	Owned    bool
+	DirOwner int
+	Data     []byte // nil if the copy was invalid
+}
+
+// ckptLock is one lock-table entry of a decoded checkpoint.
+type ckptLock struct {
+	ID                int
+	Holding           bool
+	ReleasedUngranted bool
+	LastRelV          int64
+	RelVC             vc.VC // nil if never released
+	LastHolder        int
+}
+
+// procCheckpoint is the decoded form of one process checkpoint.
+type procCheckpoint struct {
+	ID       int
+	N        int
+	Epoch    int32
+	CurIndex vc.Index
+	Vnow     int64
+	Vcur     vc.VC
+
+	Pages        []ckptPage
+	Twins        map[mem.PageID][]byte
+	Written      []mem.PageID
+	PendingInval []mem.PageID
+	Locks        []ckptLock
+	Log          []*interval.Record
+	EpochRecords []*interval.Record
+	Bitmaps      []interval.StoredBitmap
+	Races        []race.Report
+	St           Stats
+
+	HasMaster bool
+	BarEpoch  int32
+	HasDet    bool
+	Det       race.State
+}
+
+// decodeCheckpoint parses a serialized checkpoint.
+func decodeCheckpoint(b []byte) (*procCheckpoint, error) {
+	d := msg.NewDecoder(b)
+	if d.U32() != ckptMagic {
+		return nil, fmt.Errorf("dsm: checkpoint: bad magic")
+	}
+	if v := d.U8(); v != ckptVersion {
+		return nil, fmt.Errorf("dsm: checkpoint: unsupported version %d", v)
+	}
+	ck := &procCheckpoint{
+		ID:       int(d.U16()),
+		N:        int(d.U16()),
+		Epoch:    d.I32(),
+		CurIndex: vc.Index(d.U32()),
+		Vnow:     d.I64(),
+		Vcur:     d.VC(),
+	}
+	np := int(d.U32())
+	ck.Pages = make([]ckptPage, np)
+	for i := 0; i < np; i++ {
+		pg := &ck.Pages[i]
+		pg.State = pageState(d.U8())
+		pg.Owned = d.U8() != 0
+		pg.DirOwner = int(d.I32())
+		if d.U8() != 0 {
+			pg.Data = d.Blob()
+		}
+	}
+	ntw := int(d.U32())
+	ck.Twins = make(map[mem.PageID][]byte, ntw)
+	for i := 0; i < ntw; i++ {
+		pg := mem.PageID(d.I32())
+		ck.Twins[pg] = d.Blob()
+	}
+	ck.Written = d.Pages()
+	ck.PendingInval = d.Pages()
+	nlk := int(d.U32())
+	ck.Locks = make([]ckptLock, nlk)
+	for i := 0; i < nlk; i++ {
+		lk := &ck.Locks[i]
+		lk.ID = int(d.I32())
+		lk.Holding = d.U8() != 0
+		lk.ReleasedUngranted = d.U8() != 0
+		lk.LastRelV = d.I64()
+		if d.U8() != 0 {
+			lk.RelVC = d.VC()
+		}
+		lk.LastHolder = int(d.I32())
+	}
+	nlog := int(d.U32())
+	for i := 0; i < nlog; i++ {
+		ck.Log = append(ck.Log, msg.DecodeRecord(d))
+	}
+	nep := int(d.U32())
+	for i := 0; i < nep; i++ {
+		ck.EpochRecords = append(ck.EpochRecords, msg.DecodeRecord(d))
+	}
+	nbm := int(d.U32())
+	for i := 0; i < nbm; i++ {
+		var en interval.StoredBitmap
+		en.ID = d.IntervalID()
+		en.Page = mem.PageID(d.I32())
+		en.Write = d.U8() != 0
+		en.Bits = d.Bitmap()
+		ck.Bitmaps = append(ck.Bitmaps, en)
+	}
+	nr := int(d.U32())
+	for i := 0; i < nr; i++ {
+		ck.Races = append(ck.Races, msg.DecodeReport(d))
+	}
+	ck.St = decodeProcStats(d)
+	if d.U8() != 0 {
+		ck.HasMaster = true
+		ck.BarEpoch = d.I32()
+		if d.U8() != 0 {
+			ck.HasDet = true
+			ck.Det.Stats = decodeRaceStats(d)
+			ck.Det.FirstRacyEpoch = d.I32()
+			ndr := int(d.U32())
+			for i := 0; i < ndr; i++ {
+				ck.Det.RacyRecords = append(ck.Det.RacyRecords, msg.DecodeRecord(d))
+			}
+		}
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("dsm: checkpoint: %w", err)
+	}
+	if !d.Done() {
+		return nil, fmt.Errorf("dsm: checkpoint: trailing bytes")
+	}
+	return ck, nil
+}
+
+// restoreFromCheckpoint overwrites a freshly built process with the state
+// of a decoded checkpoint. Called before the service and application
+// threads start, so no locking is needed.
+func (p *Proc) restoreFromCheckpoint(ck *procCheckpoint) error {
+	if ck.ID != p.id || ck.N != p.n {
+		return fmt.Errorf("dsm: checkpoint for proc %d/%d restored at proc %d/%d",
+			ck.ID, ck.N, p.id, p.n)
+	}
+	if len(ck.Pages) != p.sys.layout.NumPages {
+		return fmt.Errorf("dsm: checkpoint has %d pages, layout has %d",
+			len(ck.Pages), p.sys.layout.NumPages)
+	}
+	p.epoch = ck.Epoch
+	p.curIndex = ck.CurIndex
+	p.vnow = ck.Vnow
+	p.vcur = ck.Vcur.Copy()
+	for i := range ck.Pages {
+		pg := mem.PageID(i)
+		cp := &ck.Pages[i]
+		p.state[pg] = cp.State
+		p.owned[pg] = cp.Owned
+		p.dirOwner[pg] = cp.DirOwner
+		if cp.Data != nil {
+			if len(cp.Data) != p.seg.PageSize {
+				return fmt.Errorf("dsm: checkpoint page %d has %d bytes, page size is %d",
+					pg, len(cp.Data), p.seg.PageSize)
+			}
+			p.seg.CopyPageIn(pg, cp.Data)
+		}
+	}
+	p.twins = make(map[mem.PageID][]byte, len(ck.Twins))
+	for pg, tw := range ck.Twins {
+		p.twins[pg] = append([]byte(nil), tw...)
+	}
+	p.writtenPages = make(map[mem.PageID]bool, len(ck.Written))
+	for _, pg := range ck.Written {
+		p.writtenPages[pg] = true
+	}
+	p.pendingInval = make(map[mem.PageID]bool, len(ck.PendingInval))
+	for _, pg := range ck.PendingInval {
+		p.pendingInval[pg] = true
+	}
+	p.locks = make(map[int]*lockState, len(ck.Locks))
+	for _, lk := range ck.Locks {
+		ls := &lockState{
+			holding:           lk.Holding,
+			releasedUngranted: lk.ReleasedUngranted,
+			lastRelV:          lk.LastRelV,
+			lastHolder:        lk.LastHolder,
+		}
+		if lk.RelVC != nil {
+			ls.relVC = lk.RelVC.Copy()
+		}
+		p.locks[lk.ID] = ls
+	}
+	p.log = interval.NewLog()
+	for _, r := range ck.Log {
+		p.log.Add(r)
+	}
+	p.epochRecords = ck.EpochRecords
+	p.store = interval.NewBitmapStore()
+	for _, en := range ck.Bitmaps {
+		p.store.Put(en.ID, en.Page, en.Write, en.Bits)
+	}
+	p.races = ck.Races
+	p.st = ck.St
+	if ck.HasMaster {
+		if p.bar == nil {
+			return fmt.Errorf("dsm: master checkpoint restored at non-master proc %d", p.id)
+		}
+		p.bar.epoch = ck.BarEpoch
+		if ck.HasDet && p.sys.detector != nil {
+			p.sys.detector.RestoreState(ck.Det)
+		}
+	}
+	return nil
+}

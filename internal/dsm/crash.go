@@ -1,0 +1,220 @@
+package dsm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lrcrace/internal/telemetry"
+)
+
+// CrashPoint selects where in the protocol a CrashPlan kills its victim.
+type CrashPoint int
+
+const (
+	// CrashMidInterval (the default) kills the victim after its AfterN-th
+	// shared access of epoch CrashPlan.Epoch — mid-interval, with an open
+	// interval and unflushed access bitmaps.
+	CrashMidInterval CrashPoint = iota
+	// CrashAtVTime kills the victim at its first shared access once its
+	// virtual clock reaches CrashPlan.VTime.
+	CrashAtVTime
+	// CrashHoldingLock kills the victim immediately after it acquires its
+	// AfterN-th lock of epoch CrashPlan.Epoch — while holding the lock, so
+	// recovery must let the manager reclaim the dead holder's tenure.
+	CrashHoldingLock
+	// CrashInBitmapRound kills the victim inside the barrier's extra
+	// detection round of epoch CrashPlan.Epoch: after it has received the
+	// barrier release (with NeedBitmaps set) but before it sends its
+	// BitmapReply, wedging the master mid-comparison.
+	CrashInBitmapRound
+)
+
+func (c CrashPoint) String() string {
+	switch c {
+	case CrashAtVTime:
+		return "at-vtime"
+	case CrashMidInterval:
+		return "mid-interval"
+	case CrashHoldingLock:
+		return "holding-lock"
+	case CrashInBitmapRound:
+		return "in-bitmap-round"
+	default:
+		return fmt.Sprintf("CrashPoint(%d)", int(c))
+	}
+}
+
+// CrashPlan schedules the crash of one process, deterministically — the
+// process-death analogue of simnet.FaultPlan's wire faults. The plan fires
+// at most once per System: after a coordinated rollback the re-executed
+// epoch runs crash-free, exactly like a machine that is rebooted once.
+//
+// The victim dies abruptly: its network endpoint is killed (queued traffic
+// discarded, later sends dropped on the floor) and its application thread
+// stops. Nothing is announced — survivors must detect the death through
+// reliable-link retry-cap exhaustion or the barrier wall timeout, as on
+// real hardware.
+type CrashPlan struct {
+	// Victim is the process to kill, in [1, NumProcs). Process 0 (the
+	// barrier master and detector host) cannot be a victim: the recovery
+	// protocol is coordinated by the master's successor checkpoint, and
+	// master fail-over is out of scope.
+	Victim int
+	// Epoch is the barrier epoch during which the protocol-point crashes
+	// (CrashMidInterval, CrashHoldingLock, CrashInBitmapRound) fire.
+	// Ignored by CrashAtVTime.
+	Epoch int32
+	// Point is where the victim dies.
+	Point CrashPoint
+	// VTime is the virtual-time trigger for CrashAtVTime.
+	VTime int64
+	// AfterN counts trigger sites within the epoch for CrashMidInterval
+	// (shared accesses) and CrashHoldingLock (lock acquisitions); 0 → 1.
+	AfterN int
+
+	fired atomic.Bool
+}
+
+// Validate checks the plan against a system of n processes.
+func (c *CrashPlan) Validate(n int) error {
+	if c.Victim < 1 || c.Victim >= n {
+		return fmt.Errorf("crash plan: victim %d out of range [1, %d)", c.Victim, n)
+	}
+	switch c.Point {
+	case CrashAtVTime:
+		if c.VTime <= 0 {
+			return fmt.Errorf("crash plan: %v requires VTime > 0", c.Point)
+		}
+	case CrashMidInterval, CrashHoldingLock, CrashInBitmapRound:
+		if c.Epoch < 0 {
+			return fmt.Errorf("crash plan: Epoch = %d", c.Epoch)
+		}
+	default:
+		return fmt.Errorf("crash plan: unknown point %d", int(c.Point))
+	}
+	if c.AfterN < 0 {
+		return fmt.Errorf("crash plan: AfterN = %d", c.AfterN)
+	}
+	return nil
+}
+
+// Fired reports whether the plan's crash has been injected.
+func (c *CrashPlan) Fired() bool { return c.fired.Load() }
+
+func (c *CrashPlan) afterN() int {
+	if c.AfterN <= 0 {
+		return 1
+	}
+	return c.AfterN
+}
+
+// RandomCrashPlan derives a crash plan deterministically from seed for a
+// run of n processes and the given epoch count: a seed-driven victim,
+// epoch, and mid-interval trigger offset (the one crash point every
+// workload exposes). The same seed always produces the same plan.
+func RandomCrashPlan(seed uint64, n int, epochs int32) *CrashPlan {
+	if n < 2 || epochs < 1 {
+		return nil
+	}
+	s := seed
+	next := func() uint64 {
+		// splitmix64, the same generator simnet's fault plan seeds with.
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		return z
+	}
+	return &CrashPlan{
+		Victim: 1 + int(next()%uint64(n-1)),
+		Epoch:  int32(next() % uint64(epochs)),
+		Point:  CrashMidInterval,
+		AfterN: 1 + int(next()%4),
+	}
+}
+
+// crashSite labels the instrumentation sites that consult the plan.
+type crashSite int
+
+const (
+	siteAccess crashSite = iota
+	siteLock
+	siteBitmap
+)
+
+// crashPanic is the typed panic a victim's application thread dies with.
+// The run loop recognizes it and — unlike every other panic — does NOT
+// shut the network down: the survivors must notice the silence themselves.
+type crashPanic struct {
+	proc  int
+	point CrashPoint
+}
+
+func (c crashPanic) String() string {
+	return fmt.Sprintf("proc %d crashed (injected, %v)", c.proc, c.point)
+}
+
+// endpointKiller is the optional transport capability crash injection
+// needs; simnet.Network and reliable.Transport both provide it.
+type endpointKiller interface {
+	KillEndpoint(proc int)
+}
+
+// shouldCrashLocked consults the crash plan at one instrumentation site.
+// Must be called with p.mu held; the caller must release p.mu before
+// acting on a true return (crashNow panics, and a panic holding p.mu
+// would wedge the service thread).
+func (p *Proc) shouldCrashLocked(site crashSite) bool {
+	cp := p.sys.cfg.Crash
+	if cp == nil || cp.Victim != p.id || cp.fired.Load() {
+		return false
+	}
+	switch cp.Point {
+	case CrashAtVTime:
+		if site != siteAccess || p.vnow < cp.VTime {
+			return false
+		}
+	case CrashMidInterval:
+		if site != siteAccess || p.epoch != cp.Epoch {
+			return false
+		}
+		p.crashAccesses++
+		if p.crashAccesses < cp.afterN() {
+			return false
+		}
+	case CrashHoldingLock:
+		if site != siteLock || p.epoch != cp.Epoch {
+			return false
+		}
+		p.crashLocks++
+		if p.crashLocks < cp.afterN() {
+			return false
+		}
+	case CrashInBitmapRound:
+		if site != siteBitmap || p.epoch != cp.Epoch {
+			return false
+		}
+	default:
+		return false
+	}
+	return cp.fired.CompareAndSwap(false, true)
+}
+
+// crashNow kills this process: its transport endpoint dies (discarding
+// queued traffic; the service loop exits when its Recv returns false) and
+// the application thread unwinds with a crashPanic. Called without p.mu.
+func (p *Proc) crashNow() {
+	p.mu.Lock()
+	v := p.vnow
+	pt := p.sys.cfg.Crash.Point
+	p.mu.Unlock()
+	telemetry.Emit(p.id, telemetry.KCrashInjected, v, int64(pt), int64(p.id), 0)
+	dbgf("p%d CRASH injected (%v, vt=%d)", p.id, pt, v)
+	if k, ok := p.sys.nw.(endpointKiller); ok {
+		k.KillEndpoint(p.id)
+	}
+	panic(crashPanic{proc: p.id, point: pt})
+}

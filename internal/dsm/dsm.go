@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -33,7 +32,6 @@ import (
 	"lrcrace/internal/race"
 	"lrcrace/internal/reliable"
 	"lrcrace/internal/simnet"
-	"lrcrace/internal/telemetry"
 )
 
 // ProtocolKind selects the coherence protocol.
@@ -143,6 +141,23 @@ type Config struct {
 	// lock) runs arbitrarily faster in real time than remote peers, which
 	// can starve centralized-work-queue applications at tiny scales.
 	RealMsgDelay time.Duration
+
+	// Checkpoint enables barrier-epoch checkpointing: at every barrier
+	// departure each process serializes its recovery state — page copies
+	// and rights, twins, version vector, interval log and bitmaps, lock
+	// table, race reports, statistics, and the master's detector state —
+	// to bytes (see CheckpointStats for the measured sizes). Required for
+	// crash recovery (RunEpochs + Crash).
+	Checkpoint bool
+
+	// Crash schedules the injected fail-stop death of one process (see
+	// CrashPlan). Requires Checkpoint, the built-in simulated network
+	// (Transport == nil), and at least one failure-detection path:
+	// Reliable (link retry-cap exhaustion) or BarrierWallTimeout > 0.
+	Crash *CrashPlan
+
+	// MaxRecoveries caps coordinated rollbacks per RunEpochs run; 0 → 3.
+	MaxRecoveries int
 }
 
 // Tracer observes the execution. Calls are ordered consistently with the
@@ -223,6 +238,23 @@ func (c *Config) fill() error {
 			return fmt.Errorf("dsm: %w", err)
 		}
 	}
+	if c.Crash != nil {
+		if err := c.Crash.Validate(c.NumProcs); err != nil {
+			return fmt.Errorf("dsm: %w", err)
+		}
+		if !c.Checkpoint {
+			return fmt.Errorf("dsm: Crash requires Checkpoint: recovery restores from barrier-epoch checkpoints")
+		}
+		if c.Transport != nil {
+			return fmt.Errorf("dsm: Crash requires the built-in simulated network (Transport must be nil)")
+		}
+		if !c.Reliable && c.BarrierWallTimeout <= 0 {
+			return fmt.Errorf("dsm: Crash requires a failure-detection path: set Reliable (link retry-cap exhaustion) or BarrierWallTimeout (barrier wall timeout)")
+		}
+	}
+	if c.MaxRecoveries < 0 {
+		return fmt.Errorf("dsm: MaxRecoveries = %d", c.MaxRecoveries)
+	}
 	return nil
 }
 
@@ -246,6 +278,17 @@ type System struct {
 	symbols   []Symbol
 
 	detector *race.Detector // lives at the barrier master (proc 0)
+
+	// Crash recovery (see checkpoint.go / recovery.go).
+	ckpts     *CheckpointStore
+	epochMode bool
+	recStats  RecoveryStats
+	stop      chan struct{} // closed when an attempt's app threads have all exited
+
+	recMu      sync.Mutex
+	suspect    int    // proc suspected dead this attempt; -1 unknown
+	suspectVia string // "link-death" | "barrier-timeout" | ""
+	crashSeen  bool   // an injected crashPanic unwound this attempt
 
 	runErr  error
 	runOnce sync.Once
@@ -337,74 +380,13 @@ func (s *System) Run(app func(p *Proc)) error {
 
 func (s *System) run(app func(p *Proc)) error {
 	s.ran = true
-	n := s.cfg.NumProcs
-	if s.cfg.Transport != nil {
-		s.nw = s.cfg.Transport
-	} else {
-		nw := simnet.New(n)
-		if err := nw.SetFaults(s.cfg.Faults); err != nil {
-			return err
-		}
-		s.nw = nw
+	if s.cfg.Checkpoint {
+		s.ckpts = NewCheckpointStore()
 	}
-	if s.cfg.Reliable {
-		s.nw = reliable.Wrap(s.nw, n, s.cfg.ReliableConfig)
-	}
-	s.procs = make([]*Proc, n)
-	for i := 0; i < n; i++ {
-		s.procs[i] = newProc(s, i)
-	}
-
-	var svcWG, appWG sync.WaitGroup
-	for _, p := range s.procs {
-		svcWG.Add(1)
-		go func(p *Proc) {
-			defer svcWG.Done()
-			p.serviceLoop()
-		}(p)
-	}
-
-	errs := make([]error, n)
-	for i, p := range s.procs {
-		appWG.Add(1)
-		go func(i int, p *Proc) {
-			defer appWG.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[i] = fmt.Errorf("dsm: proc %d panicked: %v", i, r)
-					if !strings.Contains(fmt.Sprint(r), "network shut down") {
-						// Dump the flight recorder for the root cause only,
-						// not for every secondary panic it induces.
-						telemetry.Trip(fmt.Sprintf("proc %d panicked: %v", i, r))
-					}
-					// Unblock peers waiting on this process.
-					s.nw.Close()
-				}
-			}()
-			app(p)
-			p.Barrier() // final global synchronization = last detection pass
-		}(i, p)
-	}
-	appWG.Wait()
-	s.nw.Close()
-	svcWG.Wait()
-
-	// Prefer the root-cause panic over the secondary "network shut down"
-	// panics it induces in peers blocked on replies.
-	for _, e := range errs {
-		if e != nil && !strings.Contains(e.Error(), "network shut down") {
-			s.runErr = e
-			break
-		}
-	}
-	if s.runErr == nil {
-		for _, e := range errs {
-			if e != nil {
-				s.runErr = e
-				break
-			}
-		}
-	}
+	s.runErr = s.attempt(func(p *Proc) {
+		app(p)
+		p.Barrier() // final global synchronization = last detection pass
+	}, nil)
 	return s.runErr
 }
 

@@ -123,12 +123,23 @@ type Proc struct {
 
 	replyCh chan simnet.Delivery
 
+	// ckptGate carries one token per barrier departure from the application
+	// thread (sent after checkpointLocked) to the service thread, which
+	// waits for it after routing the departure-trigger message; see
+	// (*Proc).awaitCheckpoint. Buffered so the sender never blocks.
+	ckptGate chan struct{}
+
 	// Barrier-master state (proc 0 only).
 	bar *barrierState
 
 	races []race.Report
 	st    Stats
 	vnow  int64
+
+	// Crash-plan trigger counters (see crash.go); only the victim's are
+	// ever advanced.
+	crashAccesses int
+	crashLocks    int
 }
 
 type barrierState struct {
@@ -143,6 +154,12 @@ type barrierState struct {
 	bmCount  int
 	bmMaxArr int64
 	bmSource map[bmKey]mem.Bitmap // key.write selects read/write bitmap
+
+	// arrivedFrom / bmFrom track which processes this round has heard
+	// from, so a barrier wall timeout can name the missing (suspected
+	// dead) process.
+	arrivedFrom []bool
+	bmFrom      []bool
 }
 
 type bmKey struct {
@@ -180,6 +197,7 @@ func newProc(s *System, id int) *Proc {
 		log:          interval.NewLog(),
 		locks:        make(map[int]*lockState),
 		replyCh:      make(chan simnet.Delivery, 16),
+		ckptGate:     make(chan struct{}, 1),
 	}
 	p.vcur[id] = 1
 	for pg := 0; pg < s.layout.NumPages; pg++ {
@@ -207,7 +225,12 @@ func newProc(s *System, id int) *Proc {
 		}
 	}
 	if id == 0 {
-		p.bar = &barrierState{gvc: vc.New(n), minArr: -1}
+		p.bar = &barrierState{
+			gvc:         vc.New(n),
+			minArr:      -1,
+			arrivedFrom: make([]bool, n),
+			bmFrom:      make([]bool, n),
+		}
 	}
 	return p
 }
@@ -268,9 +291,12 @@ func (p *Proc) waitReply() simnet.Delivery {
 
 // waitReplyTimeout is waitReply with the configured barrier wall timeout:
 // if the reply does not arrive within BarrierWallTimeout of real time, the
-// flight recorder is tripped (so the last events leading up to the hang are
-// preserved) and the process panics, which aborts the run. A zero timeout
-// waits forever.
+// process panics with a typed timeoutPanic, which aborts the run (the run
+// loop trips the flight recorder, preserving the events leading up to the
+// hang) and — under crash recovery — doubles as the failure detector. At
+// the barrier master the panic names the processes the current round has
+// not heard from; when exactly one is missing it becomes the crash
+// suspect. A zero timeout waits forever.
 func (p *Proc) waitReplyTimeout(op string) simnet.Delivery {
 	to := p.sys.cfg.BarrierWallTimeout
 	if to <= 0 {
@@ -285,9 +311,43 @@ func (p *Proc) waitReplyTimeout(op string) simnet.Delivery {
 		}
 		return d
 	case <-t.C:
-		// The panic is recovered in run(), which trips the flight recorder
-		// with the root-cause reason (a second Trip here would double-dump).
-		panic(fmt.Sprintf("%s timed out after %v", op, to))
+		tp := timeoutPanic{proc: p.id, op: op, timeout: to, suspect: -1}
+		// Only a barrier wait may name suspects from the master's arrival
+		// bookkeeping: there, a missing process has demonstrably gone
+		// silent. During any other wait (a lock grant wedged by a dead
+		// holder, say) the arrival ledger reflects who has merely not
+		// reached the barrier yet — this process included — not who died.
+		barrierWait := op == "barrier release" || op == "barrier bitmap round"
+		if p.bar != nil && barrierWait {
+			p.mu.Lock()
+			b := p.bar
+			var missing []int
+			from := b.arrivedFrom
+			if b.bmWait {
+				from = b.bmFrom
+			}
+			if b.arrived > 0 || b.bmWait {
+				for q := 0; q < p.n; q++ {
+					if q < len(from) && !from[q] {
+						missing = append(missing, q)
+					}
+				}
+			}
+			p.mu.Unlock()
+			// Name a suspect only when exactly one process is missing:
+			// with several, any of them may merely be wedged behind the
+			// dead one (a lock chain through the victim stalls every
+			// process queued after it), and guessing wrongly would roll
+			// the blame onto a healthy process. Leave it to the link-death
+			// detector or the crash plan's ground truth to sharpen.
+			if len(missing) == 1 {
+				tp.suspect = missing[0]
+			}
+			if len(missing) > 0 && len(missing) < p.n {
+				tp.detail = fmt.Sprintf(" (no word from %v)", missing)
+			}
+		}
+		panic(tp)
 	}
 }
 

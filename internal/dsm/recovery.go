@@ -1,0 +1,511 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lrcrace/internal/mem"
+	"lrcrace/internal/reliable"
+	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
+	"lrcrace/internal/vc"
+)
+
+// Coordinated rollback recovery.
+//
+// The failure model is fail-stop process crashes (see CrashPlan): the
+// victim's endpoint goes silent and stays silent. Survivors detect the
+// death through one of two paths — the reliable sublayer's retry-cap
+// exhaustion (a link to the victim dies after MaxRetries unacked
+// retransmissions), or the barrier wall timeout on any blocked reply wait
+// — and shut the network down, unwinding every process. The driver then
+// performs a coordinated rollback: it picks the latest epoch for which
+// every process holds a checkpoint (the recovery line), rebuilds ALL N
+// processes from their checkpoints at that line — the replacement for the
+// dead process is respawned from its own last checkpoint through exactly
+// the same path — reconciles cross-process protocol state (lock tenures
+// last held by the dead process are reclaimed by their managers; the page
+// directory is repaired), and re-executes the failed epoch. Because the
+// checkpoints restore virtual clocks along with everything else, a
+// recovered run reports the same races, the same final memory, and the
+// same virtual time as a crash-free run.
+
+// EpochFunc is the per-epoch application body used with RunEpochs: it
+// performs epoch e's work, and RunEpochs supplies the barrier after it.
+type EpochFunc func(p *Proc, epoch int32)
+
+// RecoveryStats summarizes crash-recovery activity over a run.
+type RecoveryStats struct {
+	Recoveries      int   // coordinated rollbacks performed
+	LocksReclaimed  int   // manager tenures reclaimed from the dead process
+	PagesReconciled int   // directory entries repaired at restore
+	VirtualNS       int64 // virtual time rolled back (lost work re-executed)
+	WallNS          int64 // real time spent decoding and restoring state
+
+	LastEpoch  int32  // recovery line of the most recent rollback
+	LastVictim int    // suspected dead proc; -1 if never identified
+	LastReason string // "link-death" or "barrier-timeout"
+}
+
+// timeoutPanic is the typed panic a reply wait raises when the barrier
+// wall timeout expires. It carries the suspected dead process when the
+// barrier master can name it (a proc missing from the arrival or
+// bitmap-round bookkeeping); -1 otherwise.
+type timeoutPanic struct {
+	proc    int
+	op      string
+	timeout time.Duration
+	suspect int
+	detail  string
+}
+
+func (t timeoutPanic) String() string {
+	return fmt.Sprintf("%s timed out after %v%s", t.op, t.timeout, t.detail)
+}
+
+// rollbackPlan is the decoded restore set a recovery attempt starts from.
+type rollbackPlan struct {
+	epoch     int32             // recovery line; 0 → restart from scratch
+	cks       []*procCheckpoint // per-proc checkpoints; nil when epoch == 0
+	virtualNS int64             // virtual time being rolled back
+	started   time.Time         // wall-clock start of the rollback
+	victim    int
+}
+
+// RunEpochs executes an epoch-structured application with crash recovery:
+// each process runs appFactory's function once per epoch with a barrier
+// after each (the final epoch's barrier is the run's last detection pass).
+// If a process dies (CrashPlan) and Checkpoint is enabled, the run rolls
+// back to the last barrier-epoch checkpoint line and re-executes the
+// failed epoch; see RecoveryStats for what that cost.
+//
+// appFactory is invoked once per execution attempt, so per-run state inside
+// the returned closure (channel gates, local counters) starts fresh after a
+// rollback. Epoch bodies must not couple across epochs through such state:
+// recovery re-executes only the failed epoch, not the ones before it.
+func (s *System) RunEpochs(epochs int32, appFactory func() EpochFunc) error {
+	var err error
+	s.runOnce.Do(func() { err = s.runEpochs(epochs, appFactory) })
+	if err == nil && s.runErr != nil {
+		err = s.runErr
+	}
+	return err
+}
+
+func (s *System) runEpochs(epochs int32, appFactory func() EpochFunc) error {
+	s.ran = true
+	s.epochMode = true
+	if epochs < 1 {
+		s.runErr = fmt.Errorf("dsm: RunEpochs(%d): need at least one epoch", epochs)
+		return s.runErr
+	}
+	if s.cfg.Checkpoint && s.ckpts == nil {
+		s.ckpts = NewCheckpointStore()
+	}
+	maxRec := s.cfg.MaxRecoveries
+	if maxRec <= 0 {
+		maxRec = 3
+	}
+	var plan *rollbackPlan
+	for {
+		app := appFactory()
+		if app == nil {
+			s.runErr = fmt.Errorf("dsm: RunEpochs: appFactory returned nil")
+			return s.runErr
+		}
+		err := s.attempt(func(p *Proc) {
+			for e := p.epoch; e < epochs; e++ {
+				app(p, e)
+				p.Barrier()
+			}
+		}, plan)
+		if err == nil {
+			s.runErr = nil
+			return nil
+		}
+		if !s.crashDetected() || !s.canRecover() || s.recStats.Recoveries >= maxRec {
+			s.runErr = err
+			return err
+		}
+		var rerr error
+		plan, rerr = s.planRollback()
+		if rerr != nil {
+			s.runErr = fmt.Errorf("dsm: recovery failed: %v (after %v)", rerr, err)
+			return s.runErr
+		}
+	}
+}
+
+// canRecover reports whether coordinated rollback is possible: checkpoints
+// are being taken and the transport can be rebuilt (the built-in simnet).
+func (s *System) canRecover() bool {
+	return s.cfg.Checkpoint && s.ckpts != nil && s.cfg.Transport == nil
+}
+
+// recoveryArmed reports whether link-death suspicion should feed the
+// recovery machinery rather than just abort the run.
+func (s *System) recoveryArmed() bool {
+	return s.cfg.Crash != nil || (s.epochMode && s.cfg.Checkpoint)
+}
+
+// --- crash suspicion (shared by the reliable sublayer's timer goroutine,
+// app-thread panic recovery, and the rollback driver) ---
+
+func (s *System) resetSuspectLocked() {
+	s.recMu.Lock()
+	s.suspect = -1
+	s.suspectVia = ""
+	s.crashSeen = false
+	s.recMu.Unlock()
+}
+
+// noteSuspect records a detection verdict of an attempt. Link-death is
+// hard evidence — the peer's receive pump acknowledged nothing across the
+// whole retry budget — and overrides an earlier circumstantial
+// barrier-timeout verdict; otherwise the first verdict wins and later
+// detections may only sharpen an unidentified suspect.
+func (s *System) noteSuspect(proc int, via string) {
+	s.recMu.Lock()
+	switch {
+	case s.suspectVia == "":
+		s.suspect, s.suspectVia = proc, via
+	case via == "link-death" && s.suspectVia != "link-death" && proc >= 0:
+		s.suspect, s.suspectVia = proc, via
+	case s.suspect < 0 && proc >= 0:
+		s.suspect = proc
+	}
+	s.recMu.Unlock()
+}
+
+func (s *System) noteCrash() {
+	s.recMu.Lock()
+	s.crashSeen = true
+	s.recMu.Unlock()
+}
+
+// crashDetected reports whether the last attempt ended in a crash-class
+// failure (injected crash observed, or a survivor-side detection fired) as
+// opposed to a genuine application or protocol error.
+func (s *System) crashDetected() bool {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.crashSeen || s.suspectVia != ""
+}
+
+func (s *System) suspectInfo() (proc int, via string) {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.suspect, s.suspectVia
+}
+
+// onLinkDead is installed as the reliable sublayer's dead-link handler
+// when recovery is armed: a link to an unresponsive peer exhausted its
+// retry cap, so that peer is suspected dead. The network is shut down to
+// unwind every survivor; the rollback driver takes over from there.
+func (s *System) onLinkDead(from, to int) {
+	s.noteSuspect(to, "link-death")
+	telemetry.Emit(from, telemetry.KCrashDetected, 0, int64(to), 1, 0)
+	dbgf("p%d suspects p%d dead (link retry cap)", from, to)
+	s.nw.Close()
+}
+
+// --- attempt runner ---
+
+// attempt builds a fresh transport and process set (restored from plan's
+// checkpoints when non-nil), runs body on every process, and returns the
+// root-cause error, if any. This is the single execution path behind both
+// Run and RunEpochs.
+func (s *System) attempt(body func(p *Proc), plan *rollbackPlan) error {
+	n := s.cfg.NumProcs
+	if s.cfg.Transport != nil {
+		s.nw = s.cfg.Transport
+	} else {
+		nw := simnet.New(n)
+		if err := nw.SetFaults(s.cfg.Faults); err != nil {
+			return err
+		}
+		s.nw = nw
+	}
+	if s.cfg.Reliable {
+		rc := s.cfg.ReliableConfig
+		if s.recoveryArmed() {
+			rc.OnLinkDead = s.onLinkDead
+		}
+		s.nw = reliable.Wrap(s.nw, n, rc)
+	}
+	s.resetSuspectLocked()
+	s.stop = make(chan struct{})
+	s.procs = make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		s.procs[i] = newProc(s, i)
+	}
+	if plan != nil {
+		if err := s.restoreFromPlan(plan); err != nil {
+			return err
+		}
+	}
+
+	var svcWG, appWG sync.WaitGroup
+	for _, p := range s.procs {
+		svcWG.Add(1)
+		go func(p *Proc) {
+			defer svcWG.Done()
+			p.serviceLoop()
+		}(p)
+	}
+
+	// Error classes, from most to least diagnostic: a genuine bug beats the
+	// injected crash, which beats the detection timeout it provoked, which
+	// beats the secondary "network shut down" panics either induces.
+	const (
+		errShutdown = iota
+		errTimeout
+		errCrash
+		errGenuine
+	)
+	errs := make([]error, n)
+	ranks := make([]int, n)
+	for i, p := range s.procs {
+		appWG.Add(1)
+		go func(i int, p *Proc) {
+			defer appWG.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					return
+				}
+				errs[i] = fmt.Errorf("dsm: proc %d panicked: %v", i, r)
+				switch pv := r.(type) {
+				case crashPanic:
+					ranks[i] = errCrash
+					s.noteCrash()
+					// An injected crash does NOT shut the network down:
+					// nothing announces a real machine's death either. The
+					// survivors must detect it themselves, via link
+					// retry-cap exhaustion or the barrier wall timeout.
+					return
+				case timeoutPanic:
+					ranks[i] = errTimeout
+					s.noteSuspect(pv.suspect, "barrier-timeout")
+					telemetry.Trip(telemetry.TripBarrierTimeout,
+						fmt.Sprintf("proc %d: %v", i, pv))
+					telemetry.Emit(i, telemetry.KCrashDetected, 0, int64(pv.suspect), 0, 0)
+				default:
+					ranks[i] = errGenuine
+					if strings.Contains(fmt.Sprint(r), "network shut down") {
+						ranks[i] = errShutdown
+					} else {
+						// Dump the flight recorder for the root cause only,
+						// not for every secondary panic it induces.
+						telemetry.Trip(telemetry.TripProcPanic,
+							fmt.Sprintf("proc %d panicked: %v", i, r))
+					}
+				}
+				// Unblock peers waiting on this process.
+				s.nw.Close()
+			}()
+			body(p)
+		}(i, p)
+	}
+	appWG.Wait()
+	// All application threads are done: break any service thread still
+	// gated on a checkpoint that will never be cut (its app thread died
+	// between popping the departure trigger and checkpointing), then shut
+	// the transport down so the service loops drain and exit.
+	close(s.stop)
+	s.nw.Close()
+	svcWG.Wait()
+
+	var best error
+	bestRank := -1
+	for i, e := range errs {
+		if e != nil && ranks[i] > bestRank {
+			best, bestRank = e, ranks[i]
+		}
+	}
+	return best
+}
+
+// --- rollback ---
+
+// planRollback selects the recovery line and decodes every process's
+// checkpoint at it. Called after a crash-aborted attempt has fully wound
+// down.
+func (s *System) planRollback() (*rollbackPlan, error) {
+	n := s.cfg.NumProcs
+	suspect, via := s.suspectInfo()
+	victim := suspect
+	if cp := s.cfg.Crash; victim < 0 && cp != nil && cp.Fired() {
+		// Detection could not name the victim (e.g. a worker's timeout with
+		// no master-side bookkeeping); fall back to the crash plan's ground
+		// truth for labeling. Recovery itself never needs the identity: all
+		// processes are rebuilt uniformly from the recovery line.
+		victim = cp.Victim
+	}
+	if via == "" {
+		via = "crash-observed"
+	}
+	abortedV := s.VirtualTime()
+	re := s.ckpts.LatestCommonEpoch(n)
+	plan := &rollbackPlan{epoch: re, started: time.Now(), victim: victim}
+	var restoredV int64
+	if re > 0 {
+		plan.cks = make([]*procCheckpoint, n)
+		for i := 0; i < n; i++ {
+			raw := s.ckpts.Get(i, re)
+			if raw == nil {
+				return nil, fmt.Errorf("no checkpoint for proc %d at epoch %d", i, re)
+			}
+			ck, err := decodeCheckpoint(raw)
+			if err != nil {
+				return nil, fmt.Errorf("proc %d epoch %d: %w", i, re, err)
+			}
+			if ck.Vnow > restoredV {
+				restoredV = ck.Vnow
+			}
+			plan.cks[i] = ck
+		}
+	}
+	plan.virtualNS = abortedV - restoredV
+	if plan.virtualNS < 0 {
+		plan.virtualNS = 0
+	}
+	s.recStats.Recoveries++
+	s.recStats.LastEpoch = re
+	s.recStats.LastVictim = victim
+	s.recStats.LastReason = via
+	s.recStats.VirtualNS += plan.virtualNS
+	telemetry.Emit(0, telemetry.KRecoveryStart, abortedV, int64(re), int64(victim), 0)
+	dbgf("RECOVERY: rolling back to epoch %d (victim p%d via %s, %dns of virtual work lost)",
+		re, victim, via, plan.virtualNS)
+	return plan, nil
+}
+
+// restoreFromPlan overwrites the freshly built process set with the
+// recovery line's checkpoints and reconciles cross-process state. Runs
+// inside attempt, before any goroutine starts.
+func (s *System) restoreFromPlan(plan *rollbackPlan) error {
+	if plan.cks != nil {
+		for i, p := range s.procs {
+			if err := p.restoreFromCheckpoint(plan.cks[i]); err != nil {
+				return err
+			}
+		}
+		if err := s.reconcileRestored(); err != nil {
+			return err
+		}
+	}
+	wall := time.Since(plan.started).Nanoseconds()
+	s.recStats.WallNS += wall
+	telemetry.Emit(0, telemetry.KRecoveryDone, s.procs[0].vnow,
+		int64(plan.epoch), plan.virtualNS, wall)
+	dbgf("RECOVERY: restored %d procs at epoch %d in %dns wall", len(s.procs), plan.epoch, wall)
+	return nil
+}
+
+// reconcileRestored repairs the cross-process protocol state after a
+// uniform restore. Each checkpoint is internally consistent, but the
+// processes do not checkpoint at the same instant: a fast process can
+// depart the barrier and issue next-epoch requests before a slow one has
+// checkpointed, so a manager's checkpoint may record tenure or directory
+// hand-offs whose counterpart was rolled back — and the dead process may
+// simply have died holding a lock. Both cases look the same after
+// restore: the manager-side record points at a process whose own state
+// shows no tenure. Reclaim those locks and repair the page directory.
+func (s *System) reconcileRestored() error {
+	n := s.cfg.NumProcs
+
+	// The master's barrier state is rebuilt from the global restore: the
+	// barrier epoch equals the restored process epoch, and the global VC is
+	// the merge of everyone's restored vector (all pre-line intervals are
+	// globally known at a barrier).
+	master := s.procs[0]
+	if master.bar != nil {
+		g := vc.New(n)
+		for _, q := range s.procs {
+			g.Merge(q.vcur)
+		}
+		master.bar.gvc = g
+		master.bar.epoch = master.epoch
+	}
+
+	// Lock reclamation: a manager whose lastHolder has no tenure and no
+	// grant obligation on its own side is pointing at a rolled-back future
+	// or a dead holder; the manager reclaims the lock and will grant the
+	// next request directly.
+	for _, m := range s.procs {
+		ids := make([]int, 0, len(m.locks))
+		for id := range m.locks {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			ls := m.locks[id]
+			if id%n != m.id || ls.lastHolder < 0 {
+				continue
+			}
+			hs := s.procs[ls.lastHolder].locks[id]
+			if hs == nil || (!hs.holding && !hs.releasedUngranted) {
+				telemetry.Emit(m.id, telemetry.KLockReclaim, m.vnow,
+					int64(id), int64(ls.lastHolder), 0)
+				dbgf("RECOVERY: manager p%d reclaims lock %d from p%d", m.id, id, ls.lastHolder)
+				ls.lastHolder = -1
+				s.recStats.LocksReclaimed++
+			}
+		}
+	}
+
+	// Page-directory repair (ownership protocols only): a directory entry
+	// pointing at a process that does not own the page records an ownership
+	// transfer that straddled the recovery line. Re-anchor it at a process
+	// that still owns the page, or at any valid copy (every copy that
+	// survived the barrier's write notices is current as of the line).
+	if s.cfg.Protocol != MultiWriter {
+		for i := 0; i < s.layout.NumPages; i++ {
+			pg := mem.PageID(i)
+			home := s.procs[i%n]
+			o := home.dirOwner[pg]
+			if o >= 0 && s.procs[o].owned[pg] {
+				continue
+			}
+			newOwner := -1
+			for _, q := range s.procs {
+				if q.owned[pg] {
+					newOwner = q.id
+					break
+				}
+			}
+			if newOwner < 0 {
+				for _, q := range s.procs {
+					if q.state[pg] != pageInvalid {
+						newOwner = q.id
+						break
+					}
+				}
+			}
+			if newOwner < 0 {
+				return fmt.Errorf("page %d has no valid copy at the recovery line", pg)
+			}
+			dbgf("RECOVERY: directory re-anchors page %d at p%d (was p%d)", pg, newOwner, o)
+			s.procs[newOwner].owned[pg] = true
+			home.dirOwner[pg] = newOwner
+			s.recStats.PagesReconciled++
+		}
+	}
+	return nil
+}
+
+// RecoveryStats returns cumulative crash-recovery counters for the run.
+func (s *System) RecoveryStats() RecoveryStats { return s.recStats }
+
+// CheckpointStats returns cumulative checkpoint counters for the run
+// (zero if Checkpoint was not enabled).
+func (s *System) CheckpointStats() CheckpointStats {
+	if s.ckpts == nil {
+		return CheckpointStats{}
+	}
+	return s.ckpts.Stats()
+}

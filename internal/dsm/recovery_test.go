@@ -1,0 +1,625 @@
+package dsm
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lrcrace/internal/hbdet"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/race"
+	"lrcrace/internal/reliable"
+	"lrcrace/internal/telemetry"
+)
+
+// recoverySys builds a system armed for crash recovery: checkpointing on,
+// the reliable sublayer with an aggressive retry cap (so link death is
+// declared in milliseconds), and the barrier wall timeout as the detection
+// backstop for crashes that leave no survivor→victim traffic.
+func recoverySys(t *testing.T, nproc int, proto ProtocolKind, crash *CrashPlan) *System {
+	t.Helper()
+	s, err := New(Config{
+		NumProcs:   nproc,
+		SharedSize: 16 * 1024,
+		PageSize:   1024,
+		Protocol:   proto,
+		Detect:     true,
+		Checkpoint: true,
+		Reliable:   true,
+		// Tuned to detect a dead endpoint in ~a quarter second. Do not make
+		// this much tighter: under -race a scheduler stall of a few
+		// milliseconds on a healthy process is routine, and a retry budget
+		// it can exceed makes survivors declare each other dead (a false
+		// link death corrupts the rollback bookkeeping the tests assert on).
+		ReliableConfig: reliable.Config{
+			RTO:        2 * time.Millisecond,
+			MaxRTO:     50 * time.Millisecond,
+			MaxRetries: 8,
+		},
+		BarrierWallTimeout: 2 * time.Second,
+		Crash:              crash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// recoveryScenario is one epoch-structured workload for the crash grid.
+// setup allocates shared state and returns the per-attempt app factory; its
+// epoch bodies are self-contained (no cross-epoch closure state), as
+// RunEpochs requires.
+type recoveryScenario struct {
+	name   string
+	proto  ProtocolKind
+	epochs int32
+	setup  func(t *testing.T, s *System) func() EpochFunc
+}
+
+// tspScenario is the paper's TSP shape: a branch-and-bound bound variable
+// updated under a lock but read unsynchronized for pruning (the racy read),
+// plus per-process tour slots (disjoint words, no race).
+func tspScenario() recoveryScenario {
+	return recoveryScenario{
+		name:   "tsp",
+		proto:  SingleWriter,
+		epochs: 3,
+		setup: func(t *testing.T, s *System) func() EpochFunc {
+			best, err := s.AllocWords("best", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tours, err := s.AllocWords("tours", 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() EpochFunc {
+				return func(p *Proc, e int32) {
+					p.Write(tours+mem.Addr(p.ID()*8), uint64(int(e)*10+p.ID()))
+					p.Lock(0)
+					p.Write(best, p.Read(best)+1)
+					p.Unlock(0)
+					if p.ID() != 0 {
+						p.Read(best) // unsynchronized pruning read: the TSP race
+					}
+				}
+			}
+		},
+	}
+}
+
+// mwScenario exercises the multi-writer diff protocol: disjoint words of a
+// shared page (false sharing, no race), an unsynchronized write-write
+// overlap between procs 1 and 2 (the race), and a lock-ordered counter
+// whose final value proves no update is lost or doubled across a rollback.
+func mwScenario() recoveryScenario {
+	return recoveryScenario{
+		name:   "multi-writer",
+		proto:  MultiWriter,
+		epochs: 3,
+		setup: func(t *testing.T, s *System) func() EpochFunc {
+			words, err := s.AllocWords("words", 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counter, err := s.AllocWords("counter", 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return func() EpochFunc {
+				return func(p *Proc, e int32) {
+					p.Write(words+mem.Addr(p.ID()*8), uint64(e)+1)
+					if p.ID() == 1 || p.ID() == 2 {
+						p.Write(words+mem.Addr(10*8), uint64(p.ID()))
+					}
+					p.Lock(1)
+					p.Write(counter, p.Read(counter)+1)
+					p.Unlock(1)
+				}
+			}
+		},
+	}
+}
+
+// stableRaceKeys reduces reports to their schedule-independent facts:
+// which address raced, in which epoch it was first caught, and whether it
+// was read-write or write-write. The representative interval pair inside a
+// report varies with lock-grant order even between two crash-free runs, so
+// it is excluded from the recovered-vs-baseline comparison.
+func stableRaceKeys(reports []race.Report) map[string]bool {
+	keys := map[string]bool{}
+	for _, r := range race.DedupByAddr(reports) {
+		kind := "read-write"
+		if r.WriteWrite() {
+			kind = "write-write"
+		}
+		keys[fmt.Sprintf("0x%x@epoch%d:%s", uint64(r.Addr), r.Epoch, kind)] = true
+	}
+	return keys
+}
+
+func (sc recoveryScenario) run(t *testing.T, crash *CrashPlan) *System {
+	t.Helper()
+	s := recoverySys(t, 4, sc.proto, crash)
+	factory := sc.setup(t, s)
+	if err := s.RunEpochs(sc.epochs, factory); err != nil {
+		t.Fatalf("%s (crash=%+v): %v", sc.name, crash, err)
+	}
+	return s
+}
+
+// TestCrashRecoveryGrid is the acceptance grid: crash each worker 1..N-1
+// mid-interval in turn, on both scenarios, and demand the recovered run
+// report exactly the crash-free run's races. Additional protocol points —
+// dying while holding a lock, dying inside the barrier's bitmap round, and
+// dying before the first checkpoint exists (epoch 0, full restart) — ride
+// on top of the victim sweep.
+func TestCrashRecoveryGrid(t *testing.T) {
+	const nproc = 4
+	for _, sc := range []recoveryScenario{tspScenario(), mwScenario()} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			base := sc.run(t, nil)
+			baseRaces := stableRaceKeys(base.Races())
+			if len(baseRaces) == 0 {
+				t.Fatalf("crash-free %s run found no races; the grid would prove nothing", sc.name)
+			}
+			if rs := base.RecoveryStats(); rs.Recoveries != 0 {
+				t.Fatalf("crash-free run performed %d recoveries", rs.Recoveries)
+			}
+			wantCkpts := nproc * int(sc.epochs)
+			if cs := base.CheckpointStats(); cs.Count != wantCkpts || cs.Bytes <= 0 {
+				t.Fatalf("crash-free checkpoints = %+v, want Count=%d, Bytes>0", cs, wantCkpts)
+			}
+
+			plans := []*CrashPlan{
+				{Victim: 1, Epoch: 1, Point: CrashMidInterval, AfterN: 2},
+				{Victim: 2, Epoch: 1, Point: CrashMidInterval, AfterN: 2},
+				{Victim: 3, Epoch: 1, Point: CrashMidInterval, AfterN: 2},
+				{Victim: 2, Epoch: 1, Point: CrashHoldingLock},
+				{Victim: 2, Epoch: 1, Point: CrashInBitmapRound},
+				{Victim: 1, Epoch: 0, Point: CrashMidInterval}, // before any checkpoint: full restart
+			}
+			for _, plan := range plans {
+				plan := plan
+				t.Run(fmt.Sprintf("%v-p%d-e%d", plan.Point, plan.Victim, plan.Epoch), func(t *testing.T) {
+					s := sc.run(t, plan)
+					if !plan.Fired() {
+						t.Fatal("crash plan never fired")
+					}
+					rs := s.RecoveryStats()
+					if rs.Recoveries != 1 {
+						t.Fatalf("recoveries = %d, want 1 (stats %+v)", rs.Recoveries, rs)
+					}
+					if rs.LastVictim != plan.Victim {
+						t.Errorf("recovery blamed p%d, victim was p%d (via %s)",
+							rs.LastVictim, plan.Victim, rs.LastReason)
+					}
+					if rs.LastReason != "link-death" && rs.LastReason != "barrier-timeout" {
+						t.Errorf("detection path = %q, want link-death or barrier-timeout", rs.LastReason)
+					}
+					wantLine := int32(0)
+					if plan.Epoch > 0 {
+						wantLine = plan.Epoch
+					}
+					if rs.LastEpoch != wantLine {
+						t.Errorf("recovery line = epoch %d, want %d", rs.LastEpoch, wantLine)
+					}
+					if got := stableRaceKeys(s.Races()); !reflect.DeepEqual(got, baseRaces) {
+						t.Errorf("recovered race set differs from crash-free run:\ncrash-free: %v\nrecovered:  %v",
+							baseRaces, got)
+					}
+					// Re-executed epochs deposit their checkpoints exactly once:
+					// nothing past the crash existed to collide with.
+					if cs := s.CheckpointStats(); cs.Count != wantCkpts {
+						t.Errorf("checkpoints after recovery = %d, want %d", cs.Count, wantCkpts)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCrashRecoveryFinalMemory: the lock-ordered counter survives a
+// rollback with no lost or doubled increments, and per-process slots hold
+// their final-epoch values.
+func TestCrashRecoveryFinalMemory(t *testing.T) {
+	sc := mwScenario()
+	s := recoverySys(t, 4, sc.proto, &CrashPlan{Victim: 3, Epoch: 1, Point: CrashMidInterval, AfterN: 2})
+	words, _ := s.AllocWords("words", 16)
+	counter, _ := s.AllocWords("counter", 1)
+	err := s.RunEpochs(sc.epochs, func() EpochFunc {
+		return func(p *Proc, e int32) {
+			p.Write(words+mem.Addr(p.ID()*8), uint64(e)+1)
+			p.Lock(1)
+			p.Write(counter, p.Read(counter)+1)
+			p.Unlock(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs := s.RecoveryStats(); rs.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", rs.Recoveries)
+	}
+	if got := s.SnapshotWord(counter); got != uint64(4*sc.epochs) {
+		t.Errorf("counter = %d after recovery, want %d", got, 4*sc.epochs)
+	}
+	for p := 0; p < 4; p++ {
+		if got := s.SnapshotWord(words + mem.Addr(p*8)); got != uint64(sc.epochs) {
+			t.Errorf("slot %d = %d, want %d", p, got, sc.epochs)
+		}
+	}
+}
+
+// TestCrashRecoveryCrossValidation anchors the grid's baseline: the
+// crash-free TSP run's LRC race set matches a classic vector-clock
+// happens-before detector observing the same execution. Combined with the
+// grid's recovered==crash-free equality, this cross-validates the
+// recovered runs against internal/hbdet.
+func TestCrashRecoveryCrossValidation(t *testing.T) {
+	const nproc = 4
+	hb := hbdet.New(nproc)
+	s, err := New(Config{
+		NumProcs:   nproc,
+		SharedSize: 16 * 1024,
+		PageSize:   1024,
+		Protocol:   SingleWriter,
+		Detect:     true,
+		Checkpoint: true,
+		Tracer:     hb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := tspScenario()
+	factory := sc.setup(t, s)
+	if err := s.RunEpochs(sc.epochs, factory); err != nil {
+		t.Fatal(err)
+	}
+	lrc := map[mem.Addr]bool{}
+	for _, r := range s.Races() {
+		lrc[r.Addr] = true
+	}
+	hbAddrs := hb.RacyAddrs()
+	if len(lrc) != len(hbAddrs) {
+		t.Fatalf("LRC flags %v, happens-before flags %v", lrc, hbAddrs)
+	}
+	for _, a := range hbAddrs {
+		if !lrc[a] {
+			t.Fatalf("happens-before flags %v, LRC missed %v", hbAddrs, a)
+		}
+	}
+}
+
+// TestRecoveryTelemetry runs one crash-and-recover execution under an
+// active recorder and checks both the event stream and the derived
+// metrics: checkpoint, crash-injection/detection, and recovery events must
+// appear, and the dsm_checkpoint_* / dsm_recovery_* counters must move.
+func TestRecoveryTelemetry(t *testing.T) {
+	rec := telemetry.Start(telemetry.Config{Procs: 4, Cap: -1})
+	defer telemetry.Stop()
+
+	sc := tspScenario()
+	s := sc.run(t, &CrashPlan{Victim: 2, Epoch: 1, Point: CrashMidInterval, AfterN: 2})
+	if rs := s.RecoveryStats(); rs.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", rs.Recoveries)
+	}
+
+	seen := map[telemetry.Kind]int{}
+	for _, e := range rec.Events() {
+		seen[e.Kind]++
+	}
+	for _, k := range []telemetry.Kind{
+		telemetry.KCheckpoint, telemetry.KCrashInjected, telemetry.KCrashDetected,
+		telemetry.KRecoveryStart, telemetry.KRecoveryDone,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("no %v event recorded (saw %v)", k, seen)
+		}
+	}
+	if seen[telemetry.KCrashInjected] != 1 {
+		t.Errorf("%d crash injections recorded, want 1", seen[telemetry.KCrashInjected])
+	}
+
+	snap := rec.Metrics().Snapshot()
+	for _, name := range []string{
+		"dsm_checkpoint_total", "dsm_checkpoint_bytes_total", "dsm_recovery_total",
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if got := snap.Counters["dsm_recovery_total"]; got != 1 {
+		t.Errorf("dsm_recovery_total = %d, want 1", got)
+	}
+	// Wall time is measured even when the virtual rollback is tiny.
+	if snap.Counters["dsm_recovery_wall_ns_total"] <= 0 {
+		t.Errorf("dsm_recovery_wall_ns_total = %d, want > 0",
+			snap.Counters["dsm_recovery_wall_ns_total"])
+	}
+	tripped := false
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "telemetry_trips_total") && v > 0 {
+			tripped = true
+		}
+	}
+	if !tripped && seen[telemetry.KCrashDetected] == 0 {
+		t.Error("neither a trip nor a crash-detected event was recorded")
+	}
+}
+
+// TestCheckpointRoundTrip: every checkpoint a real run deposits decodes,
+// restores into a freshly built process of an identical system, and
+// re-encodes to byte-identical form. This is the serialization acceptance
+// bar: a measurably sized, versioned, deterministic format.
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, sc := range []recoveryScenario{tspScenario(), mwScenario()} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			s := sc.run(t, nil)
+
+			// A twin system with the same geometry to host restored procs.
+			twin, err := New(Config{
+				NumProcs:   4,
+				SharedSize: 16 * 1024,
+				PageSize:   1024,
+				Protocol:   sc.proto,
+				Detect:     true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked := 0
+			for proc := 0; proc < 4; proc++ {
+				for epoch := int32(1); epoch <= sc.epochs; epoch++ {
+					blob := s.ckpts.Get(proc, epoch)
+					if blob == nil {
+						t.Fatalf("no checkpoint for proc %d epoch %d", proc, epoch)
+					}
+					ck, err := decodeCheckpoint(blob)
+					if err != nil {
+						t.Fatalf("proc %d epoch %d: %v", proc, epoch, err)
+					}
+					if ck.ID != proc || ck.Epoch != epoch {
+						t.Fatalf("checkpoint header says proc %d epoch %d, stored under proc %d epoch %d",
+							ck.ID, ck.Epoch, proc, epoch)
+					}
+					fresh := newProc(twin, proc)
+					if err := fresh.restoreFromCheckpoint(ck); err != nil {
+						t.Fatalf("restore proc %d epoch %d: %v", proc, epoch, err)
+					}
+					if again := fresh.encodeCheckpointLocked(); !bytes.Equal(blob, again) {
+						t.Fatalf("proc %d epoch %d: re-encoded checkpoint differs (%d vs %d bytes)",
+							proc, epoch, len(blob), len(again))
+					}
+					checked++
+				}
+			}
+			if want := 4 * int(sc.epochs); checked != want {
+				t.Fatalf("round-tripped %d checkpoints, want %d", checked, want)
+			}
+
+			// Corruption is rejected, not misparsed.
+			blob := append([]byte(nil), s.ckpts.Get(1, 1)...)
+			if _, err := decodeCheckpoint(blob[:len(blob)-3]); err == nil {
+				t.Error("truncated checkpoint decoded without error")
+			}
+			blob[0] ^= 0xff
+			if _, err := decodeCheckpoint(blob); err == nil {
+				t.Error("bad magic accepted")
+			}
+		})
+	}
+}
+
+// TestCheckpointStoreRecoveryLine exercises LatestCommonEpoch directly.
+func TestCheckpointStoreRecoveryLine(t *testing.T) {
+	cs := NewCheckpointStore()
+	if got := cs.LatestCommonEpoch(2); got != 0 {
+		t.Errorf("empty store line = %d, want 0", got)
+	}
+	cs.Put(0, 1, []byte{1})
+	cs.Put(0, 2, []byte{2, 2})
+	if got := cs.LatestCommonEpoch(2); got != 0 {
+		t.Errorf("line with proc 1 missing = %d, want 0", got)
+	}
+	cs.Put(1, 1, []byte{3})
+	if got := cs.LatestCommonEpoch(2); got != 1 {
+		t.Errorf("line = %d, want 1", got)
+	}
+	cs.Put(1, 2, []byte{4, 4})
+	if got := cs.LatestCommonEpoch(2); got != 2 {
+		t.Errorf("line = %d, want 2", got)
+	}
+	// Re-depositing an existing key must not double-count stats.
+	before := cs.Stats()
+	cs.Put(1, 2, []byte{4, 4})
+	if after := cs.Stats(); after != before {
+		t.Errorf("re-put changed stats: %+v -> %+v", before, after)
+	}
+	if st := cs.Stats(); st.Count != 4 || st.Bytes != 6 {
+		t.Errorf("stats = %+v, want Count=4 Bytes=6", st)
+	}
+}
+
+// TestCrashConfigValidation: the config layer rejects unrecoverable or
+// undetectable crash plans at New, not mid-run.
+func TestCrashConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{
+			NumProcs:           2,
+			SharedSize:         4096,
+			Checkpoint:         true,
+			BarrierWallTimeout: time.Second,
+		}
+	}
+	ok := base()
+	ok.Crash = &CrashPlan{Victim: 1}
+	if _, err := New(ok); err != nil {
+		t.Fatalf("valid crash config rejected: %v", err)
+	}
+
+	noCkpt := base()
+	noCkpt.Checkpoint = false
+	noCkpt.Crash = &CrashPlan{Victim: 1}
+	if _, err := New(noCkpt); err == nil {
+		t.Error("Crash without Checkpoint accepted")
+	}
+
+	noDetect := base()
+	noDetect.BarrierWallTimeout = 0
+	noDetect.Crash = &CrashPlan{Victim: 1}
+	if _, err := New(noDetect); err == nil {
+		t.Error("Crash with no failure-detection path accepted")
+	}
+
+	master := base()
+	master.Crash = &CrashPlan{Victim: 0}
+	if _, err := New(master); err == nil {
+		t.Error("crash of the barrier master accepted")
+	}
+
+	outOfRange := base()
+	outOfRange.Crash = &CrashPlan{Victim: 2}
+	if _, err := New(outOfRange); err == nil {
+		t.Error("victim out of range accepted")
+	}
+
+	badRec := base()
+	badRec.Crash = &CrashPlan{Victim: 1}
+	badRec.MaxRecoveries = -1
+	if _, err := New(badRec); err == nil {
+		t.Error("negative MaxRecoveries accepted")
+	}
+
+	badVT := base()
+	badVT.Crash = &CrashPlan{Victim: 1, Point: CrashAtVTime}
+	if _, err := New(badVT); err == nil {
+		t.Error("CrashAtVTime without VTime accepted")
+	}
+}
+
+// TestRandomCrashPlanDeterministic: same seed, same plan; victims stay in
+// the worker range.
+func TestRandomCrashPlanDeterministic(t *testing.T) {
+	a := RandomCrashPlan(42, 4, 3)
+	b := RandomCrashPlan(42, 4, 3)
+	if a.Victim != b.Victim || a.Epoch != b.Epoch || a.Point != b.Point || a.AfterN != b.AfterN {
+		t.Errorf("same seed, different plans: %+v vs %+v", a, b)
+	}
+	for seed := uint64(0); seed < 64; seed++ {
+		p := RandomCrashPlan(seed, 4, 3)
+		if p.Victim < 1 || p.Victim > 3 {
+			t.Fatalf("seed %d: victim %d out of worker range", seed, p.Victim)
+		}
+		if p.Epoch < 0 || p.Epoch > 2 {
+			t.Fatalf("seed %d: epoch %d out of range", seed, p.Epoch)
+		}
+		if err := p.Validate(4); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if RandomCrashPlan(1, 1, 3) != nil {
+		t.Error("single-proc system has no valid victim; want nil plan")
+	}
+}
+
+// TestBarrierResetAcrossEpochs is the satellite test for
+// resetBarrierLocked: after a round that populated every per-epoch field —
+// including the bitmap round's buffers, as a timed-out or crash-aborted
+// round would leave them — the reset must clear all of it and advance the
+// epoch, so the next round starts from a clean slate.
+func TestBarrierResetAcrossEpochs(t *testing.T) {
+	s := newSys(t, 3, SingleWriter, true)
+	p := newProc(s, 0)
+	b := p.bar
+	if b == nil {
+		t.Fatal("master proc has no barrier state")
+	}
+	for round := 0; round < 3; round++ {
+		epochBefore := b.epoch
+		// Dirty every per-epoch field as a mid-round abort would leave it.
+		b.arrived = 2
+		b.arrivedFrom[0] = true
+		b.arrivedFrom[2] = true
+		b.records = append(b.records, nil)
+		b.maxArr = 99
+		b.minArr = 7
+		b.check = []race.CheckEntry{{}}
+		b.bmWait = true
+		b.bmCount = 1
+		b.bmMaxArr = 55
+		b.bmSource = map[bmKey]mem.Bitmap{{page: 1}: nil}
+		b.bmFrom[1] = true
+
+		p.resetBarrierLocked()
+
+		if b.epoch != epochBefore+1 {
+			t.Errorf("round %d: epoch %d, want %d", round, b.epoch, epochBefore+1)
+		}
+		if b.arrived != 0 || b.records != nil || b.check != nil {
+			t.Errorf("round %d: arrival state not reset: arrived=%d records=%v check=%v",
+				round, b.arrived, b.records, b.check)
+		}
+		if b.maxArr != 0 || b.minArr != -1 {
+			t.Errorf("round %d: arrival clocks not reset: maxArr=%d minArr=%d",
+				round, b.maxArr, b.minArr)
+		}
+		if b.bmWait || b.bmCount != 0 || b.bmMaxArr != 0 || b.bmSource != nil {
+			t.Errorf("round %d: bitmap round not reset: wait=%v count=%d maxArr=%d source=%v",
+				round, b.bmWait, b.bmCount, b.bmMaxArr, b.bmSource)
+		}
+		for i, v := range b.arrivedFrom {
+			if v {
+				t.Errorf("round %d: arrivedFrom[%d] still set", round, i)
+			}
+		}
+		for i, v := range b.bmFrom {
+			if v {
+				t.Errorf("round %d: bmFrom[%d] still set", round, i)
+			}
+		}
+	}
+}
+
+// TestLockReclamation drives reconcileRestored directly against a
+// hand-built post-restore state: a manager whose lastHolder points at a
+// process with no tenure on its own side (the dead holder / rolled-back
+// hand-off signature) must reclaim; a consistent released-ungranted tenure
+// must be left alone.
+func TestLockReclamation(t *testing.T) {
+	s := newSys(t, 3, SingleWriter, false)
+	s.procs = make([]*Proc, 3)
+	for i := range s.procs {
+		s.procs[i] = newProc(s, i)
+	}
+	m := s.procs[0]
+	// Lock 0 (manager p0): lastHolder p2, but p2 has no tenure → reclaim.
+	m.locks[0] = &lockState{lastHolder: 2}
+	s.procs[2].locks[0] = &lockState{}
+	// Lock 3 (manager p0): lastHolder p1 with a consistent release → keep.
+	m.locks[3] = &lockState{lastHolder: 1}
+	s.procs[1].locks[3] = &lockState{releasedUngranted: true}
+	// Lock 1 (manager p1): lastHolder p1 itself, still holding → keep.
+	s.procs[1].locks[1] = &lockState{holding: true, lastHolder: 1}
+
+	if err := s.reconcileRestored(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.locks[0].lastHolder; got != -1 {
+		t.Errorf("dead tenure not reclaimed: lock 0 lastHolder = %d, want -1", got)
+	}
+	if got := m.locks[3].lastHolder; got != 1 {
+		t.Errorf("consistent tenure reclaimed: lock 3 lastHolder = %d, want 1", got)
+	}
+	if got := s.procs[1].locks[1].lastHolder; got != 1 {
+		t.Errorf("held tenure reclaimed: lock 1 lastHolder = %d, want 1", got)
+	}
+	if got := s.RecoveryStats().LocksReclaimed; got != 1 {
+		t.Errorf("LocksReclaimed = %d, want 1", got)
+	}
+}

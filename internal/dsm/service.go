@@ -54,12 +54,42 @@ func (p *Proc) serviceLoop() {
 			p.lock(int(m.Lock)).releasedUngranted = false
 			p.mu.Unlock()
 			p.replyCh <- d
-		case *msg.PageReply, *msg.DiffAck, *msg.InvalAck,
-			*msg.BarrierRelease, *msg.BarrierDone:
+		case *msg.BarrierRelease:
+			p.replyCh <- d
+			if !m.NeedBitmaps {
+				// The release is the departure trigger: hold the service
+				// thread until the checkpoint is cut (see awaitCheckpoint).
+				p.awaitCheckpoint()
+			}
+		case *msg.BarrierDone:
+			p.replyCh <- d
+			p.awaitCheckpoint()
+		case *msg.PageReply, *msg.DiffAck, *msg.InvalAck:
 			p.replyCh <- d
 		default:
 			p.protocolBug("unhandled message %T", d.Msg)
 		}
+	}
+}
+
+// awaitCheckpoint holds the service thread, immediately after it routed a
+// barrier-departure trigger (a BarrierRelease with no bitmap round, or a
+// BarrierDone) to the application thread, until that thread has serialized
+// its barrier-epoch checkpoint. The departure is the recovery line; without
+// this gate the service thread could apply a faster process's next-epoch
+// messages — a lock serialization at the manager, a diff flush at the home
+// — before the checkpoint is cut, leaking post-line state into it that
+// rollback reconciliation cannot undo. The application thread is
+// necessarily blocked waiting for the trigger (the barrier is fully
+// synchronous), so the wait is bounded by its local departure work; the
+// stop channel breaks the wait if that thread dies without checkpointing.
+func (p *Proc) awaitCheckpoint() {
+	if p.sys.ckpts == nil {
+		return
+	}
+	select {
+	case <-p.ckptGate:
+	case <-p.sys.stop:
 	}
 }
 
@@ -320,6 +350,7 @@ func (p *Proc) handleBarrierArrive(d simnet.Delivery, m *msg.BarrierArrive) {
 	if b.minArr < 0 || arrV < b.minArr {
 		b.minArr = arrV
 	}
+	b.arrivedFrom[d.From] = true
 	b.arrived++
 	if b.arrived < p.n {
 		return
@@ -387,6 +418,7 @@ func (p *Proc) handleBitmapReply(d simnet.Delivery, m *msg.BitmapReply) {
 	if arr := p.arrival(d); arr > b.bmMaxArr {
 		b.bmMaxArr = arr
 	}
+	b.bmFrom[d.From] = true
 	b.bmCount++
 	if b.bmCount < p.n {
 		return
@@ -418,6 +450,9 @@ func (p *Proc) handleBitmapReply(d simnet.Delivery, m *msg.BitmapReply) {
 	p.resetBarrierLocked()
 }
 
+// resetBarrierLocked clears every per-epoch field of the master's barrier
+// state — arrival bookkeeping AND the bitmap-round buffers — so the next
+// epoch starts from a clean slate even if this round ended abnormally.
 func (p *Proc) resetBarrierLocked() {
 	b := p.bar
 	b.epoch++
@@ -425,7 +460,15 @@ func (p *Proc) resetBarrierLocked() {
 	b.records = nil
 	b.check = nil
 	b.bmWait = false
+	b.bmCount = 0
+	b.bmMaxArr = 0
 	b.bmSource = nil
 	b.maxArr = 0
 	b.minArr = -1
+	for i := range b.arrivedFrom {
+		b.arrivedFrom[i] = false
+	}
+	for i := range b.bmFrom {
+		b.bmFrom[i] = false
+	}
 }

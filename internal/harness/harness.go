@@ -49,6 +49,12 @@ type RunConfig struct {
 	// BarrierWallTimeout bounds the real time a process waits for a
 	// barrier release before tripping the flight recorder and aborting.
 	BarrierWallTimeout time.Duration
+	// Checkpoint enables barrier-epoch checkpointing, so the run measures
+	// the serialized recovery state alongside the paper's metrics (see
+	// Result.Checkpoint and docs/ROBUSTNESS.md). Crash injection itself is
+	// not surfaced here: the benchmark applications are whole-program
+	// bodies, and only epoch-structured runs (dsm.RunEpochs) can recover.
+	Checkpoint bool
 	// Telemetry, when non-nil, installs a telemetry recorder for the run
 	// (Procs defaults to the run's process count). The recorder is stopped
 	// when Run returns and is available as Result.Telemetry; its metrics
@@ -74,6 +80,13 @@ type Result struct {
 	Net       simnet.Stats
 	Procs     []dsm.Stats
 	MemBytes  int
+
+	// Checkpoint and Recovery summarize the run's crash-tolerance costs:
+	// how many barrier-epoch checkpoints were serialized and how large, and
+	// what any coordinated rollbacks cost in re-executed virtual time and
+	// restore wall time. Zero-valued unless RunConfig.Checkpoint was set.
+	Checkpoint dsm.CheckpointStats
+	Recovery   dsm.RecoveryStats
 
 	// Telemetry is the run's stopped recorder when RunConfig.Telemetry was
 	// set (its metrics registry already includes the run's raw counters).
@@ -115,6 +128,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		Reliable:           cfg.Reliable,
 		ReliableConfig:     cfg.ReliableConfig,
 		BarrierWallTimeout: cfg.BarrierWallTimeout,
+		Checkpoint:         cfg.Checkpoint,
 	})
 	if err != nil {
 		return nil, err
@@ -155,6 +169,9 @@ func Run(cfg RunConfig) (*Result, error) {
 		Det:       sys.DetectorStats(),
 		Net:       sys.NetStats(),
 		MemBytes:  sys.AllocBytes(),
+
+		Checkpoint: sys.CheckpointStats(),
+		Recovery:   sys.RecoveryStats(),
 	}
 	for _, p := range sys.Procs() {
 		res.Procs = append(res.Procs, p.Stats())

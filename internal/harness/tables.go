@@ -70,6 +70,10 @@ type Suite struct {
 	Protocol dsm.ProtocolKind
 	// RealMsgDelay overrides the per-app default when nonzero.
 	RealMsgDelay time.Duration
+	// Checkpoint runs every pair with barrier-epoch checkpointing on, so
+	// the metrics document records the serialized recovery-state overhead
+	// next to the detection-slowdown tables.
+	Checkpoint bool
 
 	cache map[string][2]*Result // key: app|procs → {base, det}
 }
@@ -101,6 +105,7 @@ func (s *Suite) pair(app string, procs int) (*Result, *Result, error) {
 		Procs:        procs,
 		Protocol:     s.Protocol,
 		RealMsgDelay: s.RealMsgDelay,
+		Checkpoint:   s.Checkpoint,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: %s at %d procs: %w", app, procs, err)

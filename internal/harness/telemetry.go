@@ -83,6 +83,17 @@ func (r *Result) FillMetrics(reg *telemetry.Registry) {
 	reg.Gauge("run_virtual_ns", "End-to-end virtual runtime.").Set(float64(r.VirtualNS))
 	reg.Gauge("run_wall_ns", "End-to-end wall-clock runtime.").Set(float64(r.WallNS))
 	reg.Gauge("run_shared_mem_bytes", "Shared segment bytes allocated.").Set(float64(r.MemBytes))
+
+	// Crash-tolerance costs, as end-of-run totals. Named run_* (not the
+	// event-derived dsm_checkpoint_*/dsm_recovery_* counters) so filling a
+	// live recorder's registry does not double-count its own series.
+	if r.Checkpoint.Count > 0 || r.Recovery.Recoveries > 0 {
+		reg.Gauge("run_checkpoints", "Barrier-epoch checkpoints serialized.").Set(float64(r.Checkpoint.Count))
+		reg.Gauge("run_checkpoint_bytes", "Total serialized checkpoint bytes.").Set(float64(r.Checkpoint.Bytes))
+		reg.Gauge("run_recoveries", "Coordinated rollback recoveries performed.").Set(float64(r.Recovery.Recoveries))
+		reg.Gauge("run_recovery_virtual_ns", "Virtual time rolled back and re-executed.").Set(float64(r.Recovery.VirtualNS))
+		reg.Gauge("run_recovery_wall_ns", "Wall time spent restoring from checkpoints.").Set(float64(r.Recovery.WallNS))
+	}
 }
 
 // MetricsSnapshot freezes the run's metrics: the recorder's registry when
@@ -109,6 +120,19 @@ type suiteAppMetrics struct {
 	Baseline *telemetry.Snapshot `json:"baseline"`
 	Detect   *telemetry.Snapshot `json:"detect"`
 	Slowdown float64             `json:"slowdown"`
+	// Robustness is present when the suite ran with checkpointing enabled:
+	// the serialized-checkpoint overhead and any rollback-recovery cost of
+	// the detection run, next to the detection-slowdown numbers above.
+	Robustness *suiteRobustness `json:"robustness,omitempty"`
+}
+
+// suiteRobustness is the crash-tolerance cost block of one suite app run.
+type suiteRobustness struct {
+	Checkpoints       int   `json:"checkpoints"`
+	CheckpointBytes   int64 `json:"checkpoint_bytes"`
+	Recoveries        int   `json:"recoveries"`
+	RecoveryVirtualNS int64 `json:"recovery_virtual_ns"`
+	RecoveryWallNS    int64 `json:"recovery_wall_ns"`
 }
 
 // WriteMetricsJSON runs (or reuses) the suite's baseline/detection pairs at
@@ -126,11 +150,21 @@ func (s *Suite) WriteMetricsJSON(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		doc.Apps[app] = &suiteAppMetrics{
+		am := &suiteAppMetrics{
 			Baseline: base.MetricsSnapshot(),
 			Detect:   det.MetricsSnapshot(),
 			Slowdown: Slowdown(base, det),
 		}
+		if det.Checkpoint.Count > 0 || det.Recovery.Recoveries > 0 {
+			am.Robustness = &suiteRobustness{
+				Checkpoints:       det.Checkpoint.Count,
+				CheckpointBytes:   det.Checkpoint.Bytes,
+				Recoveries:        det.Recovery.Recoveries,
+				RecoveryVirtualNS: det.Recovery.VirtualNS,
+				RecoveryWallNS:    det.Recovery.WallNS,
+			}
+		}
+		doc.Apps[app] = am
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

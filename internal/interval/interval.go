@@ -199,6 +199,50 @@ func (s *BitmapStore) DiscardUpTo(proc int, hi vc.Index) {
 // Len returns the number of stored (interval,page) bitmaps, read+write.
 func (s *BitmapStore) Len() int { return len(s.read) + len(s.write) }
 
+// StoredBitmap is one (interval, page) bitmap held by the store, with its
+// access direction — the enumeration form used by checkpointing.
+type StoredBitmap struct {
+	ID    vc.IntervalID
+	Page  mem.PageID
+	Write bool
+	Bits  mem.Bitmap
+}
+
+// Entries returns every stored bitmap in a deterministic order (reads then
+// writes, each sorted by (proc, index, page)) so that serialized
+// checkpoints are byte-stable.
+func (s *BitmapStore) Entries() []StoredBitmap {
+	out := make([]StoredBitmap, 0, len(s.read)+len(s.write))
+	collect := func(m map[key]mem.Bitmap, write bool) {
+		start := len(out)
+		for k, bm := range m {
+			out = append(out, StoredBitmap{ID: k.id, Page: k.page, Write: write, Bits: bm})
+		}
+		part := out[start:]
+		sort.Slice(part, func(i, j int) bool {
+			if part[i].ID.Proc != part[j].ID.Proc {
+				return part[i].ID.Proc < part[j].ID.Proc
+			}
+			if part[i].ID.Index != part[j].ID.Index {
+				return part[i].ID.Index < part[j].ID.Index
+			}
+			return part[i].Page < part[j].Page
+		})
+	}
+	collect(s.read, false)
+	collect(s.write, true)
+	return out
+}
+
+// Put inserts one bitmap (the checkpoint-restore inverse of Entries).
+func (s *BitmapStore) Put(id vc.IntervalID, p mem.PageID, write bool, bm mem.Bitmap) {
+	if write {
+		s.write[key{id, p}] = bm
+	} else {
+		s.read[key{id, p}] = bm
+	}
+}
+
 // Log is a process's table of known interval records — its own and those
 // received via synchronization messages — used to compute the consistency
 // deltas appended to lock grants and barrier messages.
@@ -221,6 +265,22 @@ func (l *Log) Get(id vc.IntervalID) *Record { return l.byID[id] }
 
 // Len returns the number of records held.
 func (l *Log) Len() int { return len(l.byID) }
+
+// Records returns every held record sorted by (proc, index) — the
+// deterministic enumeration checkpointing serializes.
+func (l *Log) Records() []*Record {
+	out := make([]*Record, 0, len(l.byID))
+	for _, r := range l.byID {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ID.Proc != out[j].ID.Proc {
+			return out[i].ID.Proc < out[j].ID.Proc
+		}
+		return out[i].ID.Index < out[j].ID.Index
+	})
+	return out
+}
 
 // Delta returns every known record not yet seen by a process whose version
 // vector is theirs — the "structures describing intervals seen by the

@@ -130,7 +130,10 @@ func Unmarshal(b []byte) (Message, error) {
 
 // --- interval record encoding ---
 
-func encodeRecord(e *Encoder, r *interval.Record) {
+// EncodeRecord writes one interval record through e — the same encoding the
+// lock-grant and barrier messages use. Exported so the checkpoint codec
+// (internal/dsm) can serialize interval logs byte-compatibly with the wire.
+func EncodeRecord(e *Encoder, r *interval.Record) {
 	e.IntervalID(r.ID)
 	e.VC(r.VC)
 	e.I32(r.Epoch)
@@ -138,7 +141,8 @@ func encodeRecord(e *Encoder, r *interval.Record) {
 	e.Pages(r.ReadNotices)
 }
 
-func decodeRecord(d *Decoder) *interval.Record {
+// DecodeRecord is the inverse of EncodeRecord.
+func DecodeRecord(d *Decoder) *interval.Record {
 	r := &interval.Record{}
 	r.ID = d.IntervalID()
 	r.VC = d.VC()
@@ -147,6 +151,10 @@ func decodeRecord(d *Decoder) *interval.Record {
 	r.ReadNotices = d.Pages()
 	return r
 }
+
+func encodeRecord(e *Encoder, r *interval.Record) { EncodeRecord(e, r) }
+
+func decodeRecord(d *Decoder) *interval.Record { return DecodeRecord(d) }
 
 func encodeRecords(e *Encoder, rs []*interval.Record) {
 	e.U32(uint32(len(rs)))
@@ -573,14 +581,7 @@ func (m *BarrierDone) encode(e *Encoder) {
 	e.I32(m.Epoch)
 	e.U32(uint32(len(m.Races)))
 	for _, r := range m.Races {
-		e.I32(int32(r.Page))
-		e.U32(uint32(r.Word))
-		e.U64(uint64(r.Addr))
-		e.I32(r.Epoch)
-		e.IntervalID(r.A.Interval)
-		e.U8(uint8(r.A.Kind))
-		e.IntervalID(r.B.Interval)
-		e.U8(uint8(r.B.Kind))
+		EncodeReport(e, r)
 	}
 }
 func decodeBarrierDone(d *Decoder) *BarrierDone {
@@ -591,16 +592,34 @@ func decodeBarrierDone(d *Decoder) *BarrierDone {
 	}
 	m.Races = make([]race.Report, 0, n)
 	for i := 0; i < n; i++ {
-		var r race.Report
-		r.Page = mem.PageID(d.I32())
-		r.Word = int(d.U32())
-		r.Addr = mem.Addr(d.U64())
-		r.Epoch = d.I32()
-		r.A.Interval = d.IntervalID()
-		r.A.Kind = race.AccessKind(d.U8())
-		r.B.Interval = d.IntervalID()
-		r.B.Kind = race.AccessKind(d.U8())
-		m.Races = append(m.Races, r)
+		m.Races = append(m.Races, DecodeReport(d))
 	}
 	return m
+}
+
+// EncodeReport writes one race report through e — the BarrierDone encoding,
+// exported for the checkpoint codec.
+func EncodeReport(e *Encoder, r race.Report) {
+	e.I32(int32(r.Page))
+	e.U32(uint32(r.Word))
+	e.U64(uint64(r.Addr))
+	e.I32(r.Epoch)
+	e.IntervalID(r.A.Interval)
+	e.U8(uint8(r.A.Kind))
+	e.IntervalID(r.B.Interval)
+	e.U8(uint8(r.B.Kind))
+}
+
+// DecodeReport is the inverse of EncodeReport.
+func DecodeReport(d *Decoder) race.Report {
+	var r race.Report
+	r.Page = mem.PageID(d.I32())
+	r.Word = int(d.U32())
+	r.Addr = mem.Addr(d.U64())
+	r.Epoch = d.I32()
+	r.A.Interval = d.IntervalID()
+	r.A.Kind = race.AccessKind(d.U8())
+	r.B.Interval = d.IntervalID()
+	r.B.Kind = race.AccessKind(d.U8())
+	return r
 }

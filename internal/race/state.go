@@ -1,0 +1,51 @@
+package race
+
+import (
+	"sort"
+
+	"lrcrace/internal/interval"
+	"lrcrace/internal/vc"
+)
+
+// State is the checkpointable portion of a Detector: the accumulated work
+// statistics, the first-racy-epoch marker behind §6.4 first-race
+// filtering, and the retained racy interval records ExplainReport needs.
+// The barrier master serializes it into its barrier-epoch checkpoint so a
+// coordinated rollback resumes detection exactly where the crash-free run
+// would have been.
+type State struct {
+	Stats          Stats
+	FirstRacyEpoch int32
+	// RacyRecords is sorted by (proc, index) so serialization is
+	// byte-stable.
+	RacyRecords []*interval.Record
+}
+
+// SnapshotState returns a deep copy of the detector's mutable state.
+func (d *Detector) SnapshotState() State {
+	s := State{Stats: d.stats, FirstRacyEpoch: d.firstRacyEpoch}
+	for _, r := range d.racyRecords {
+		s.RacyRecords = append(s.RacyRecords, r.Clone())
+	}
+	sort.Slice(s.RacyRecords, func(i, j int) bool {
+		if s.RacyRecords[i].ID.Proc != s.RacyRecords[j].ID.Proc {
+			return s.RacyRecords[i].ID.Proc < s.RacyRecords[j].ID.Proc
+		}
+		return s.RacyRecords[i].ID.Index < s.RacyRecords[j].ID.Index
+	})
+	return s
+}
+
+// RestoreState overwrites the detector's mutable state from a snapshot
+// (the checkpoint-restore inverse of SnapshotState).
+func (d *Detector) RestoreState(s State) {
+	d.stats = s.Stats
+	d.firstRacyEpoch = s.FirstRacyEpoch
+	d.racyRecords = nil
+	if len(s.RacyRecords) > 0 {
+		d.racyRecords = make(map[vc.IntervalID]*interval.Record, len(s.RacyRecords))
+		for _, r := range s.RacyRecords {
+			d.racyRecords[r.ID] = r.Clone()
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// AckEvery forces an immediate pure RelAck after this many deliveries
 	// without reverse traffic (default 4).
 	AckEvery int
+	// OnLinkDead, when non-nil, is called (once per link, off the timer
+	// goroutine) when a link exhausts MaxRetries instead of shutting the
+	// whole transport down. The owner decides what dies: the crash-recovery
+	// layer uses this to mark the unreachable peer as a crash suspect and
+	// tear the run down for coordinated rollback.
+	OnLinkDead func(from, to int)
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +104,7 @@ type Transport struct {
 	mu     sync.Mutex
 	st     simnet.Stats
 	closed bool
+	killed []bool // endpoints taken down by KillEndpoint
 
 	wg sync.WaitGroup
 }
@@ -106,12 +113,13 @@ type Transport struct {
 // starts the per-endpoint demux pumps.
 func Wrap(inner Inner, n int, cfg Config) *Transport {
 	t := &Transport{
-		inner: inner,
-		n:     n,
-		cfg:   cfg.withDefaults(),
-		out:   make([]*simnet.Queue, n),
-		send:  make([]*sendLink, n*n),
-		recv:  make([]*recvLink, n*n),
+		inner:  inner,
+		n:      n,
+		cfg:    cfg.withDefaults(),
+		out:    make([]*simnet.Queue, n),
+		send:   make([]*sendLink, n*n),
+		recv:   make([]*recvLink, n*n),
+		killed: make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
 		t.out[i] = simnet.NewQueue()
@@ -187,6 +195,14 @@ func (t *Transport) bumpStats(f func(st *simnet.Stats)) {
 // retransmission timer. Self-sends bypass the sublayer (loopback cannot
 // lose messages).
 func (t *Transport) Send(from, to int, m msg.Message, vtime int64) int {
+	t.mu.Lock()
+	fromDead := t.killed[from]
+	t.mu.Unlock()
+	if fromDead {
+		// A crashed process sends nothing; the caller is a goroutine that
+		// has not yet observed its own death.
+		return 0
+	}
 	if from == to {
 		wire := t.inner.Send(from, to, m, vtime)
 		t.bumpStats(func(st *simnet.Stats) {
@@ -246,9 +262,14 @@ func (sl *sendLink) onTimeout() {
 		telemetry.Emit(sl.from, telemetry.KLinkDead, first.vtime,
 			int64(sl.to), int64(nun), int64(t.cfg.MaxRetries))
 		t.bumpStats(func(st *simnet.Stats) { st.Errors++ })
-		telemetry.Trip(fmt.Sprintf("reliable: link %d->%d dead after %d retries (%d unacked, first %v seq %d)",
-			sl.from, sl.to, t.cfg.MaxRetries, nun, first.typ, first.seq))
-		t.Close()
+		telemetry.Trip(telemetry.TripLinkDead,
+			fmt.Sprintf("reliable: link %d->%d dead after %d retries (%d unacked, first %v seq %d)",
+				sl.from, sl.to, t.cfg.MaxRetries, nun, first.typ, first.seq))
+		if h := t.cfg.OnLinkDead; h != nil {
+			h(sl.from, sl.to)
+		} else {
+			t.Close()
+		}
 		return
 	}
 	rl := t.recv[sl.from*t.n+sl.to]
@@ -418,6 +439,14 @@ func (rl *recvLink) onAckDelay() {
 // position.
 func (rl *recvLink) sendPureAckLocked() {
 	t := rl.t
+	t.mu.Lock()
+	atDead := t.killed[rl.at]
+	t.mu.Unlock()
+	if atDead {
+		// A crashed process acknowledges nothing — this silence is what
+		// drives the survivors' links to retry-cap exhaustion.
+		return
+	}
 	wire := t.inner.Send(rl.at, rl.from, &msg.RelAck{Ack: rl.expected - 1}, 0)
 	rl.ackOwed = 0
 	if rl.ackTimer != nil {
@@ -466,6 +495,38 @@ func (t *Transport) pump(at int) {
 // Recv implements dsm.Transport.
 func (t *Transport) Recv(proc int) (simnet.Delivery, bool) {
 	return t.out[proc].Pop()
+}
+
+// KillEndpoint simulates a process crash at proc: the victim stops
+// sending (including retransmissions), its inner endpoint is killed if the
+// inner transport supports it, and its delivery queue is discarded so its
+// blocked Recv returns ok=false immediately. Links from survivors TO the
+// victim are left running on purpose — their retransmission timers are
+// exactly how the survivors detect the death (retry-cap exhaustion →
+// OnLinkDead).
+func (t *Transport) KillEndpoint(proc int) {
+	t.mu.Lock()
+	if t.closed || t.killed[proc] {
+		t.mu.Unlock()
+		return
+	}
+	t.killed[proc] = true
+	t.mu.Unlock()
+
+	// Silence the victim's own sender halves: a dead host neither sends
+	// new data nor retransmits old.
+	for to := 0; to < t.n; to++ {
+		t.send[proc*t.n+to].stop()
+	}
+	// And its receiver halves' ack timers: a dead host acknowledges
+	// nothing, which is what starves the survivors' links into timeout.
+	for from := 0; from < t.n; from++ {
+		t.recv[proc*t.n+from].stop()
+	}
+	if k, ok := t.inner.(interface{ KillEndpoint(int) }); ok {
+		k.KillEndpoint(proc)
+	}
+	t.out[proc].Kill()
 }
 
 // Close implements dsm.Transport: stop timers, shut the inner transport,

@@ -193,6 +193,18 @@ func (nw *Network) Close() {
 	}
 }
 
+// KillEndpoint simulates a process crash at proc: its queue is discarded
+// and closed, so the victim's blocked Recv returns ok=false and every
+// later Send to it is silently dropped on the floor (a packet to a dead
+// host). Other endpoints are unaffected — survivors only learn of the
+// death through their own timeouts.
+func (nw *Network) KillEndpoint(proc int) {
+	if proc < 0 || proc >= nw.n {
+		panic(fmt.Sprintf("simnet: kill invalid endpoint %d", proc))
+	}
+	nw.queues[proc].Kill()
+}
+
 // Stats returns a snapshot of the traffic counters.
 func (nw *Network) Stats() Stats {
 	nw.mu.Lock()
@@ -251,6 +263,17 @@ func (q *Queue) Pop() (Delivery, bool) {
 func (q *Queue) Close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Kill closes the queue and discards everything still queued, so blocked
+// Pops return ok=false immediately instead of draining — the crash-fault
+// version of Close.
+func (q *Queue) Kill() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = nil
 	q.closed = true
 	q.cond.Broadcast()
 }

@@ -91,6 +91,24 @@ const (
 	KWireDup
 	// KWireReorder: the fault injector held a message back. A=dest, B=msg type.
 	KWireReorder
+	// KCheckpoint: a process serialized its recovery state at a barrier
+	// departure. A=epoch, B=checkpoint bytes.
+	KCheckpoint
+	// KCrashInjected: the crash plan killed a process. A=crash point
+	// (dsm.CrashPoint), B=victim proc.
+	KCrashInjected
+	// KCrashDetected: a survivor concluded a peer is dead. A=suspected proc
+	// (-1 unknown), B=1 if detected via link death, 0 via barrier timeout.
+	KCrashDetected
+	// KRecoveryStart: the driver began coordinated rollback. A=epoch being
+	// rolled back to, B=victim proc.
+	KRecoveryStart
+	// KRecoveryDone: rollback finished and re-execution resumed.
+	// A=epoch, B=virtual ns rolled back, C=wall ns spent restoring.
+	KRecoveryDone
+	// KLockReclaim: a lock last held by the crashed proc was reclaimed by
+	// its manager during restore. A=lock, B=dead holder.
+	KLockReclaim
 
 	numKinds
 )
@@ -117,6 +135,12 @@ var kindNames = [numKinds]string{
 	KWireDrop:       "WireDrop",
 	KWireDup:        "WireDup",
 	KWireReorder:    "WireReorder",
+	KCheckpoint:     "Checkpoint",
+	KCrashInjected:  "CrashInjected",
+	KCrashDetected:  "CrashDetected",
+	KRecoveryStart:  "RecoveryStart",
+	KRecoveryDone:   "RecoveryDone",
+	KLockReclaim:    "LockReclaim",
 }
 
 func (k Kind) String() string {
@@ -124,6 +148,39 @@ func (k Kind) String() string {
 		return kindNames[k]
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// TripReason classifies why the flight recorder dumped. Typed reasons make
+// trips countable in metric snapshots (telemetry_trips_total{reason=...}),
+// not just visible in stderr dumps.
+type TripReason uint8
+
+const (
+	// TripLinkDead: a reliable link exhausted its retry cap.
+	TripLinkDead TripReason = iota
+	// TripBarrierTimeout: a reply wait (barrier release, page fetch, lock
+	// grant, ...) exceeded the configured wall-clock deadline.
+	TripBarrierTimeout
+	// TripProcPanic: a DSM app goroutine panicked.
+	TripProcPanic
+	// TripProcCrash: a survivor detected a crashed peer process.
+	TripProcCrash
+
+	numTripReasons
+)
+
+var tripReasonNames = [numTripReasons]string{
+	TripLinkDead:       "LinkDead",
+	TripBarrierTimeout: "BarrierTimeout",
+	TripProcPanic:      "ProcPanic",
+	TripProcCrash:      "ProcCrash",
+}
+
+func (t TripReason) String() string {
+	if int(t) < len(tripReasonNames) && tripReasonNames[t] != "" {
+		return tripReasonNames[t]
+	}
+	return fmt.Sprintf("TripReason(%d)", uint8(t))
 }
 
 // Event is one recorded protocol event.
@@ -242,11 +299,18 @@ type Recorder struct {
 
 	// Pre-resolved event-derived metrics (avoids registry lookups on the
 	// emit path).
-	evCount   [numKinds]*Counter
-	fetchHist *Histogram
-	barHist   *Histogram
-	skewHist  *Histogram
-	lockHist  *Histogram
+	evCount    [numKinds]*Counter
+	tripCount  [numTripReasons]*Counter
+	fetchHist  *Histogram
+	barHist    *Histogram
+	skewHist   *Histogram
+	lockHist   *Histogram
+	ckptTotal  *Counter
+	ckptBytes  *Counter
+	recTotal   *Counter
+	recVirtual *Counter
+	recWall    *Counter
+	recLocks   *Counter
 
 	dumpMu sync.Mutex
 	trips  atomic.Int64
@@ -285,6 +349,22 @@ func Start(cfg Config) *Recorder {
 		"Spread of virtual arrival times within one barrier epoch.", LatencyBuckets)
 	r.lockHist = m.Histogram("dsm_lock_wait_ns",
 		"Virtual time from lock request to grant arrival.", LatencyBuckets)
+	for t := TripReason(0); t < numTripReasons; t++ {
+		r.tripCount[t] = m.Counter("telemetry_trips_total",
+			"Flight-recorder trips, by reason.", Label{"reason", t.String()})
+	}
+	r.ckptTotal = m.Counter("dsm_checkpoint_total",
+		"Barrier-epoch checkpoints taken.")
+	r.ckptBytes = m.Counter("dsm_checkpoint_bytes_total",
+		"Serialized bytes across all barrier-epoch checkpoints.")
+	r.recTotal = m.Counter("dsm_recovery_total",
+		"Coordinated rollback recoveries completed.")
+	r.recVirtual = m.Counter("dsm_recovery_virtual_ns_total",
+		"Virtual time rolled back by recoveries (work re-executed).")
+	r.recWall = m.Counter("dsm_recovery_wall_ns_total",
+		"Wall time spent tearing down and restoring during recoveries.")
+	r.recLocks = m.Counter("dsm_recovery_locks_reclaimed_total",
+		"Locks last held by a crashed process, reclaimed during restore.")
 	active.Store(r)
 	return r
 }
@@ -328,17 +408,20 @@ func Logf(proc int, vt int64, format string, args ...interface{}) {
 	r.emit(proc, KLog, vt, 0, 0, 0, fmt.Sprintf(format, args...))
 }
 
-// Trip triggers a flight-recorder dump with the given reason (no-op when
-// recording is off). Layers call it at the moments the paper's user would
-// want a core dump of the cluster: retry-cap exhaustion, barrier timeout,
-// process panic.
-func Trip(reason string) {
+// Trip triggers a flight-recorder dump with the given typed reason and a
+// free-form detail line (no-op when recording is off). Layers call it at
+// the moments the paper's user would want a core dump of the cluster:
+// retry-cap exhaustion, barrier timeout, process panic, peer crash.
+func Trip(reason TripReason, detail string) {
 	r := active.Load()
 	if r == nil {
 		return
 	}
 	r.trips.Add(1)
-	r.DumpFlight(r.cfg.FlightSink, reason)
+	if int(reason) < len(r.tripCount) && r.tripCount[reason] != nil {
+		r.tripCount[reason].Add(1)
+	}
+	r.DumpFlight(r.cfg.FlightSink, fmt.Sprintf("%s: %s", reason, detail))
 }
 
 // Trips returns how many flight dumps this recorder has produced.
@@ -365,6 +448,15 @@ func (r *Recorder) emit(proc int, k Kind, vt int64, a, b, c int64, msg string) {
 		r.skewHist.Observe(float64(c))
 	case KLockAcquired:
 		r.lockHist.Observe(float64(c))
+	case KCheckpoint:
+		r.ckptTotal.Add(1)
+		r.ckptBytes.Add(b)
+	case KRecoveryDone:
+		r.recTotal.Add(1)
+		r.recVirtual.Add(b)
+		r.recWall.Add(c)
+	case KLockReclaim:
+		r.recLocks.Add(1)
 	}
 }
 

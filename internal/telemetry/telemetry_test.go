@@ -14,7 +14,7 @@ func TestDisabledIsNoOp(t *testing.T) {
 	// Must not panic or record anywhere.
 	Emit(0, KPageFault, 1, 2, 0, 0)
 	Logf(0, 1, "dropped %d", 7)
-	Trip("nothing installed")
+	Trip(TripProcPanic, "nothing installed")
 	if Active() != nil {
 		t.Fatal("Active() non-nil after Stop")
 	}
@@ -122,12 +122,15 @@ func TestFlightDump(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		Emit(i%2, KBarrierArrive, int64(i*10), int64(i), 0, 0)
 	}
-	Trip("unit test trip")
+	Trip(TripProcPanic, "unit test trip")
 	if r.Trips() != 1 {
 		t.Fatalf("Trips() = %d, want 1", r.Trips())
 	}
+	if got := r.Metrics().Snapshot().Counters[`telemetry_trips_total{reason="ProcPanic"}`]; got != 1 {
+		t.Fatalf("typed trip counter = %d, want 1", got)
+	}
 	out := sink.String()
-	if !strings.Contains(out, "flight recorder: unit test trip") {
+	if !strings.Contains(out, "flight recorder: ProcPanic: unit test trip") {
 		t.Fatalf("dump missing reason header:\n%s", out)
 	}
 	if !strings.Contains(out, "last 3 of 8 retained events") {

@@ -98,6 +98,44 @@ const (
 // call Run with the per-process worker.
 func New(cfg Config) (*System, error) { return dsm.New(cfg) }
 
+// Crash tolerance (see docs/ROBUSTNESS.md): barrier-epoch checkpointing
+// (Config.Checkpoint), injected fail-stop crashes (Config.Crash), and
+// coordinated rollback recovery via System.RunEpochs.
+type (
+	// CrashPlan schedules the deterministic fail-stop death of one process;
+	// set it via Config.Crash. Recovery requires Config.Checkpoint plus a
+	// detection path (Config.Reliable or Config.BarrierWallTimeout).
+	CrashPlan = dsm.CrashPlan
+	// CrashPoint selects where in the protocol the victim dies.
+	CrashPoint = dsm.CrashPoint
+	// EpochFunc is one epoch body for System.RunEpochs — the epoch-structured
+	// entry point that can roll back and re-execute after a crash.
+	EpochFunc = dsm.EpochFunc
+	// CheckpointStats counts serialized barrier-epoch checkpoints.
+	CheckpointStats = dsm.CheckpointStats
+	// RecoveryStats summarizes coordinated rollbacks: counts, reclaimed
+	// locks, re-executed virtual time, restore wall time.
+	RecoveryStats = dsm.RecoveryStats
+)
+
+// Crash points.
+const (
+	// CrashMidInterval dies at the AfterN-th shared access of the epoch.
+	CrashMidInterval = dsm.CrashMidInterval
+	// CrashAtVTime dies at the first access at or after VTime.
+	CrashAtVTime = dsm.CrashAtVTime
+	// CrashHoldingLock dies at the first access made while holding a lock.
+	CrashHoldingLock = dsm.CrashHoldingLock
+	// CrashInBitmapRound dies inside the barrier, before sending bitmaps.
+	CrashInBitmapRound = dsm.CrashInBitmapRound
+)
+
+// RandomCrashPlan derives a valid, deterministic crash plan from a seed —
+// the chaos-testing entry point.
+func RandomCrashPlan(seed uint64, nprocs int, epochs int32) *CrashPlan {
+	return dsm.RandomCrashPlan(seed, nprocs, epochs)
+}
+
 // DedupRaces collapses dynamic race reports to one representative per
 // (address, kind), preserving order — the form in which races are printed.
 func DedupRaces(rs []Race) []Race { return race.DedupByAddr(rs) }

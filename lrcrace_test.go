@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"lrcrace"
 )
@@ -139,5 +140,49 @@ func TestFacadeTCPTransport(t *testing.T) {
 	}
 	if races := lrcrace.DedupRaces(sys.Races()); len(races) != 1 {
 		t.Errorf("races over TCP = %v", races)
+	}
+}
+
+// TestFacadeCrashRecovery drives the documented crash-tolerance flow:
+// inject a fail-stop death, recover from the barrier-epoch checkpoints,
+// and finish with correct memory (see docs/ROBUSTNESS.md).
+func TestFacadeCrashRecovery(t *testing.T) {
+	sys, err := lrcrace.New(lrcrace.Config{
+		NumProcs:           3,
+		SharedSize:         8192,
+		Detect:             true,
+		Checkpoint:         true,
+		Reliable:           true,
+		BarrierWallTimeout: 5 * time.Second,
+		Crash:              &lrcrace.CrashPlan{Victim: 1, Epoch: 1, Point: lrcrace.CrashMidInterval},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, err := sys.AllocWords("slots", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const epochs = 3
+	err = sys.RunEpochs(epochs, func() lrcrace.EpochFunc {
+		return func(p *lrcrace.Proc, e int32) {
+			a := slots + lrcrace.Addr(p.ID()*8)
+			p.Write(a, p.Read(a)+1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sys.RecoveryStats()
+	if rs.Recoveries != 1 || rs.LastVictim != 1 {
+		t.Fatalf("recovery stats = %+v, want one rollback blaming p1", rs)
+	}
+	if cs := sys.CheckpointStats(); cs.Count == 0 || cs.Bytes == 0 {
+		t.Errorf("checkpoint stats = %+v, want nonzero", cs)
+	}
+	for p := 0; p < 3; p++ {
+		if got := sys.SnapshotWord(slots + lrcrace.Addr(p*8)); got != epochs {
+			t.Errorf("slot %d = %d after recovery, want %d", p, got, epochs)
+		}
 	}
 }
