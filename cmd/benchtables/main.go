@@ -30,12 +30,14 @@ func main() {
 	figure := flag.Int("figure", 0, "print only this figure (3 or 4)")
 	races := flag.Bool("races", false, "print only the race findings")
 	enhance := flag.Bool("enhancements", false, "print only the §6.5 enhancement predictions")
+	shardCmp := flag.Bool("shardcompare", false, "print only the serial-vs-sharded barrier check comparison")
 	figProcs := flag.String("figprocs", "2,4,8", "processor counts for figure 4")
+	shardProcs := flag.String("shardprocs", "4,8", "processor counts for -shardcompare")
 	metricsOut := flag.String("metrics-out", "", "also write machine-readable metrics JSON (per-app baseline/detect snapshots) to this file")
 	flag.Parse()
 
 	suite := lrcrace.NewSuite(*scale, *procs)
-	all := *table == 0 && *figure == 0 && !*races && !*enhance
+	all := *table == 0 && *figure == 0 && !*races && !*enhance && !*shardCmp
 
 	out := os.Stdout
 	run := func(name string, f func() error) {
@@ -74,6 +76,17 @@ func main() {
 	}
 	if all || *enhance {
 		run("enhancements", func() error { return suite.EnhancementsTable(out) })
+	}
+	if *shardCmp {
+		var counts []int
+		for _, s := range strings.Split(*shardProcs, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				log.Fatalf("bad -shardprocs value %q", s)
+			}
+			counts = append(counts, n)
+		}
+		run("shardcompare", func() error { return suite.ShardCompareTable(out, counts) })
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

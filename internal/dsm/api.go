@@ -596,12 +596,35 @@ func (p *Proc) Barrier() {
 func (p *Proc) Consolidate() { p.Barrier() }
 
 // sendBitmaps returns this process's bitmaps for every check-list entry
-// naming one of its intervals — the second barrier round.
+// naming one of its intervals — the second barrier round. Under the serial
+// check everything goes to the master in one reply; under the sharded check
+// (ShardOwner present on the release) each entry's bitmaps go to its shard
+// owner, and every distinct owner receives exactly one — possibly empty —
+// reply, so owners can close their collection round by count alone.
 func (p *Proc) sendBitmaps(rel *msg.BarrierRelease) {
 	p.mu.Lock()
-	reply := &msg.BitmapReply{Epoch: rel.Epoch}
+	replies := make(map[int]*msg.BitmapReply)
+	var order []int // owners in first-appearance order, for deterministic sends
+	replyTo := func(to int) *msg.BitmapReply {
+		r := replies[to]
+		if r == nil {
+			r = &msg.BitmapReply{Epoch: rel.Epoch}
+			replies[to] = r
+			order = append(order, to)
+		}
+		return r
+	}
+	if len(rel.ShardOwner) > 0 {
+		for _, o := range rel.ShardOwner {
+			replyTo(int(o))
+		}
+	} else {
+		replyTo(0)
+	}
+	// A page has exactly one shard owner, so one global dedup map suffices
+	// even with several replies in flight.
 	seen := make(map[bmKey]bool)
-	addSide := func(id vc.IntervalID, page mem.PageID) {
+	addSide := func(to int, id vc.IntervalID, page mem.PageID) {
 		if id.Proc != p.id {
 			return
 		}
@@ -620,6 +643,7 @@ func (p *Proc) sendBitmaps(rel *msg.BarrierRelease) {
 		if wr != nil {
 			p.st.BitmapsSent++
 		}
+		reply := replyTo(to)
 		reply.Entries = append(reply.Entries, msg.BitmapEntry{
 			Proc:  int32(id.Proc),
 			Index: uint32(id.Index),
@@ -628,11 +652,17 @@ func (p *Proc) sendBitmaps(rel *msg.BarrierRelease) {
 			Write: wr,
 		})
 	}
-	for _, c := range rel.Check {
-		addSide(c.A, c.Page)
-		addSide(c.B, c.Page)
+	for i, c := range rel.Check {
+		to := 0
+		if len(rel.ShardOwner) > 0 {
+			to = int(rel.ShardOwner[i])
+		}
+		addSide(to, c.A, c.Page)
+		addSide(to, c.B, c.Page)
 	}
 	v := p.vnow
 	p.mu.Unlock()
-	p.send(0, reply, v)
+	for _, to := range order {
+		p.send(to, replies[to], v)
+	}
 }

@@ -28,8 +28,11 @@ import (
 // byte-exactly, so checkpoint sizes are genuinely measurable.
 
 const (
-	ckptMagic   = 0x4c52434b // "LRCK"
-	ckptVersion = 1
+	ckptMagic = 0x4c52434b // "LRCK"
+	// ckptVersion 2: Stats gained CheckEntriesCompared and BitmapsCompared
+	// (sharded-check work attribution). The store is in-memory and
+	// per-run, so no cross-version decoding is needed.
+	ckptVersion = 2
 )
 
 // CheckpointStats summarizes checkpoint activity for a run.
@@ -261,6 +264,7 @@ func encodeProcStats(e *msg.Encoder, st *Stats) {
 		st.ComputeOps,
 		st.TProcCall, st.TAccessCheck, st.TCVMMods, st.TIntervalCmp, st.TBitmapCmp,
 		st.ReadNoticeBytes, st.SyncMsgBytes, st.BitmapsCreated, st.BitmapsSent,
+		st.CheckEntriesCompared, st.BitmapsCompared,
 	} {
 		e.I64(v)
 	}
@@ -275,6 +279,7 @@ func decodeProcStats(d *msg.Decoder) Stats {
 		&st.ComputeOps,
 		&st.TProcCall, &st.TAccessCheck, &st.TCVMMods, &st.TIntervalCmp, &st.TBitmapCmp,
 		&st.ReadNoticeBytes, &st.SyncMsgBytes, &st.BitmapsCreated, &st.BitmapsSent,
+		&st.CheckEntriesCompared, &st.BitmapsCompared,
 	} {
 		*f = d.I64()
 	}

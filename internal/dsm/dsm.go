@@ -81,6 +81,14 @@ type Config struct {
 	// WritesFromDiffs (§6.5, MultiWriter only) derives write bitmaps from
 	// diffs instead of store instrumentation. Reads remain instrumented.
 	WritesFromDiffs bool
+	// ShardedCheck distributes the barrier race check: the master
+	// partitions the check list by page across all N processes
+	// (race.PartitionCheckList), bitmap replies route to each shard's
+	// owner, owners compare their shards in parallel, and results reduce
+	// back to the master up a binary tree (see shard.go). Reported races
+	// and persistent detector state are identical to the serial check's.
+	// Requires Detect.
+	ShardedCheck bool
 
 	// Model is the virtual-time cost model; zero value → costmodel.Default.
 	Model costmodel.Model
@@ -223,6 +231,9 @@ func (c *Config) fill() error {
 	}
 	if c.WritesFromDiffs && c.Protocol != MultiWriter {
 		return fmt.Errorf("dsm: WritesFromDiffs requires the multi-writer protocol")
+	}
+	if c.ShardedCheck && !c.Detect {
+		return fmt.Errorf("dsm: ShardedCheck distributes the race check and so requires Detect")
 	}
 	if c.Detect && c.Protocol == EagerRC {
 		return fmt.Errorf("dsm: race detection requires LRC metadata (intervals, version vectors, notices) that the eager protocol does not maintain — use SingleWriter or MultiWriter")
@@ -415,6 +426,17 @@ func (s *System) DetectorStats() race.Stats {
 		return race.Stats{}
 	}
 	return s.detector.Stats()
+}
+
+// DetectorState returns a deep snapshot of the detector's persistent state
+// (counters, first-racy-epoch marker, retained racy records). Serial and
+// sharded checks must produce byte-identical snapshots on the same program
+// — the cross-validation oracle for Config.ShardedCheck.
+func (s *System) DetectorState() race.State {
+	if s.detector == nil {
+		return race.State{}
+	}
+	return s.detector.SnapshotState()
 }
 
 // NetStats returns traffic counters.

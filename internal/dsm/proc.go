@@ -86,6 +86,13 @@ type Stats struct {
 	SyncMsgBytes    int64 // wire bytes of record-carrying sync messages sent
 	BitmapsCreated  int64
 	BitmapsSent     int64
+
+	// Comparison-work attribution: check-list entries and bitmap pairs
+	// THIS process compared. Under the serial check both land entirely at
+	// process 0; under Config.ShardedCheck they spread across the owners
+	// of each epoch's shards.
+	CheckEntriesCompared int64
+	BitmapsCompared      int64
 }
 
 // Proc is one DSM process: an application thread running the user's code
@@ -131,6 +138,12 @@ type Proc struct {
 
 	// Barrier-master state (proc 0 only).
 	bar *barrierState
+
+	// Sharded-check round state (Config.ShardedCheck, every process);
+	// shardPend parks round messages arriving before our release. See
+	// shard.go.
+	shard     *shardState
+	shardPend []simnet.Delivery
 
 	races []race.Report
 	st    Stats
@@ -323,10 +336,18 @@ func (p *Proc) waitReplyTimeout(op string) simnet.Delivery {
 			b := p.bar
 			var missing []int
 			from := b.arrivedFrom
+			tracking := b.arrived > 0
 			if b.bmWait {
 				from = b.bmFrom
+				tracking = true
 			}
-			if b.arrived > 0 || b.bmWait {
+			if sh := p.shard; sh != nil && sh.expect > 0 && sh.got < sh.expect {
+				// Sharded check: the master's own shard round tracks who
+				// has sent bitmaps this epoch.
+				from = sh.from
+				tracking = true
+			}
+			if tracking {
 				for q := 0; q < p.n; q++ {
 					if q < len(from) && !from[q] {
 						missing = append(missing, q)

@@ -5,6 +5,7 @@ import (
 
 	"lrcrace/internal/mem"
 	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
 	"lrcrace/internal/simnet"
 	"lrcrace/internal/telemetry"
 	"lrcrace/internal/vc"
@@ -42,7 +43,13 @@ func (p *Proc) serviceLoop() {
 		case *msg.BarrierArrive:
 			p.handleBarrierArrive(d, m)
 		case *msg.BitmapReply:
-			p.handleBitmapReply(d, m)
+			if p.sys.cfg.ShardedCheck {
+				p.handleShardBitmap(d, m)
+			} else {
+				p.handleBitmapReply(d, m)
+			}
+		case *msg.ShardResult:
+			p.handleShardResult(d, m)
 		case *msg.AcquireGrant:
 			// Consume the previous tenure's grant obligation *now*, in
 			// message order: any forward processed after this grant targets
@@ -55,6 +62,12 @@ func (p *Proc) serviceLoop() {
 			p.mu.Unlock()
 			p.replyCh <- d
 		case *msg.BarrierRelease:
+			if m.NeedBitmaps && len(m.ShardOwner) > 0 {
+				// Establish this epoch's shard round (and drain any round
+				// messages that beat the release here) before the
+				// application thread can observe the release.
+				p.initShardState(d, m)
+			}
 			p.replyCh <- d
 			if !m.NeedBitmaps {
 				// The release is the departure trigger: hold the service
@@ -382,17 +395,26 @@ func (p *Proc) handleBarrierArrive(d simnet.Delivery, m *msg.BarrierArrive) {
 		Check:       b.check,
 		NeedBitmaps: len(b.check) > 0,
 	}
+	if p.sys.cfg.ShardedCheck && len(b.check) > 0 {
+		rel.ShardOwner = race.PartitionCheckList(b.check, p.n)
+	}
 	for q := 0; q < p.n; q++ {
 		nbytes := p.send(q, rel, relV)
 		p.recordSyncSend(b.records, nbytes)
 	}
-	if len(b.check) > 0 {
+	switch {
+	case len(b.check) == 0:
+		p.resetBarrierLocked()
+	case p.sys.cfg.ShardedCheck:
+		// Sharded round: collection state lives in p.shard (established
+		// when our own copy of the release arrives); b.check and b.records
+		// are kept for the root's fold, and resetBarrierLocked runs in
+		// finishShardedCheckLocked.
+	default:
 		b.bmWait = true
 		b.bmCount = 0
 		b.bmMaxArr = 0
 		b.bmSource = make(map[bmKey]mem.Bitmap)
-	} else {
-		p.resetBarrierLocked()
 	}
 }
 
@@ -432,6 +454,8 @@ func (p *Proc) handleBitmapReply(d simnet.Delivery, m *msg.BitmapReply) {
 	after := det.Stats()
 	work := int64(after.BitmapsCompared-before.BitmapsCompared) * model.BitmapCompare
 	p.st.TBitmapCmp += work
+	p.st.CheckEntriesCompared += int64(len(b.check))
+	p.st.BitmapsCompared += int64(after.BitmapsCompared - before.BitmapsCompared)
 	doneV := b.bmMaxArr + model.Handler + work
 
 	telemetry.Emit(p.id, telemetry.KRaceCheck, doneV,

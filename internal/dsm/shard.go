@@ -1,0 +1,292 @@
+package dsm
+
+import (
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
+	"lrcrace/internal/vc"
+)
+
+// The sharded race check (Config.ShardedCheck) distributes step 5 of the
+// detection procedure, which the serial path runs entirely at the barrier
+// master while every other process idles inside the barrier:
+//
+//  1. The master builds the epoch's check list as usual, then partitions
+//     its entries by page across the N processes
+//     (race.PartitionCheckList) and ships the owner assignment inside the
+//     barrier-release message (BarrierRelease.ShardOwner).
+//  2. Every process sends one BitmapReply per shard owner — the slice of
+//     its bitmaps each owner's entries name — instead of one N-to-1 reply
+//     to the master. A shard owner therefore collects exactly N replies.
+//  3. Each owner compares its shard (race.CompareShard) in parallel with
+//     the others, then the results flow up a binary reduction tree: node p
+//     merges its own shard output with the ShardResults of children 2p+1
+//     and 2p+2 and forwards the merge to parent (p-1)/2.
+//  4. The root (process 0) folds the tree's total into the detector
+//     (Detector.FoldShardResults): canonical re-sort, §6.4 first-race
+//     filtering, stats accumulation — leaving race.State byte-identical to
+//     the serial path's — and broadcasts BarrierDone.
+//
+// The shard round's messages can arrive ahead of the BarrierRelease that
+// establishes the epoch's shard state (the reliable layer retransmits
+// across links independently), so early deliveries park in Proc.shardPend
+// until initShardState drains them.
+
+// shardState is one process's state for the current epoch's sharded check
+// round. It exists from the arrival of a sharded BarrierRelease until the
+// process has forwarded its subtree's merged result (or, at the root,
+// broadcast BarrierDone).
+type shardState struct {
+	epoch   int32
+	entries []race.CheckEntry // this process's shard of the check list
+
+	expect int // bitmap replies to collect: n if owner, else 0
+	got    int
+	from   []bool               // which procs' replies have arrived
+	maxArr int64                // latest virtual arrival among replies
+	source map[bmKey]mem.Bitmap // collected bitmaps, keyed like the serial round
+
+	kidsLeft int // reduction-tree children yet to report
+	childV   int64
+	reports  []race.Report // own shard output merged with children's
+	bmCmp    int64
+	wordOv   int64
+
+	localDone bool  // own shard compared (immediately true for non-owners)
+	localV    int64 // virtual completion time of the local compare
+}
+
+// Bitmaps implements race.BitmapSource over the shard's collected replies.
+func (s *shardState) Bitmaps(id vc.IntervalID, p mem.PageID) (read, write mem.Bitmap) {
+	return s.source[bmKey{id, p, false}], s.source[bmKey{id, p, true}]
+}
+
+// shardChildren returns how many reduction-tree children proc id has in an
+// n-process system (children of p are 2p+1 and 2p+2; the root is proc 0).
+func shardChildren(id, n int) int {
+	kids := 0
+	for _, c := range []int{2*id + 1, 2*id + 2} {
+		if c < n {
+			kids++
+		}
+	}
+	return kids
+}
+
+// initShardState is called by the service thread, under message order, when
+// a sharded BarrierRelease arrives: it derives this process's shard, its
+// reply expectation, and its tree fan-in, then drains any round messages
+// that arrived early. Runs before the release is routed to the application
+// thread, so the app thread's sendBitmaps can never race an uninitialized
+// round.
+func (p *Proc) initShardState(d simnet.Delivery, m *msg.BarrierRelease) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.shard != nil {
+		p.protocolBug("sharded release for epoch %d while epoch %d round is open", m.Epoch, p.shard.epoch)
+	}
+	sh := &shardState{
+		epoch:    m.Epoch,
+		from:     make([]bool, p.n),
+		source:   make(map[bmKey]mem.Bitmap),
+		kidsLeft: shardChildren(p.id, p.n),
+		localV:   p.arrival(d) + p.sys.cfg.Model.Handler,
+	}
+	owner := false
+	for i, c := range m.Check {
+		if int(m.ShardOwner[i]) == p.id {
+			sh.entries = append(sh.entries, c)
+			owner = true
+		}
+	}
+	// An owner owed only empty replies still collects n of them: reply
+	// count, not content, is what closes the round deterministically.
+	if owner {
+		sh.expect = p.n
+	} else {
+		sh.localDone = true
+	}
+	p.shard = sh
+	pend := p.shardPend
+	p.shardPend = nil
+	for _, pd := range pend {
+		p.dispatchShardLocked(pd)
+	}
+	p.advanceShardLocked()
+}
+
+// bufferShardLocked parks a round message that arrived before this
+// process's BarrierRelease for its epoch.
+func (p *Proc) bufferShardLocked(d simnet.Delivery) {
+	p.shardPend = append(p.shardPend, d)
+}
+
+// dispatchShardLocked routes a (possibly previously buffered) shard-round
+// message against the current shard state.
+func (p *Proc) dispatchShardLocked(d simnet.Delivery) {
+	switch m := d.Msg.(type) {
+	case *msg.BitmapReply:
+		p.shardBitmapLocked(d, m)
+	case *msg.ShardResult:
+		p.shardResultLocked(d, m)
+	default:
+		p.protocolBug("non-shard message %T buffered in shard queue", d.Msg)
+	}
+}
+
+// handleShardBitmap is the service-thread entry for a BitmapReply under the
+// sharded check.
+func (p *Proc) handleShardBitmap(d simnet.Delivery, m *msg.BitmapReply) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shardBitmapLocked(d, m)
+}
+
+func (p *Proc) shardBitmapLocked(d simnet.Delivery, m *msg.BitmapReply) {
+	sh := p.shard
+	if sh == nil || m.Epoch > sh.epoch {
+		p.bufferShardLocked(d)
+		return
+	}
+	if m.Epoch < sh.epoch {
+		p.protocolBug("BitmapReply for epoch %d during shard round %d", m.Epoch, sh.epoch)
+	}
+	if sh.expect == 0 {
+		p.protocolBug("BitmapReply at non-owner p%d", p.id)
+	}
+	if sh.from[d.From] {
+		p.protocolBug("duplicate BitmapReply from p%d", d.From)
+	}
+	for _, e := range m.Entries {
+		id := vc.IntervalID{Proc: int(e.Proc), Index: vc.Index(e.Index)}
+		if e.Read != nil {
+			sh.source[bmKey{id, e.Page, false}] = e.Read
+		}
+		if e.Write != nil {
+			sh.source[bmKey{id, e.Page, true}] = e.Write
+		}
+	}
+	if arr := p.arrival(d); arr > sh.maxArr {
+		sh.maxArr = arr
+	}
+	sh.from[d.From] = true
+	sh.got++
+	if sh.got < sh.expect {
+		return
+	}
+
+	// All replies in: compare this shard. The work is charged to THIS
+	// process — the point of sharding is that the comparison cost lands
+	// where it runs, visible in the per-proc counters and timings.
+	model := p.sys.cfg.Model
+	reports, st := race.CompareShard(p.sys.layout, sh.entries, sh, sh.epoch)
+	work := int64(st.BitmapsCompared) * model.BitmapCompare
+	p.st.TBitmapCmp += work
+	p.st.CheckEntriesCompared += int64(len(sh.entries))
+	p.st.BitmapsCompared += int64(st.BitmapsCompared)
+	v := sh.maxArr + model.Handler
+	if sh.localV > v {
+		v = sh.localV
+	}
+	sh.localV = v + work
+	sh.reports = append(sh.reports, reports...)
+	sh.bmCmp += int64(st.BitmapsCompared)
+	sh.wordOv += int64(st.WordOverlaps)
+	sh.localDone = true
+	sh.source = nil // the shard's bitmaps are spent
+	telemetry.Emit(p.id, telemetry.KShardCompare, sh.localV,
+		int64(len(sh.entries)), int64(st.BitmapsCompared), work)
+	p.advanceShardLocked()
+}
+
+// handleShardResult is the service-thread entry for a child's subtree
+// result.
+func (p *Proc) handleShardResult(d simnet.Delivery, m *msg.ShardResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.shardResultLocked(d, m)
+}
+
+func (p *Proc) shardResultLocked(d simnet.Delivery, m *msg.ShardResult) {
+	sh := p.shard
+	if sh == nil || m.Epoch > sh.epoch {
+		p.bufferShardLocked(d)
+		return
+	}
+	if m.Epoch < sh.epoch {
+		p.protocolBug("ShardResult for epoch %d during shard round %d", m.Epoch, sh.epoch)
+	}
+	if sh.kidsLeft == 0 {
+		p.protocolBug("ShardResult from p%d with no children outstanding", d.From)
+	}
+	sh.reports = append(sh.reports, m.Races...)
+	sh.bmCmp += m.BitmapsCompared
+	sh.wordOv += m.WordOverlaps
+	if arr := p.arrival(d) + p.sys.cfg.Model.Handler; arr > sh.childV {
+		sh.childV = arr
+	}
+	sh.kidsLeft--
+	p.advanceShardLocked()
+}
+
+// advanceShardLocked completes this process's role in the round once its
+// own shard is compared and every tree child has reported: interior nodes
+// forward the merge to their parent; the root folds and broadcasts.
+func (p *Proc) advanceShardLocked() {
+	sh := p.shard
+	if sh == nil || !sh.localDone || sh.kidsLeft > 0 {
+		return
+	}
+	sendV := sh.localV
+	if sh.childV > sendV {
+		sendV = sh.childV
+	}
+	if p.id == 0 {
+		p.finishShardedCheckLocked(sh, sendV)
+		p.shard = nil
+		return
+	}
+	telemetry.Emit(p.id, telemetry.KShardReduce, sendV,
+		int64(sh.epoch), int64(len(sh.reports)), int64(shardChildren(p.id, p.n)))
+	p.send((p.id-1)/2, &msg.ShardResult{
+		Epoch:           sh.epoch,
+		Races:           sh.reports,
+		BitmapsCompared: sh.bmCmp,
+		WordOverlaps:    sh.wordOv,
+	}, sendV)
+	p.shard = nil
+}
+
+// finishShardedCheckLocked is the root's round completion: fold the tree's
+// merged results into the detector — restoring the serial report order and
+// applying §6.4 filtering, so race.State (and therefore checkpoints) come
+// out byte-identical to the serial path — then broadcast BarrierDone.
+func (p *Proc) finishShardedCheckLocked(sh *shardState, doneV int64) {
+	b := p.bar
+	if b == nil || sh.epoch != b.epoch {
+		p.protocolBug("sharded round completed for epoch %d at barrier epoch %d", sh.epoch, b.epoch)
+	}
+	det := p.sys.detector
+	races := det.FoldShardResults(sh.reports, race.ShardStats{
+		BitmapsCompared: int(sh.bmCmp),
+		WordOverlaps:    int(sh.wordOv),
+	}, b.epoch)
+	det.Retain(races, b.records)
+
+	telemetry.Emit(p.id, telemetry.KRaceCheck, doneV,
+		int64(len(b.check)), sh.bmCmp, int64(len(races)))
+	for _, r := range races {
+		ww := int64(0)
+		if r.WriteWrite() {
+			ww = 1
+		}
+		telemetry.Emit(p.id, telemetry.KRaceFound, doneV, int64(r.Addr), int64(r.Epoch), ww)
+	}
+	done := &msg.BarrierDone{Epoch: b.epoch, Races: races}
+	for q := 0; q < p.n; q++ {
+		p.send(q, done, doneV)
+	}
+	p.resetBarrierLocked()
+}

@@ -35,6 +35,10 @@ type RunConfig struct {
 	FirstOnly         bool
 	PageBitmapOverlap bool
 	WritesFromDiffs   bool
+	// ShardedCheck distributes the barrier-time race check across all
+	// processes (check-list partition by page, binary-tree result
+	// reduction) instead of serializing it at the master. Requires Detect.
+	ShardedCheck bool
 	// RealMsgDelay couples real scheduling to wire latency; needed by the
 	// lock-queue application (TSP) at small scales. 0 → per-app default.
 	RealMsgDelay time.Duration
@@ -119,6 +123,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		SharedSize:         app.SharedBytes(),
 		Protocol:           cfg.Protocol,
 		Detect:             cfg.Detect,
+		ShardedCheck:       cfg.ShardedCheck,
 		FirstOnly:          cfg.FirstOnly,
 		PageBitmapOverlap:  cfg.PageBitmapOverlap,
 		WritesFromDiffs:    cfg.WritesFromDiffs,
@@ -249,7 +254,8 @@ func (r *Result) MsgOverheadPct() float64 {
 		rn += st.ReadNoticeBytes
 	}
 	total := r.Net.TotalBytes()
-	bm := r.Net.Bytes[msg.TBitmapReply] + r.Net.Bytes[msg.TBarrierDone]
+	bm := r.Net.Bytes[msg.TBitmapReply] + r.Net.Bytes[msg.TShardResult] +
+		r.Net.Bytes[msg.TBarrierDone]
 	rest := total - bm - rn
 	if rest <= 0 {
 		return 0
@@ -303,9 +309,12 @@ func Breakdown(base, det *Result) Overheads {
 		intervalCmp += st.TIntervalCmp
 		bitmapCmp += st.TBitmapCmp
 	}
-	// Extra barrier round: bitmap replies and done messages.
-	bmBytes := det.Net.Bytes[msg.TBitmapReply] + det.Net.Bytes[msg.TBarrierDone]
-	bmMsgs := det.Net.Messages[msg.TBitmapReply] + det.Net.Messages[msg.TBarrierDone]
+	// Extra barrier round: bitmap replies, shard-result reductions (sharded
+	// check only), and done messages.
+	bmBytes := det.Net.Bytes[msg.TBitmapReply] + det.Net.Bytes[msg.TShardResult] +
+		det.Net.Bytes[msg.TBarrierDone]
+	bmMsgs := det.Net.Messages[msg.TBitmapReply] + det.Net.Messages[msg.TShardResult] +
+		det.Net.Messages[msg.TBarrierDone]
 	bmWire := float64(bmBytes)*m.PerByte + float64(bmMsgs*m.MsgLatency)/n
 
 	o := Overheads{

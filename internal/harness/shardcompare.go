@@ -1,0 +1,212 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/telemetry"
+)
+
+// This file measures the tentpole of the sharded race check: how much
+// barrier latency the distribution buys. The quantity compared is the
+// dsm_barrier_wait_ns series — virtual time from a process's barrier
+// arrival to its departure, one sample per process per epoch — extracted
+// from the telemetry recorder's raw events so the percentiles are exact
+// rather than read off histogram buckets. Under the serial check every
+// epoch's bitmap comparison serializes at the master inside that wait;
+// under Config.ShardedCheck it spreads across the shard owners and only
+// the reduction tree remains on the critical path.
+
+// ShardCompareRow is one workload × process-count measurement of the
+// serial-versus-sharded barrier race check.
+type ShardCompareRow struct {
+	Workload string
+	Procs    int
+	// Entries is the check-list entry total the detector built over the
+	// serial run — the comparison work being distributed. (The sharded run
+	// builds the same list; TSP's lock schedule can drift between two
+	// independent runs, so the serial figure is the one reported.)
+	Entries int64
+	// Nearest-rank percentiles of dsm_barrier_wait_ns, in virtual ns.
+	SerialP50, SerialP99 int64
+	ShardP50, ShardP99   int64
+}
+
+// SpeedupP50 is the serial/sharded ratio of median barrier waits.
+func (r ShardCompareRow) SpeedupP50() float64 { return waitRatio(r.SerialP50, r.ShardP50) }
+
+// SpeedupP99 is the serial/sharded ratio of tail barrier waits.
+func (r ShardCompareRow) SpeedupP99() float64 { return waitRatio(r.SerialP99, r.ShardP99) }
+
+func waitRatio(serial, sharded int64) float64 {
+	if sharded == 0 {
+		return 0
+	}
+	return float64(serial) / float64(sharded)
+}
+
+// barrierWaitNS extracts every barrier-departure wait (KBarrierDepart arg C)
+// retained by the recorder — the raw samples behind dsm_barrier_wait_ns.
+func barrierWaitNS(rec *telemetry.Recorder) []int64 {
+	var out []int64
+	for _, e := range rec.Events() {
+		if e.Kind == telemetry.KBarrierDepart {
+			out = append(out, e.C)
+		}
+	}
+	return out
+}
+
+// pctNS is the nearest-rank q-th percentile (q in (0,1]) of samples.
+func pctNS(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	k := int(math.Ceil(q * float64(len(s))))
+	if k < 1 {
+		k = 1
+	}
+	return s[k-1]
+}
+
+// runShardSynthetic drives the MultiWriter protocol through an all-pairs
+// false-sharing workload: every process writes its own word-disjoint slice
+// of every page each epoch, so the check list carries pages × C(procs,2)
+// entries per barrier while the bitmap comparisons find no word overlap —
+// the check-bound regime where distribution should pay, without the
+// race-report broadcast (kept rare in practice by §6.4 first-race
+// filtering) drowning the signal. Returns the barrier wait samples and the
+// detector's check-list entry total.
+func runShardSynthetic(procs int, sharded bool) ([]int64, int64, error) {
+	const (
+		pageSize = 512
+		pages    = 64
+		epochs   = 6
+		hotWords = 8 // words per page written by each process (disjoint slices)
+	)
+	if procs*hotWords > pageSize/8 {
+		return nil, 0, fmt.Errorf("harness: %d procs × %d words exceeds the %d-word page", procs, hotWords, pageSize/8)
+	}
+	s, err := dsm.New(dsm.Config{
+		NumProcs:     procs,
+		SharedSize:   pages * pageSize,
+		PageSize:     pageSize,
+		Protocol:     dsm.MultiWriter,
+		Detect:       true,
+		ShardedCheck: sharded,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	base, err := s.AllocWords("grid", pages*pageSize/8)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec := telemetry.Start(telemetry.Config{Procs: procs, Cap: -1})
+	defer telemetry.Stop()
+	err = s.Run(func(p *dsm.Proc) {
+		for e := 0; e < epochs; e++ {
+			for pg := 0; pg < pages; pg++ {
+				for w := 0; w < hotWords; w++ {
+					word := pg*(pageSize/8) + p.ID()*hotWords + w
+					p.Write(base+mem.Addr(word*8), uint64(word))
+				}
+			}
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return barrierWaitNS(rec), int64(s.DetectorStats().CheckEntries), nil
+}
+
+// runShardApp runs one benchmark application with detection on and the
+// given check mode, returning its barrier wait samples and check-list total.
+func (s *Suite) runShardApp(app string, procs int, sharded bool) ([]int64, int64, error) {
+	scale := s.Scale * PaperScaleFactors[app]
+	if scale == 0 {
+		scale = s.Scale
+	}
+	res, err := Run(RunConfig{
+		App:          app,
+		Scale:        scale,
+		Procs:        procs,
+		Protocol:     s.Protocol,
+		Detect:       true,
+		ShardedCheck: sharded,
+		RealMsgDelay: s.RealMsgDelay,
+		Telemetry:    &telemetry.Config{Cap: -1},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return barrierWaitNS(res.Telemetry), int64(res.Det.CheckEntries), nil
+}
+
+// ShardCompare measures the serial-versus-sharded barrier wait on the
+// synthetic MultiWriter workload and on TSP, at each process count
+// (nil → 4 and 8).
+func (s *Suite) ShardCompare(procCounts []int) ([]ShardCompareRow, error) {
+	if len(procCounts) == 0 {
+		procCounts = []int{4, 8}
+	}
+	var rows []ShardCompareRow
+	for _, pc := range procCounts {
+		serialW, entries, err := runShardSynthetic(pc, false)
+		if err != nil {
+			return nil, fmt.Errorf("harness: synthetic serial at %d procs: %w", pc, err)
+		}
+		shardW, _, err := runShardSynthetic(pc, true)
+		if err != nil {
+			return nil, fmt.Errorf("harness: synthetic sharded at %d procs: %w", pc, err)
+		}
+		rows = append(rows, ShardCompareRow{
+			Workload: "MultiWriter", Procs: pc, Entries: entries,
+			SerialP50: pctNS(serialW, 0.50), SerialP99: pctNS(serialW, 0.99),
+			ShardP50: pctNS(shardW, 0.50), ShardP99: pctNS(shardW, 0.99),
+		})
+
+		serialW, entries, err = s.runShardApp("TSP", pc, false)
+		if err != nil {
+			return nil, fmt.Errorf("harness: TSP serial at %d procs: %w", pc, err)
+		}
+		shardW, _, err = s.runShardApp("TSP", pc, true)
+		if err != nil {
+			return nil, fmt.Errorf("harness: TSP sharded at %d procs: %w", pc, err)
+		}
+		rows = append(rows, ShardCompareRow{
+			Workload: "TSP", Procs: pc, Entries: entries,
+			SerialP50: pctNS(serialW, 0.50), SerialP99: pctNS(serialW, 0.99),
+			ShardP50: pctNS(shardW, 0.50), ShardP99: pctNS(shardW, 0.99),
+		})
+	}
+	return rows, nil
+}
+
+// ShardCompareTable prints the serial-versus-sharded barrier wait
+// comparison (EXPERIMENTS.md's sharded-check section).
+func (s *Suite) ShardCompareTable(w io.Writer, procCounts []int) error {
+	rows, err := s.ShardCompare(procCounts)
+	if err != nil {
+		return err
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	fmt.Fprintln(w, "Serial vs. sharded barrier race check (dsm_barrier_wait_ns, exact percentiles, virtual µs)")
+	fmt.Fprintf(w, "%-12s %5s %9s %12s %12s %12s %12s %8s %8s\n",
+		"Workload", "Procs", "Entries",
+		"serial p50", "serial p99", "shard p50", "shard p99", "p50", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %5d %9d %12.0f %12.0f %12.0f %12.0f %7.2fx %7.2fx\n",
+			r.Workload, r.Procs, r.Entries,
+			us(r.SerialP50), us(r.SerialP99), us(r.ShardP50), us(r.ShardP99),
+			r.SpeedupP50(), r.SpeedupP99())
+	}
+	return nil
+}

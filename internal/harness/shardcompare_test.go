@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/telemetry"
+)
+
+func TestPctNSNearestRank(t *testing.T) {
+	s := []int64{40, 10, 30, 20}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{
+		{0.50, 20}, // ceil(0.5*4)=2nd of sorted {10,20,30,40}
+		{0.99, 40},
+		{0.25, 10},
+		{1.00, 40},
+	} {
+		if got := pctNS(s, tc.q); got != tc.want {
+			t.Errorf("pctNS(%v, %v) = %d, want %d", s, tc.q, got, tc.want)
+		}
+	}
+	if got := pctNS(nil, 0.5); got != 0 {
+		t.Errorf("pctNS(nil) = %d, want 0", got)
+	}
+}
+
+// TestShardSyntheticSpeedup is the measurement path's own check: on the
+// check-bound false-sharing workload the sharded barrier wait must be
+// strictly below the serial one, over an identical check list.
+func TestShardSyntheticSpeedup(t *testing.T) {
+	serialW, serialEnt, err := runShardSynthetic(4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardW, shardEnt, err := runShardSynthetic(4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialEnt == 0 || serialEnt != shardEnt {
+		t.Fatalf("check-list entries: serial %d, sharded %d; want equal and nonzero", serialEnt, shardEnt)
+	}
+	if len(serialW) == 0 || len(serialW) != len(shardW) {
+		t.Fatalf("barrier wait samples: serial %d, sharded %d", len(serialW), len(shardW))
+	}
+	sp50, dp50 := pctNS(serialW, 0.5), pctNS(shardW, 0.5)
+	if dp50 >= sp50 {
+		t.Errorf("sharded p50 wait %dns not below serial %dns", dp50, sp50)
+	}
+}
+
+// TestFillMetricsSplitsCheckWorkPerProc: the comparison-work counters must
+// be published per process (labeled by proc) rather than as one global
+// total silently attributed to the master.
+func TestFillMetricsSplitsCheckWorkPerProc(t *testing.T) {
+	r := &Result{}
+	r.Procs = []dsm.Stats{
+		{CheckEntriesCompared: 2, BitmapsCompared: 3},
+		{CheckEntriesCompared: 7, BitmapsCompared: 5},
+	}
+	reg := telemetry.NewRegistry()
+	r.FillMetrics(reg)
+	snap := reg.Snapshot()
+
+	for key, want := range map[string]int64{
+		`race_bitmaps_compared_total{proc="0"}`: 3,
+		`race_bitmaps_compared_total{proc="1"}`: 5,
+		`race_check_entries_total{proc="0"}`:    2,
+		`race_check_entries_total{proc="1"}`:    7,
+	} {
+		if got := snap.Counters[key]; got != want {
+			t.Errorf("snapshot %s = %d, want %d", key, got, want)
+		}
+	}
+	if got := snap.CounterTotal("race_bitmaps_compared_total"); got != 8 {
+		t.Errorf("race_bitmaps_compared_total family sums to %d, want 8", got)
+	}
+	if _, ok := snap.Counters["race_bitmaps_compared_total"]; ok {
+		t.Error("unlabeled race_bitmaps_compared_total series still published")
+	}
+
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `race_check_entries_total{proc="1"} 7`) {
+		t.Error("Prometheus exposition missing the per-proc check-entry series")
+	}
+}

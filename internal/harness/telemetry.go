@@ -37,6 +37,12 @@ func (r *Result) FillMetrics(reg *telemetry.Registry) {
 			{"dsm_bitmaps_sent_total", "Access bitmaps sent for comparison.", st.BitmapsSent},
 			{"dsm_read_notice_bytes_total", "Wire bytes of read notices sent.", st.ReadNoticeBytes},
 			{"dsm_sync_msg_bytes_total", "Wire bytes of record-carrying sync messages sent.", st.SyncMsgBytes},
+			// Attributed per process: under the serial check all comparison
+			// work lands at proc 0; under ShardedCheck it spreads across the
+			// shard owners. (These were previously published only as global
+			// detector totals, hiding the distribution.)
+			{"race_check_entries_total", "Check-list entries this process compared.", st.CheckEntriesCompared},
+			{"race_bitmaps_compared_total", "Bitmap pairs this process fetched and compared.", st.BitmapsCompared},
 		} {
 			reg.Counter(c.name, c.help, p).Add(c.v)
 		}
@@ -71,8 +77,7 @@ func (r *Result) FillMetrics(reg *telemetry.Registry) {
 		{"race_pair_comparisons_total", "Version-vector pair comparisons.", int64(r.Det.PairComparisons)},
 		{"race_concurrent_pairs_total", "Interval pairs found concurrent.", int64(r.Det.ConcurrentPairs)},
 		{"race_overlapping_pairs_total", "Concurrent pairs with page overlap.", int64(r.Det.OverlappingPairs)},
-		{"race_check_entries_total", "Check-list entries built.", int64(r.Det.CheckEntries)},
-		{"race_bitmaps_compared_total", "Bitmaps fetched and compared.", int64(r.Det.BitmapsCompared)},
+		{"race_check_entries_built_total", "Check-list entries built by the detector.", int64(r.Det.CheckEntries)},
 		{"race_word_overlaps_total", "Racing words found before dedup.", int64(r.Det.WordOverlaps)},
 		{"race_reports_suppressed_total", "Reports dropped by first-race filtering.", int64(r.Det.SuppressedReports)},
 		{"races_found_total", "Dynamic race reports delivered.", int64(len(r.Races))},

@@ -1,0 +1,34 @@
+package msg
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestProtocolDocListsEveryMessageType pins docs/PROTOCOL.md's message-type
+// table to the live Type constants: a type added (or renamed) here without
+// a row there — or a documented row with no backing constant — fails.
+func TestProtocolDocListsEveryMessageType(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/PROTOCOL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRe := regexp.MustCompile("(?m)^\\| `([A-Za-z]+)` \\|")
+	documented := map[string]bool{}
+	for _, m := range rowRe.FindAllStringSubmatch(string(doc), -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no message-type table rows found in docs/PROTOCOL.md")
+	}
+	for ty := TInvalid + 1; int(ty) < NumTypes; ty++ {
+		if !documented[ty.String()] {
+			t.Errorf("message type %s has no row in docs/PROTOCOL.md's table", ty)
+		}
+		delete(documented, ty.String())
+	}
+	for name := range documented {
+		t.Errorf("docs/PROTOCOL.md documents %q, which is not a live msg.Type", name)
+	}
+}

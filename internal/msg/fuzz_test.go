@@ -20,6 +20,8 @@ func FuzzUnmarshal(f *testing.F) {
 		&BitmapReply{Epoch: 2, Entries: []BitmapEntry{{Proc: 1, Index: 2, Page: 3, Read: mem.NewBitmap(64)}}},
 		&RelData{Seq: 9, Ack: 4, Payload: Marshal(&PageReq{Page: 1, Write: true})},
 		&RelAck{Ack: 11},
+		&BarrierRelease{Epoch: 3, GlobalVC: []uint32{7}, ShardOwner: []int32{0, 2, 1}, NeedBitmaps: true},
+		&ShardResult{Epoch: 4, BitmapsCompared: 8, WordOverlaps: 2},
 	}
 	for _, m := range seeds {
 		f.Add(Marshal(m))

@@ -45,6 +45,11 @@ const (
 	// there is no reverse traffic to ride on.
 	TRelData
 	TRelAck
+
+	// Sharded race check (Config.ShardedCheck): a shard owner's — or an
+	// interior reduction-tree node's — merged race candidates and
+	// comparison-work counters, sent to its tree parent.
+	TShardResult
 )
 
 var typeNames = map[Type]string{
@@ -55,6 +60,7 @@ var typeNames = map[Type]string{
 	TBarrierArrive: "BarrierArrive", TBarrierRelease: "BarrierRelease",
 	TBitmapReply: "BitmapReply", TBarrierDone: "BarrierDone",
 	TRelData: "RelData", TRelAck: "RelAck",
+	TShardResult: "ShardResult",
 }
 
 func (t Type) String() string {
@@ -65,7 +71,7 @@ func (t Type) String() string {
 }
 
 // NumTypes bounds Type values for stats arrays.
-const NumTypes = int(TRelAck) + 1
+const NumTypes = int(TShardResult) + 1
 
 // Message is a wire message.
 type Message interface {
@@ -119,6 +125,8 @@ func Unmarshal(b []byte) (Message, error) {
 		m = decodeRelData(d)
 	case TRelAck:
 		m = &RelAck{Ack: d.U32()}
+	case TShardResult:
+		m = decodeShardResult(d)
 	default:
 		return nil, fmt.Errorf("msg: unknown type %d: %w", uint8(t), ErrCorrupt)
 	}
@@ -432,11 +440,18 @@ func decodeBarrierArrive(d *Decoder) *BarrierArrive {
 // every process can apply all write notices), the new global vector, and
 // the race detector's check list. NeedBitmaps tells workers whether the
 // extra bitmap round will happen.
+//
+// Under Config.ShardedCheck, ShardOwner is parallel to Check and names the
+// process that owns each entry's comparison (race.PartitionCheckList); the
+// distinct owners are the shard owners every process sends its BitmapReply
+// slices to, instead of N-to-1 at the master. Empty ShardOwner means the
+// serial check: all bitmaps go to process 0.
 type BarrierRelease struct {
 	Epoch       int32
 	GlobalVC    []uint32
 	Intervals   []*interval.Record
 	Check       []race.CheckEntry
+	ShardOwner  []int32
 	NeedBitmaps bool
 }
 
@@ -453,6 +468,10 @@ func (m *BarrierRelease) encode(e *Encoder) {
 		e.IntervalID(c.A)
 		e.IntervalID(c.B)
 		e.I32(int32(c.Page))
+	}
+	e.U32(uint32(len(m.ShardOwner)))
+	for _, o := range m.ShardOwner {
+		e.I32(o)
 	}
 	if m.NeedBitmaps {
 		e.U8(1)
@@ -482,6 +501,16 @@ func decodeBarrierRelease(d *Decoder) *BarrierRelease {
 		c.B = d.IntervalID()
 		c.Page = mem.PageID(d.I32())
 		m.Check = append(m.Check, c)
+	}
+	no := int(d.U32())
+	if d.err2(4 * no) {
+		return m
+	}
+	if no > 0 {
+		m.ShardOwner = make([]int32, no)
+		for i := range m.ShardOwner {
+			m.ShardOwner[i] = d.I32()
+		}
 	}
 	m.NeedBitmaps = d.U8() == 1
 	return m
@@ -594,6 +623,44 @@ func decodeBarrierDone(d *Decoder) *BarrierDone {
 	for i := 0; i < n; i++ {
 		m.Races = append(m.Races, DecodeReport(d))
 	}
+	return m
+}
+
+// ShardResult carries a subtree's merged race candidates up the binary
+// reduction tree of the sharded check: the sender's own shard comparison
+// output (race.CompareShard) merged with the results of its tree children,
+// plus the comparison-work counters the master needs to keep race.Stats —
+// and therefore checkpoints — identical to the serial path's.
+type ShardResult struct {
+	Epoch           int32
+	Races           []race.Report
+	BitmapsCompared int64
+	WordOverlaps    int64
+}
+
+// Type implements Message.
+func (*ShardResult) Type() Type { return TShardResult }
+func (m *ShardResult) encode(e *Encoder) {
+	e.I32(m.Epoch)
+	e.U32(uint32(len(m.Races)))
+	for _, r := range m.Races {
+		EncodeReport(e, r)
+	}
+	e.U64(uint64(m.BitmapsCompared))
+	e.U64(uint64(m.WordOverlaps))
+}
+func decodeShardResult(d *Decoder) *ShardResult {
+	m := &ShardResult{Epoch: d.I32()}
+	n := int(d.U32())
+	if d.err2(n) {
+		return m
+	}
+	m.Races = make([]race.Report, 0, n)
+	for i := 0; i < n; i++ {
+		m.Races = append(m.Races, DecodeReport(d))
+	}
+	m.BitmapsCompared = int64(d.U64())
+	m.WordOverlaps = int64(d.U64())
 	return m
 }
 

@@ -111,8 +111,14 @@ func TestRoundTripBarrier(t *testing.T) {
 		NeedBitmaps: true,
 	}
 	gotR := roundTrip(t, rel).(*BarrierRelease)
-	if !gotR.NeedBitmaps || len(gotR.Check) != 1 || gotR.Check[0] != rel.Check[0] {
+	if !gotR.NeedBitmaps || len(gotR.Check) != 1 || gotR.Check[0] != rel.Check[0] || gotR.ShardOwner != nil {
 		t.Errorf("BarrierRelease: %+v", gotR)
+	}
+
+	rel.ShardOwner = []int32{3}
+	gotR = roundTrip(t, rel).(*BarrierRelease)
+	if !reflect.DeepEqual(gotR.ShardOwner, rel.ShardOwner) {
+		t.Errorf("BarrierRelease sharded: %+v", gotR)
 	}
 
 	bm := mem.NewBitmap(1024)
@@ -131,6 +137,17 @@ func TestRoundTripBarrier(t *testing.T) {
 	gotD := roundTrip(t, done).(*BarrierDone)
 	if len(gotD.Races) != 1 || gotD.Races[0] != done.Races[0] {
 		t.Errorf("BarrierDone: %+v", gotD)
+	}
+
+	sr := &ShardResult{Epoch: 2, Races: done.Races, BitmapsCompared: 12, WordOverlaps: 3}
+	gotS := roundTrip(t, sr).(*ShardResult)
+	if gotS.Epoch != 2 || len(gotS.Races) != 1 || gotS.Races[0] != sr.Races[0] ||
+		gotS.BitmapsCompared != 12 || gotS.WordOverlaps != 3 {
+		t.Errorf("ShardResult: %+v", gotS)
+	}
+	empty := roundTrip(t, &ShardResult{Epoch: 5}).(*ShardResult)
+	if empty.Epoch != 5 || len(empty.Races) != 0 {
+		t.Errorf("empty ShardResult: %+v", empty)
 	}
 }
 
@@ -171,11 +188,12 @@ func TestUnmarshalErrors(t *testing.T) {
 		&DiffFlush{Page: 1, Entries: []DiffEntry{{1, 2}}},
 		&Inval{Pages: []mem.PageID{1, 2, 3}},
 		&BarrierArrive{Epoch: 1, VC: []uint32{1}, Intervals: []*interval.Record{sampleRecord()}},
-		&BarrierRelease{Epoch: 1, GlobalVC: []uint32{1}, NeedBitmaps: true},
+		&BarrierRelease{Epoch: 1, GlobalVC: []uint32{1}, ShardOwner: []int32{0, 1}, NeedBitmaps: true},
 		&BitmapReply{Epoch: 1, Entries: []BitmapEntry{{Read: mem.NewBitmap(64)}}},
 		&BarrierDone{Epoch: 1, Races: []race.Report{{}}},
 		&RelData{Seq: 1, Ack: 2, Payload: []byte{1, 2, 3}},
 		&RelAck{Ack: 7},
+		&ShardResult{Epoch: 1, Races: []race.Report{{}}, BitmapsCompared: 4, WordOverlaps: 1},
 	}
 	for _, m := range msgs {
 		full := Marshal(m)

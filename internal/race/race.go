@@ -29,14 +29,20 @@ import (
 	"lrcrace/internal/vc"
 )
 
-// AccessKind labels one side of a race.
+// AccessKind labels one side of a race: whether the interval's access to
+// the racing word was a read or a write (§5's read/write bitmap pair).
 type AccessKind uint8
 
 const (
+	// Read marks an access recorded in an interval's read bitmap.
 	Read AccessKind = iota
+	// Write marks an access recorded in an interval's write bitmap — in
+	// multi-writer mode these are derived from diffs (§6.5), so a write
+	// bitmap exists exactly where a diff records a modified word.
 	Write
 )
 
+// String returns "read" or "write".
 func (k AccessKind) String() string {
 	if k == Write {
 		return "write"
@@ -67,6 +73,8 @@ type Report struct {
 // WriteWrite reports whether both endpoints are writes.
 func (r Report) WriteWrite() bool { return r.A.Kind == Write && r.B.Kind == Write }
 
+// String renders the report the way races are printed for the user:
+// kind, address, page/word coordinates, epoch, and the two endpoints.
 func (r Report) String() string {
 	kind := "read-write"
 	if r.WriteWrite() {
@@ -78,7 +86,8 @@ func (r Report) String() string {
 }
 
 // CheckEntry names a concurrent interval pair and an overlapping page whose
-// bitmaps must be compared — one line of the paper's "check list".
+// bitmaps must be compared — one line of the paper's "check list" (§5),
+// built at the barrier master and shipped with the barrier release.
 type CheckEntry struct {
 	A, B vc.IntervalID
 	Page mem.PageID
@@ -162,14 +171,20 @@ func NewDetector(l mem.Layout, opts Options) *Detector {
 // Stats returns accumulated counters.
 func (d *Detector) Stats() Stats { return d.stats }
 
-// BuildCheckList runs steps 2–3 on the records of one epoch: it finds
-// concurrent interval pairs and intersects their page notices, returning the
-// check list. Records must all belong to the same epoch; intervals of
+// BuildCheckList runs steps 2–3 of §5 on the records of one epoch: it finds
+// concurrent interval pairs (a constant-time version-vector test per pair)
+// and intersects their page notices, returning the check list sorted by
+// interval pair then page. Records must all belong to the same epoch; intervals of
 // earlier epochs are separated from them by the previous barrier and so are
 // ordered with respect to them — they never need to be examined.
 func (d *Detector) BuildCheckList(records []*interval.Record) []CheckEntry {
 	d.stats.Epochs++
 	d.stats.IntervalsTotal += len(records)
+	// The caller hands records in barrier-arrival order, which depends on
+	// scheduling; sort a copy by interval ID so entry orientation (A,B) and
+	// report endpoints come out identical on every run of the same program.
+	records = append([]*interval.Record(nil), records...)
+	sort.Slice(records, func(i, j int) bool { return lessID(records[i].ID, records[j].ID) })
 	var entries []CheckEntry
 	involved := make(map[vc.IntervalID]bool)
 	examine := func(a, b *interval.Record) {
@@ -315,10 +330,12 @@ func dedupPages(pages []mem.PageID) []mem.PageID {
 	return out
 }
 
-// BitmapSource supplies the word-access bitmaps named by check entries. At
-// the barrier master this is backed by the bitmaps returned in the second
-// barrier round; in single-process use it is backed directly by a
-// BitmapStore.
+// BitmapSource supplies the word-access bitmaps named by check entries (§5;
+// write bitmaps are diff-derived in multi-writer mode per §6.5). At the
+// barrier master this is backed by the bitmaps returned in the second
+// barrier round — or, under Config.ShardedCheck, each shard owner backs one
+// from the per-owner bitmap round; in single-process use it is backed
+// directly by a BitmapStore.
 type BitmapSource interface {
 	Bitmaps(id vc.IntervalID, p mem.PageID) (read, write mem.Bitmap)
 }
@@ -331,39 +348,24 @@ func (s StoreSource) Bitmaps(id vc.IntervalID, p mem.PageID) (read, write mem.Bi
 	return s.Store.Get(id, p)
 }
 
-// Compare runs step 5: word-bitmap comparison over the check list. It
-// returns the data races found, applying first-race filtering if enabled.
-// epoch tags the reports.
+// Compare runs step 5: the §5 word-bitmap comparison over the check list.
+// It returns the data races found, applying §6.4 first-race filtering if
+// enabled. epoch tags the reports. The comparison itself is CompareShard
+// over the full list; the sharded barrier path runs CompareShard per shard
+// on worker processes and folds the tree-reduced results back here via
+// FoldShardResults, which leaves the detector in this same state.
 func (d *Detector) Compare(entries []CheckEntry, src BitmapSource, epoch int32) []Report {
-	var reports []Report
-	for _, e := range entries {
-		ra, wa := src.Bitmaps(e.A, e.Page)
-		rb, wb := src.Bitmaps(e.B, e.Page)
-		for _, bm := range []mem.Bitmap{ra, wa, rb, wb} {
-			if bm != nil {
-				d.stats.BitmapsCompared++
-			}
-		}
-		add := func(x, y mem.Bitmap, kx, ky AccessKind) {
-			if x == nil || y == nil {
-				return
-			}
-			for _, w := range x.Overlap(y, nil) {
-				d.stats.WordOverlaps++
-				reports = append(reports, Report{
-					Page:  e.Page,
-					Word:  w,
-					Addr:  d.layout.PageBase(e.Page) + mem.Addr(w*mem.WordSize),
-					Epoch: epoch,
-					A:     Endpoint{Interval: e.A, Kind: kx},
-					B:     Endpoint{Interval: e.B, Kind: ky},
-				})
-			}
-		}
-		add(wa, wb, Write, Write)
-		add(wa, rb, Write, Read)
-		add(ra, wb, Read, Write)
-	}
+	reports, st := CompareShard(d.layout, entries, src, epoch)
+	d.stats.BitmapsCompared += st.BitmapsCompared
+	d.stats.WordOverlaps += st.WordOverlaps
+	return d.filterFirst(reports, epoch)
+}
+
+// filterFirst implements §6.4: once any epoch has raced, reports from later
+// epochs are "affected" races and are suppressed (a barrier orders
+// everything before it with everything after it, so all first races fall in
+// the earliest racy epoch).
+func (d *Detector) filterFirst(reports []Report, epoch int32) []Report {
 	if d.opts.FirstOnly && len(reports) > 0 {
 		if d.firstRacyEpoch < 0 {
 			d.firstRacyEpoch = epoch

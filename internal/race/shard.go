@@ -1,0 +1,162 @@
+package race
+
+import (
+	"sort"
+
+	"lrcrace/internal/mem"
+)
+
+// ShardStats counts the bitmap-comparison work performed on one shard of a
+// check list. The shard owners ship these up the reduction tree alongside
+// their reports so the master's Stats — and therefore the checkpointed
+// race.State — match the serial detector's byte for byte.
+type ShardStats struct {
+	BitmapsCompared int // non-nil bitmaps fetched and compared (read+write)
+	WordOverlaps    int // racing words found (before dedup)
+}
+
+// CompareShard runs step 5 of the detection procedure — the word-granularity
+// bitmap comparison of §5 — over one slice of a check list. It is the
+// stateless core of Detector.Compare, usable by shard-owning worker
+// processes that hold no Detector: first-race filtering (§6.4) and stats
+// accumulation stay at the master, which applies them when folding shard
+// results (Detector.FoldShardResults).
+//
+// Reports are emitted in check-list order (entries ascending by interval
+// pair then page, write/write before write/read before read/write within an
+// entry, words ascending) — the same order Detector.Compare produces, so a
+// canonical merge of shard outputs reproduces the serial report stream.
+func CompareShard(layout mem.Layout, entries []CheckEntry, src BitmapSource, epoch int32) ([]Report, ShardStats) {
+	var reports []Report
+	var st ShardStats
+	for _, e := range entries {
+		ra, wa := src.Bitmaps(e.A, e.Page)
+		rb, wb := src.Bitmaps(e.B, e.Page)
+		for _, bm := range []mem.Bitmap{ra, wa, rb, wb} {
+			if bm != nil {
+				st.BitmapsCompared++
+			}
+		}
+		add := func(x, y mem.Bitmap, kx, ky AccessKind) {
+			if x == nil || y == nil {
+				return
+			}
+			for _, w := range x.Overlap(y, nil) {
+				st.WordOverlaps++
+				reports = append(reports, Report{
+					Page:  e.Page,
+					Word:  w,
+					Addr:  layout.PageBase(e.Page) + mem.Addr(w*mem.WordSize),
+					Epoch: epoch,
+					A:     Endpoint{Interval: e.A, Kind: kx},
+					B:     Endpoint{Interval: e.B, Kind: ky},
+				})
+			}
+		}
+		add(wa, wb, Write, Write)
+		add(wa, rb, Write, Read)
+		add(ra, wb, Read, Write)
+	}
+	return reports, st
+}
+
+// PartitionCheckList assigns each check entry to an owning process in
+// [0, nprocs), keeping all entries of a page on the same owner (so each
+// word-access bitmap travels to exactly one place) and balancing owners by
+// entry count. The assignment is a deterministic longest-processing-time
+// greedy: pages in descending entry count take the least-loaded owner, with
+// ties broken toward the lower page then the lower process — every replica
+// of the barrier master computes the identical partition, which keeps
+// checkpoint replay and crash re-execution byte-stable.
+//
+// The entries slice must be non-empty and sorted as BuildCheckList returns
+// it. The result is parallel to entries (owner[i] owns entries[i]).
+func PartitionCheckList(entries []CheckEntry, nprocs int) []int32 {
+	owner := make([]int32, len(entries))
+	if nprocs <= 1 {
+		return owner
+	}
+	count := make(map[mem.PageID]int, len(entries))
+	for _, e := range entries {
+		count[e.Page]++
+	}
+	pages := make([]mem.PageID, 0, len(count))
+	for p := range count {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool {
+		if count[pages[i]] != count[pages[j]] {
+			return count[pages[i]] > count[pages[j]]
+		}
+		return pages[i] < pages[j]
+	})
+	load := make([]int, nprocs)
+	assigned := make(map[mem.PageID]int32, len(pages))
+	for _, p := range pages {
+		best := 0
+		for q := 1; q < nprocs; q++ {
+			if load[q] < load[best] {
+				best = q
+			}
+		}
+		assigned[p] = int32(best)
+		load[best] += count[p]
+	}
+	for i, e := range entries {
+		owner[i] = assigned[e.Page]
+	}
+	return owner
+}
+
+// kindRank orders a report's (A, B) access-kind pair the way
+// Detector.Compare emits them for one check entry: write/write, then
+// write/read, then read/write. (Read/read pairs are never reported — a race
+// needs at least one write.)
+func kindRank(r Report) int {
+	switch {
+	case r.A.Kind == Write && r.B.Kind == Write:
+		return 0
+	case r.A.Kind == Write:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// SortReports sorts reports into the canonical order the serial detector
+// emits them in: by interval pair (A then B, processes before indexes), then
+// page, then write/write before write/read before read/write, then word.
+// Merging shard outputs and sorting with SortReports reproduces
+// Detector.Compare's output stream exactly; the cross-validation tests and
+// checkpoint byte-stability both rely on this.
+func SortReports(reports []Report) {
+	sort.SliceStable(reports, func(i, j int) bool {
+		a, b := reports[i], reports[j]
+		if a.A.Interval != b.A.Interval {
+			return lessID(a.A.Interval, b.A.Interval)
+		}
+		if a.B.Interval != b.B.Interval {
+			return lessID(a.B.Interval, b.B.Interval)
+		}
+		if a.Page != b.Page {
+			return a.Page < b.Page
+		}
+		if ra, rb := kindRank(a), kindRank(b); ra != rb {
+			return ra < rb
+		}
+		return a.Word < b.Word
+	})
+}
+
+// FoldShardResults merges the reduction tree's root result into the
+// detector: it accumulates the shards' comparison work into Stats, restores
+// the serial report order (SortReports), and applies §6.4 first-race
+// filtering — leaving the detector in the exact state a serial
+// Detector.Compare over the whole check list would have produced, so
+// barrier-epoch checkpoints stay byte-identical across the two paths.
+func (d *Detector) FoldShardResults(reports []Report, st ShardStats, epoch int32) []Report {
+	d.stats.BitmapsCompared += st.BitmapsCompared
+	d.stats.WordOverlaps += st.WordOverlaps
+	SortReports(reports)
+	return d.filterFirst(reports, epoch)
+}

@@ -109,6 +109,14 @@ const (
 	// KLockReclaim: a lock last held by the crashed proc was reclaimed by
 	// its manager during restore. A=lock, B=dead holder.
 	KLockReclaim
+	// KShardCompare: a shard owner compared the bitmaps of its check-list
+	// shard (sharded race check). A=shard check entries, B=bitmaps
+	// compared, C=comparison work (virtual ns).
+	KShardCompare
+	// KShardReduce: a process forwarded its subtree's merged shard results
+	// up the binary reduction tree. A=epoch, B=reports forwarded,
+	// C=tree children merged.
+	KShardReduce
 
 	numKinds
 )
@@ -141,6 +149,8 @@ var kindNames = [numKinds]string{
 	KRecoveryStart:  "RecoveryStart",
 	KRecoveryDone:   "RecoveryDone",
 	KLockReclaim:    "LockReclaim",
+	KShardCompare:   "ShardCompare",
+	KShardReduce:    "ShardReduce",
 }
 
 func (k Kind) String() string {
@@ -305,6 +315,8 @@ type Recorder struct {
 	barHist    *Histogram
 	skewHist   *Histogram
 	lockHist   *Histogram
+	shardEnt   *Histogram
+	shardCmp   *Histogram
 	ckptTotal  *Counter
 	ckptBytes  *Counter
 	recTotal   *Counter
@@ -326,6 +338,10 @@ var LatencyBuckets = []float64{
 	50_000, 100_000, 200_000, 400_000, 800_000,
 	1_600_000, 3_200_000, 6_400_000, 12_800_000,
 }
+
+// ShardSizeBuckets are the histogram bounds for per-shard check-list sizes
+// (powers of two up to 256 entries).
+var ShardSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // Start installs a new Recorder as the destination of every event site and
 // returns it. Any previous recorder is replaced (its contents remain
@@ -349,6 +365,10 @@ func Start(cfg Config) *Recorder {
 		"Spread of virtual arrival times within one barrier epoch.", LatencyBuckets)
 	r.lockHist = m.Histogram("dsm_lock_wait_ns",
 		"Virtual time from lock request to grant arrival.", LatencyBuckets)
+	r.shardEnt = m.Histogram("dsm_check_shard_entries",
+		"Check-list entries per shard comparison (sharded race check).", ShardSizeBuckets)
+	r.shardCmp = m.Histogram("dsm_check_shard_compare_ns",
+		"Virtual-time cost of one shard's bitmap comparison.", LatencyBuckets)
 	for t := TripReason(0); t < numTripReasons; t++ {
 		r.tripCount[t] = m.Counter("telemetry_trips_total",
 			"Flight-recorder trips, by reason.", Label{"reason", t.String()})
@@ -457,6 +477,9 @@ func (r *Recorder) emit(proc int, k Kind, vt int64, a, b, c int64, msg string) {
 		r.recWall.Add(c)
 	case KLockReclaim:
 		r.recLocks.Add(1)
+	case KShardCompare:
+		r.shardEnt.Observe(float64(a))
+		r.shardCmp.Observe(float64(c))
 	}
 }
 
