@@ -17,10 +17,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
 	"lrcrace"
+	"lrcrace/cmd/internal/cli"
 )
 
 func main() {
@@ -34,9 +33,17 @@ func main() {
 	figProcs := flag.String("figprocs", "2,4,8", "processor counts for figure 4")
 	shardProcs := flag.String("shardprocs", "4,8", "processor counts for -shardcompare")
 	metricsOut := flag.String("metrics-out", "", "also write machine-readable metrics JSON (per-app baseline/detect snapshots) to this file")
+	canonical := flag.Bool("canonical", false, "strip wall-clock-dependent series from -metrics-out (byte-deterministic for deterministic apps)")
+	prefill := flag.Int("prefill", 0, "run up to N application pairs concurrently before printing (0 = sequential)")
 	flag.Parse()
 
 	suite := lrcrace.NewSuite(*scale, *procs)
+	suite.Canonical = *canonical
+	if *prefill > 0 {
+		if err := suite.Prefill(*prefill); err != nil {
+			log.Fatalf("prefill: %v", err)
+		}
+	}
 	all := *table == 0 && *figure == 0 && !*races && !*enhance && !*shardCmp
 
 	out := os.Stdout
@@ -61,13 +68,9 @@ func main() {
 		run("figure 3", func() error { return suite.Figure3(out) })
 	}
 	if all || *figure == 4 {
-		var counts []int
-		for _, s := range strings.Split(*figProcs, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 1 {
-				log.Fatalf("bad -figprocs value %q", s)
-			}
-			counts = append(counts, n)
+		counts, err := cli.Ints(*figProcs, 1)
+		if err != nil {
+			log.Fatalf("-figprocs: %v", err)
 		}
 		run("figure 4", func() error { return suite.Figure4(out, counts) })
 	}
@@ -78,25 +81,14 @@ func main() {
 		run("enhancements", func() error { return suite.EnhancementsTable(out) })
 	}
 	if *shardCmp {
-		var counts []int
-		for _, s := range strings.Split(*shardProcs, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil || n < 2 {
-				log.Fatalf("bad -shardprocs value %q", s)
-			}
-			counts = append(counts, n)
+		counts, err := cli.Ints(*shardProcs, 2)
+		if err != nil {
+			log.Fatalf("-shardprocs: %v", err)
 		}
 		run("shardcompare", func() error { return suite.ShardCompareTable(out, counts) })
 	}
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := suite.WriteMetricsJSON(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := cli.WriteFile(*metricsOut, suite.WriteMetricsJSON); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("metrics JSON: %s\n", *metricsOut)

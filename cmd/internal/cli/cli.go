@@ -1,0 +1,92 @@
+// Package cli holds the small scaffolding shared by the lrcrace commands:
+// writing generated output files and parsing comma-separated flag values.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WriteFile creates path and streams write into it, closing on all paths.
+func WriteFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// fields splits a comma-separated flag value, trimming blanks; an empty
+// string yields nil.
+func fields(csv string) []string {
+	var out []string
+	for _, s := range strings.Split(csv, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Strings parses a comma-separated list of strings ("" → nil).
+func Strings(csv string) []string { return fields(csv) }
+
+// Ints parses a comma-separated list of integers, each at least min.
+func Ints(csv string, min int) ([]int, error) {
+	var out []int
+	for _, s := range fields(csv) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < min {
+			return nil, fmt.Errorf("bad integer %q (want >= %d)", s, min)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Int64s parses a comma-separated list of 64-bit integers.
+func Int64s(csv string) ([]int64, error) {
+	var out []int64
+	for _, s := range fields(csv) {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Floats parses a comma-separated list of floats.
+func Floats(csv string) ([]float64, error) {
+	var out []float64
+	for _, s := range fields(csv) {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Bools parses a comma-separated list of booleans (strconv.ParseBool
+// forms: 1/0, t/f, true/false).
+func Bools(csv string) ([]bool, error) {
+	var out []bool
+	for _, s := range fields(csv) {
+		v, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad boolean %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"lrcrace"
+	"lrcrace/cmd/internal/cli"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the run's metrics in Prometheus text format")
 	flight := flag.Int("flight-recorder", 0, "arm the flight recorder: dump the last N events to stderr if the run fails (0 = off)")
 	barrierTimeout := flag.Duration("barrier-timeout", 0, "abort if a barrier round stalls this long in real time (trips the flight recorder; 0 = wait forever)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the run's live metrics as Prometheus text on this address under /metrics")
 	flag.Parse()
 
 	if *analyze != "" {
@@ -73,7 +77,24 @@ func main() {
 	}
 	cfg.WritesFromDiffs = *diffs
 
-	if *chromeOut != "" || *metricsOut != "" || *flight > 0 {
+	if *metricsAddr != "" {
+		// A live endpoint needs the recorder handle before the run starts,
+		// so build it here (handle-scoped — nothing global) and serve its
+		// registry while the experiment executes.
+		rec := lrcrace.NewTelemetryRecorder(lrcrace.TelemetryConfig{FlightN: *flight, Procs: *procs})
+		cfg.Recorder = rec
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			rec.Metrics().WriteProm(w)
+		})
+		go http.Serve(ln, mux)
+		fmt.Printf("live metrics: http://%s/metrics\n", ln.Addr())
+	} else if *chromeOut != "" || *metricsOut != "" || *flight > 0 {
 		cfg.Telemetry = &lrcrace.TelemetryConfig{FlightN: *flight}
 	}
 
@@ -154,14 +175,7 @@ func main() {
 }
 
 func writeFile(path string, write func(io.Writer) error) {
-	f, err := os.Create(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := write(f); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
+	if err := cli.WriteFile(path, write); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -1,0 +1,160 @@
+// Command sweeprun drives a parameter sweep over the DSM benchmark grid:
+// the cartesian product of the axis flags (or a JSON plan file) expands to
+// cells, a bounded worker pool runs them concurrently — each cell in its
+// own System with its own scoped telemetry recorder — and the results land
+// as a summary table, a summary JSON, and a deterministic aggregated
+// metrics document. See docs/SWEEP.md.
+//
+// Usage:
+//
+//	sweeprun -apps TSP,Water -procs 2,4 -workers 4
+//	sweeprun -apps SOR -protocols sw,mw -sharded 0,1 -metrics-out m.json
+//	sweeprun -plan plan.json -dir sweep.ckpt        # resumable
+//	sweeprun -apps Water -metrics-addr :9090        # live /metrics, /sweep
+//	sweeprun -apps TSP -drop 0.05 -seeds 0,1,2      # chaos sweep
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"lrcrace/cmd/internal/cli"
+	"lrcrace/internal/sweep"
+)
+
+func main() {
+	planFile := flag.String("plan", "", "JSON plan file (overrides the axis flags)")
+	apps := flag.String("apps", "", "applications axis, e.g. TSP,Water")
+	scales := flag.String("scales", "", "problem-scale axis (default 1)")
+	procs := flag.String("procs", "", "process-count axis (default 4)")
+	protocols := flag.String("protocols", "", "protocol axis: sw,mw (default sw)")
+	detect := flag.String("detect", "", "detection axis: true,false (default true)")
+	sharded := flag.String("sharded", "", "sharded-check axis: true,false (default false)")
+	checkpoint := flag.String("checkpoint", "", "checkpointing axis: true,false (default false)")
+	seeds := flag.String("seeds", "", "fault-seed axis (default 0; needs a fault flag)")
+	drop := flag.Float64("drop", 0, "fault template: per-message drop probability")
+	dup := flag.Float64("dup", 0, "fault template: per-message duplication probability")
+	reorder := flag.Float64("reorder", 0, "fault template: per-message reorder probability")
+	jitterUS := flag.Int64("jitter-us", 0, "fault template: max extra latency jitter (µs)")
+	msgDelayUS := flag.Int64("msg-delay-us", 0, "override the per-app real message delay (µs)")
+
+	workers := flag.Int("workers", 4, "cells run concurrently")
+	cellTimeout := flag.Duration("cell-timeout", 2*time.Minute, "per-cell wall-time deadline")
+	retries := flag.Int("retries", 0, "extra attempts for failed/panicking cells")
+	dir := flag.String("dir", "", "checkpoint directory: persist per-cell results and resume an interrupted grid")
+	out := flag.String("out", "", "write the summary JSON here")
+	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics JSON here (deterministic)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /sweep and /flight/<cell> on this address during the run")
+	flag.Parse()
+
+	plan, err := buildPlan(*planFile, axisFlags{
+		apps: *apps, scales: *scales, procs: *procs, protocols: *protocols,
+		detect: *detect, sharded: *sharded, checkpoint: *checkpoint, seeds: *seeds,
+		drop: *drop, dup: *dup, reorder: *reorder, jitterUS: *jitterUS, msgDelayUS: *msgDelayUS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s, err := sweep.New(plan, sweep.Options{
+		Workers:     *workers,
+		CellTimeout: *cellTimeout,
+		Retries:     *retries,
+		Dir:         *dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep %0.12s: %d cells, %d workers\n", plan.Fingerprint(), len(s.Cells()), *workers)
+
+	if *metricsAddr != "" {
+		srv, addr, err := s.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("live endpoint: http://%s/metrics /sweep /flight/<cell-id>\n", addr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	summary, err := s.Run(ctx)
+	if err != nil {
+		// An interrupted sweep still summarizes what finished; the
+		// checkpoint directory (if any) lets the next invocation resume.
+		fmt.Fprintf(os.Stderr, "sweep interrupted: %v\n", err)
+	}
+
+	if err := summary.WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := cli.WriteFile(*out, summary.WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("summary JSON: %s\n", *out)
+	}
+	if *metricsOut != "" {
+		if err := cli.WriteFile(*metricsOut, s.WriteMetricsJSON); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics JSON: %s\n", *metricsOut)
+	}
+	if summary.OK != summary.Total {
+		os.Exit(1)
+	}
+}
+
+type axisFlags struct {
+	apps, scales, procs, protocols, detect, sharded, checkpoint, seeds string
+	drop, dup, reorder                                                 float64
+	jitterUS, msgDelayUS                                               int64
+}
+
+func buildPlan(planFile string, a axisFlags) (*sweep.Plan, error) {
+	if planFile != "" {
+		b, err := os.ReadFile(planFile)
+		if err != nil {
+			return nil, err
+		}
+		var p sweep.Plan
+		if err := json.Unmarshal(b, &p); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", planFile, err)
+		}
+		return &p, nil
+	}
+	p := &sweep.Plan{Apps: cli.Strings(a.apps), RealMsgDelayUS: a.msgDelayUS}
+	if len(p.Apps) == 0 {
+		return nil, fmt.Errorf("no applications: set -apps or -plan")
+	}
+	var err error
+	if p.Scales, err = cli.Floats(a.scales); err != nil {
+		return nil, fmt.Errorf("-scales: %w", err)
+	}
+	if p.Procs, err = cli.Ints(a.procs, 1); err != nil {
+		return nil, fmt.Errorf("-procs: %w", err)
+	}
+	p.Protocols = cli.Strings(a.protocols)
+	if p.Detect, err = cli.Bools(a.detect); err != nil {
+		return nil, fmt.Errorf("-detect: %w", err)
+	}
+	if p.Sharded, err = cli.Bools(a.sharded); err != nil {
+		return nil, fmt.Errorf("-sharded: %w", err)
+	}
+	if p.Checkpoint, err = cli.Bools(a.checkpoint); err != nil {
+		return nil, fmt.Errorf("-checkpoint: %w", err)
+	}
+	if p.Seeds, err = cli.Int64s(a.seeds); err != nil {
+		return nil, fmt.Errorf("-seeds: %w", err)
+	}
+	if a.drop > 0 || a.dup > 0 || a.reorder > 0 || a.jitterUS > 0 {
+		p.Faults = &sweep.FaultAxis{Drop: a.drop, Dup: a.dup, Reorder: a.reorder, JitterUS: a.jitterUS}
+	}
+	return p, nil
+}

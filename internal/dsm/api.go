@@ -75,7 +75,7 @@ func (p *Proc) Write(a mem.Addr, v uint64) {
 			// Local protection fault: creates this interval's write notice.
 			p.vnow += m.PageFault
 			p.st.WriteFaults++
-			telemetry.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), 1, 0)
+			p.tel.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), 1, 0)
 		}
 		p.writtenPages[pg] = true
 	case MultiWriter:
@@ -85,7 +85,7 @@ func (p *Proc) Write(a mem.Addr, v uint64) {
 		if p.state[pg] == pageReadOnly {
 			p.vnow += m.PageFault
 			p.st.WriteFaults++
-			telemetry.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), 1, 0)
+			p.tel.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), 1, 0)
 			if p.home(pg) != p.id || p.sys.cfg.WritesFromDiffs {
 				twin := make([]byte, p.seg.PageSize)
 				copy(twin, p.seg.PageBytes(pg))
@@ -168,7 +168,7 @@ func (p *Proc) readFaultLocked(pg mem.PageID) {
 	m := &p.sys.cfg.Model
 	p.vnow += m.PageFault
 	p.st.ReadFaults++
-	telemetry.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), 0, 0)
+	p.tel.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), 0, 0)
 	p.fetching[pg] = true
 	v := p.vnow
 	p.mu.Unlock()
@@ -181,7 +181,7 @@ func (p *Proc) readFaultLocked(pg mem.PageID) {
 	}
 	p.bumpVTo(p.arrival(d))
 	p.seg.CopyPageIn(pg, rep.Data)
-	telemetry.Emit(p.id, telemetry.KPageFetch, p.vnow, int64(pg), int64(d.From), p.vnow-v)
+	p.tel.Emit(p.id, telemetry.KPageFetch, p.vnow, int64(pg), int64(d.From), p.vnow-v)
 	dbgf("p%d read-fetched page %d from p%d word4=%d", p.id, pg, d.From, p.seg.Word(32))
 	p.fetching[pg] = false
 	if p.fetchInv[pg] {
@@ -200,7 +200,7 @@ func (p *Proc) ownershipFaultLocked(pg mem.PageID) {
 	m := &p.sys.cfg.Model
 	p.vnow += m.PageFault
 	p.st.WriteFaults++
-	telemetry.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), 1, 0)
+	p.tel.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), 1, 0)
 	p.expecting[pg] = true
 	v := p.vnow
 	p.mu.Unlock()
@@ -213,7 +213,7 @@ func (p *Proc) ownershipFaultLocked(pg mem.PageID) {
 	}
 	p.bumpVTo(p.arrival(d))
 	p.seg.CopyPageIn(pg, rep.Data)
-	telemetry.Emit(p.id, telemetry.KPageFetch, p.vnow, int64(pg), int64(d.From), p.vnow-v)
+	p.tel.Emit(p.id, telemetry.KPageFetch, p.vnow, int64(pg), int64(d.From), p.vnow-v)
 	dbgf("p%d got ownership of page %d word4=%d", p.id, pg, p.seg.Word(32))
 	p.owned[pg] = true
 	p.expecting[pg] = false
@@ -233,7 +233,7 @@ func (p *Proc) fetchFromHomeLocked(pg mem.PageID, write bool) {
 	if write {
 		wr = 1
 	}
-	telemetry.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), wr, 0)
+	p.tel.Emit(p.id, telemetry.KPageFault, p.vnow, int64(pg), wr, 0)
 	if p.home(pg) == p.id {
 		p.protocolBug("home page %d invalid", pg)
 	}
@@ -249,7 +249,7 @@ func (p *Proc) fetchFromHomeLocked(pg mem.PageID, write bool) {
 	}
 	p.bumpVTo(p.arrival(d))
 	p.seg.CopyPageIn(pg, rep.Data)
-	telemetry.Emit(p.id, telemetry.KPageFetch, p.vnow, int64(pg), int64(d.From), p.vnow-v)
+	p.tel.Emit(p.id, telemetry.KPageFetch, p.vnow, int64(pg), int64(d.From), p.vnow-v)
 	p.fetching[pg] = false
 	if p.fetchInv[pg] {
 		p.fetchInv[pg] = false
@@ -313,7 +313,7 @@ func (p *Proc) flushDiffsLocked() {
 		}
 		p.st.DiffsFlushed++
 		p.st.DiffWords += int64(len(entries))
-		telemetry.Emit(p.id, telemetry.KDiffFlush, v, int64(pg), int64(len(entries)), 0)
+		p.tel.Emit(p.id, telemetry.KDiffFlush, v, int64(pg), int64(len(entries)), 0)
 		if p.sys.cfg.WritesFromDiffs && len(entries) > 0 {
 			base := p.seg.PageBase(pg)
 			for _, e := range entries {
@@ -377,7 +377,7 @@ func (p *Proc) Lock(id int) {
 	}
 	ls.awaiting = true
 	p.st.LockAcquires++
-	telemetry.Emit(p.id, telemetry.KLockRequest, p.vnow, int64(id), 0, 0)
+	p.tel.Emit(p.id, telemetry.KLockRequest, p.vnow, int64(id), 0, 0)
 	req := &msg.AcquireReq{Lock: int32(id), VC: vcToWire(p.vcur)}
 	v := p.vnow
 	p.mu.Unlock()
@@ -396,7 +396,7 @@ func (p *Proc) Lock(id int) {
 		dbgf("p%d got lock %d from p%d with [%s]", p.id, id, d.From, ids)
 	}
 	p.bumpVTo(p.arrival(d))
-	telemetry.Emit(p.id, telemetry.KLockAcquired, p.vnow, int64(id), int64(d.From), p.vnow-v)
+	p.tel.Emit(p.id, telemetry.KLockAcquired, p.vnow, int64(id), int64(d.From), p.vnow-v)
 	// An acquire begins a new interval.
 	p.closeIntervalLocked()
 	p.applyIntervalsLocked(grant.Intervals)
@@ -430,7 +430,7 @@ func (p *Proc) Unlock(id int) {
 	if tr := p.sys.cfg.Tracer; tr != nil {
 		tr.Release(p.id, id)
 	}
-	telemetry.Emit(p.id, telemetry.KLockRelease, p.vnow, int64(id), 0, 0)
+	p.tel.Emit(p.id, telemetry.KLockRelease, p.vnow, int64(id), 0, 0)
 	// A release begins a new interval. Snapshot the release-time version
 	// vector first: it caps what any grant for this tenure may carry.
 	p.closeIntervalLocked()
@@ -471,7 +471,7 @@ func (p *Proc) grantLocked(id, requester int, theirs, relVC vc.VC, vtime int64) 
 		// went out eagerly at the release.
 		delta = p.log.DeltaCapped(theirs, relVC)
 	}
-	telemetry.Emit(p.id, telemetry.KLockGrant, vtime, int64(id), int64(requester), int64(len(delta)))
+	p.tel.Emit(p.id, telemetry.KLockGrant, vtime, int64(id), int64(requester), int64(len(delta)))
 	g := &msg.AcquireGrant{Lock: int32(id), Intervals: delta}
 	bytes := p.send(requester, g, vtime)
 	p.recordSyncSend(delta, bytes)
@@ -513,7 +513,7 @@ func (p *Proc) Barrier() {
 	p.epochRecords = nil
 	lastClosed := p.curIndex
 	v := p.vnow
-	telemetry.Emit(p.id, telemetry.KBarrierArrive, v, int64(p.epoch), 0, 0)
+	p.tel.Emit(p.id, telemetry.KBarrierArrive, v, int64(p.epoch), 0, 0)
 	p.mu.Unlock()
 
 	nbytes := p.send(0, arr, v)
@@ -569,7 +569,7 @@ func (p *Proc) Barrier() {
 	// collected (every process has seen them).
 	p.store.DiscardUpTo(p.id, lastClosed)
 	p.log.PruneBefore(gvc)
-	telemetry.Emit(p.id, telemetry.KBarrierDepart, p.vnow, int64(p.epoch), 0, p.vnow-v)
+	p.tel.Emit(p.id, telemetry.KBarrierDepart, p.vnow, int64(p.epoch), 0, p.vnow-v)
 	p.epoch++
 	p.startIntervalLocked()
 	if p.sys.ckpts != nil {

@@ -118,7 +118,7 @@ func (cs *CheckpointStore) Stats() CheckpointStats {
 func (p *Proc) checkpointLocked() {
 	b := p.encodeCheckpointLocked()
 	p.sys.ckpts.Put(p.id, p.epoch, b)
-	telemetry.Emit(p.id, telemetry.KCheckpoint, p.vnow, int64(p.epoch), int64(len(b)), 0)
+	p.tel.Emit(p.id, telemetry.KCheckpoint, p.vnow, int64(p.epoch), int64(len(b)), 0)
 	dbgf("p%d checkpoint epoch %d: %d bytes", p.id, p.epoch, len(b))
 }
 

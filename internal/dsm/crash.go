@@ -211,7 +211,7 @@ func (p *Proc) crashNow() {
 	v := p.vnow
 	pt := p.sys.cfg.Crash.Point
 	p.mu.Unlock()
-	telemetry.Emit(p.id, telemetry.KCrashInjected, v, int64(pt), int64(p.id), 0)
+	p.tel.Emit(p.id, telemetry.KCrashInjected, v, int64(pt), int64(p.id), 0)
 	dbgf("p%d CRASH injected (%v, vt=%d)", p.id, pt, v)
 	if k, ok := p.sys.nw.(endpointKiller); ok {
 		k.KillEndpoint(p.id)

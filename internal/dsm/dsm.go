@@ -32,6 +32,7 @@ import (
 	"lrcrace/internal/race"
 	"lrcrace/internal/reliable"
 	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
 )
 
 // ProtocolKind selects the coherence protocol.
@@ -166,6 +167,16 @@ type Config struct {
 
 	// MaxRecoveries caps coordinated rollbacks per RunEpochs run; 0 → 3.
 	MaxRecoveries int
+
+	// Recorder, when non-nil, scopes this System's telemetry — protocol
+	// events, fault-injection and retransmission events, flight dumps, and
+	// the event-derived metrics — to the given handle (telemetry.New)
+	// instead of the process-global recorder. This is what lets many
+	// Systems run concurrently in one process without interleaving each
+	// other's rings and registries (see internal/sweep). Nil preserves the
+	// historical behavior: events follow whatever recorder telemetry.Start
+	// has installed globally.
+	Recorder *telemetry.Recorder
 }
 
 // Tracer observes the execution. Calls are ordered consistently with the
@@ -285,6 +296,10 @@ type System struct {
 	nw     Transport
 	procs  []*Proc
 
+	// tel is the telemetry destination every layer of this System emits
+	// through: bound to cfg.Recorder when set, the global shim otherwise.
+	tel telemetry.Scope
+
 	allocNext mem.Addr
 	symbols   []Symbol
 
@@ -315,7 +330,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, layout: l}
+	s := &System{cfg: cfg, layout: l, tel: telemetry.To(cfg.Recorder)}
 	if cfg.Detect {
 		s.detector = race.NewDetector(l, race.Options{
 			FirstOnly:         cfg.FirstOnly,

@@ -101,6 +101,7 @@ type Stats struct {
 type Proc struct {
 	sys   *System
 	id, n int
+	tel   telemetry.Scope // the owning System's telemetry destination
 
 	mu  sync.Mutex
 	seg *mem.Segment
@@ -192,6 +193,7 @@ func newProc(s *System, id int) *Proc {
 		sys:          s,
 		id:           id,
 		n:            n,
+		tel:          s.tel,
 		seg:          mem.NewSegment(s.layout),
 		state:        make([]pageState, s.layout.NumPages),
 		owned:        make([]bool, s.layout.NumPages),
@@ -416,7 +418,7 @@ func (p *Proc) closeIntervalLocked() {
 	p.log.Add(rec)
 	p.epochRecords = append(p.epochRecords, rec)
 	p.st.IntervalsCreated++
-	telemetry.Emit(p.id, telemetry.KIntervalClose, p.vnow,
+	p.tel.Emit(p.id, telemetry.KIntervalClose, p.vnow,
 		int64(rec.ID.Index), int64(len(rec.WriteNotices)), int64(len(rec.ReadNotices)))
 	dbgf("p%d close interval %v vc=%v writes=%v", p.id, rec.ID, rec.VC, rec.WriteNotices)
 }

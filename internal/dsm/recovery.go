@@ -207,7 +207,7 @@ func (s *System) suspectInfo() (proc int, via string) {
 // unwind every survivor; the rollback driver takes over from there.
 func (s *System) onLinkDead(from, to int) {
 	s.noteSuspect(to, "link-death")
-	telemetry.Emit(from, telemetry.KCrashDetected, 0, int64(to), 1, 0)
+	s.tel.Emit(from, telemetry.KCrashDetected, 0, int64(to), 1, 0)
 	dbgf("p%d suspects p%d dead (link retry cap)", from, to)
 	s.nw.Close()
 }
@@ -224,6 +224,7 @@ func (s *System) attempt(body func(p *Proc), plan *rollbackPlan) error {
 		s.nw = s.cfg.Transport
 	} else {
 		nw := simnet.New(n)
+		nw.SetTelemetry(s.tel)
 		if err := nw.SetFaults(s.cfg.Faults); err != nil {
 			return err
 		}
@@ -231,6 +232,7 @@ func (s *System) attempt(body func(p *Proc), plan *rollbackPlan) error {
 	}
 	if s.cfg.Reliable {
 		rc := s.cfg.ReliableConfig
+		rc.Telemetry = s.tel
 		if s.recoveryArmed() {
 			rc.OnLinkDead = s.onLinkDead
 		}
@@ -290,9 +292,9 @@ func (s *System) attempt(body func(p *Proc), plan *rollbackPlan) error {
 				case timeoutPanic:
 					ranks[i] = errTimeout
 					s.noteSuspect(pv.suspect, "barrier-timeout")
-					telemetry.Trip(telemetry.TripBarrierTimeout,
+					s.tel.Trip(telemetry.TripBarrierTimeout,
 						fmt.Sprintf("proc %d: %v", i, pv))
-					telemetry.Emit(i, telemetry.KCrashDetected, 0, int64(pv.suspect), 0, 0)
+					s.tel.Emit(i, telemetry.KCrashDetected, 0, int64(pv.suspect), 0, 0)
 				default:
 					ranks[i] = errGenuine
 					if strings.Contains(fmt.Sprint(r), "network shut down") {
@@ -300,7 +302,7 @@ func (s *System) attempt(body func(p *Proc), plan *rollbackPlan) error {
 					} else {
 						// Dump the flight recorder for the root cause only,
 						// not for every secondary panic it induces.
-						telemetry.Trip(telemetry.TripProcPanic,
+						s.tel.Trip(telemetry.TripProcPanic,
 							fmt.Sprintf("proc %d panicked: %v", i, r))
 					}
 				}
@@ -378,7 +380,7 @@ func (s *System) planRollback() (*rollbackPlan, error) {
 	s.recStats.LastVictim = victim
 	s.recStats.LastReason = via
 	s.recStats.VirtualNS += plan.virtualNS
-	telemetry.Emit(0, telemetry.KRecoveryStart, abortedV, int64(re), int64(victim), 0)
+	s.tel.Emit(0, telemetry.KRecoveryStart, abortedV, int64(re), int64(victim), 0)
 	dbgf("RECOVERY: rolling back to epoch %d (victim p%d via %s, %dns of virtual work lost)",
 		re, victim, via, plan.virtualNS)
 	return plan, nil
@@ -400,7 +402,7 @@ func (s *System) restoreFromPlan(plan *rollbackPlan) error {
 	}
 	wall := time.Since(plan.started).Nanoseconds()
 	s.recStats.WallNS += wall
-	telemetry.Emit(0, telemetry.KRecoveryDone, s.procs[0].vnow,
+	s.tel.Emit(0, telemetry.KRecoveryDone, s.procs[0].vnow,
 		int64(plan.epoch), plan.virtualNS, wall)
 	dbgf("RECOVERY: restored %d procs at epoch %d in %dns wall", len(s.procs), plan.epoch, wall)
 	return nil
@@ -449,7 +451,7 @@ func (s *System) reconcileRestored() error {
 			}
 			hs := s.procs[ls.lastHolder].locks[id]
 			if hs == nil || (!hs.holding && !hs.releasedUngranted) {
-				telemetry.Emit(m.id, telemetry.KLockReclaim, m.vnow,
+				m.tel.Emit(m.id, telemetry.KLockReclaim, m.vnow,
 					int64(id), int64(ls.lastHolder), 0)
 				dbgf("RECOVERY: manager p%d reclaims lock %d from p%d", m.id, id, ls.lastHolder)
 				ls.lastHolder = -1

@@ -150,14 +150,14 @@ func (p *Proc) serializeAcquireLocked(d simnet.Delivery, m *msg.AcquireReq) {
 			// stale obligation and two processes would hold the lock.
 			ls.releasedUngranted = false
 		}
-		telemetry.Emit(p.id, telemetry.KLockGrant, arr, int64(id), int64(d.From), 0)
+		p.tel.Emit(p.id, telemetry.KLockGrant, arr, int64(id), int64(d.From), 0)
 		p.send(d.From, &msg.AcquireGrant{Lock: m.Lock}, arr)
 	case ls.lastHolder == p.id:
 		// The manager itself was the last holder: grant (or queue) locally.
-		telemetry.Emit(p.id, telemetry.KLockForward, arr, int64(id), int64(d.From), int64(ls.lastHolder))
+		p.tel.Emit(p.id, telemetry.KLockForward, arr, int64(id), int64(d.From), int64(ls.lastHolder))
 		p.localFwdLocked(id, d.From, vcFromWire(m.VC), arr)
 	default:
-		telemetry.Emit(p.id, telemetry.KLockForward, arr, int64(id), int64(d.From), int64(ls.lastHolder))
+		p.tel.Emit(p.id, telemetry.KLockForward, arr, int64(id), int64(d.From), int64(ls.lastHolder))
 		p.send(ls.lastHolder, &msg.AcquireFwd{Lock: m.Lock, Requester: int32(d.From), VC: m.VC}, arr)
 	}
 	ls.lastHolder = d.From
@@ -276,7 +276,7 @@ func (p *Proc) servePageLocked(requester int, pg mem.PageID, write bool, vtime i
 	if write {
 		p.owned[pg] = false
 		p.state[pg] = pageReadOnly
-		telemetry.Emit(p.id, telemetry.KOwnershipXfer, vtime, int64(pg), int64(requester), 0)
+		p.tel.Emit(p.id, telemetry.KOwnershipXfer, vtime, int64(pg), int64(requester), 0)
 	}
 	dbgf("p%d serves page %d to p%d write=%v word4=%d", p.id, pg, requester, write, p.seg.Word(32))
 	p.send(requester, &msg.PageReply{Page: pg, Ownership: write, Data: data}, vtime)
@@ -386,7 +386,7 @@ func (p *Proc) handleBarrierArrive(d simnet.Delivery, m *msg.BarrierArrive) {
 		relV += work
 	}
 
-	telemetry.Emit(p.id, telemetry.KBarrierRelease, relV,
+	p.tel.Emit(p.id, telemetry.KBarrierRelease, relV,
 		int64(b.epoch), int64(len(b.records)), b.maxArr-b.minArr)
 	rel := &msg.BarrierRelease{
 		Epoch:       b.epoch,
@@ -458,14 +458,14 @@ func (p *Proc) handleBitmapReply(d simnet.Delivery, m *msg.BitmapReply) {
 	p.st.BitmapsCompared += int64(after.BitmapsCompared - before.BitmapsCompared)
 	doneV := b.bmMaxArr + model.Handler + work
 
-	telemetry.Emit(p.id, telemetry.KRaceCheck, doneV,
+	p.tel.Emit(p.id, telemetry.KRaceCheck, doneV,
 		int64(len(b.check)), int64(after.BitmapsCompared-before.BitmapsCompared), int64(len(races)))
 	for _, r := range races {
 		ww := int64(0)
 		if r.WriteWrite() {
 			ww = 1
 		}
-		telemetry.Emit(p.id, telemetry.KRaceFound, doneV, int64(r.Addr), int64(r.Epoch), ww)
+		p.tel.Emit(p.id, telemetry.KRaceFound, doneV, int64(r.Addr), int64(r.Epoch), ww)
 	}
 	done := &msg.BarrierDone{Epoch: b.epoch, Races: races}
 	for q := 0; q < p.n; q++ {

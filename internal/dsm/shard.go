@@ -196,7 +196,7 @@ func (p *Proc) shardBitmapLocked(d simnet.Delivery, m *msg.BitmapReply) {
 	sh.wordOv += int64(st.WordOverlaps)
 	sh.localDone = true
 	sh.source = nil // the shard's bitmaps are spent
-	telemetry.Emit(p.id, telemetry.KShardCompare, sh.localV,
+	p.tel.Emit(p.id, telemetry.KShardCompare, sh.localV,
 		int64(len(sh.entries)), int64(st.BitmapsCompared), work)
 	p.advanceShardLocked()
 }
@@ -248,7 +248,7 @@ func (p *Proc) advanceShardLocked() {
 		p.shard = nil
 		return
 	}
-	telemetry.Emit(p.id, telemetry.KShardReduce, sendV,
+	p.tel.Emit(p.id, telemetry.KShardReduce, sendV,
 		int64(sh.epoch), int64(len(sh.reports)), int64(shardChildren(p.id, p.n)))
 	p.send((p.id-1)/2, &msg.ShardResult{
 		Epoch:           sh.epoch,
@@ -275,14 +275,14 @@ func (p *Proc) finishShardedCheckLocked(sh *shardState, doneV int64) {
 	}, b.epoch)
 	det.Retain(races, b.records)
 
-	telemetry.Emit(p.id, telemetry.KRaceCheck, doneV,
+	p.tel.Emit(p.id, telemetry.KRaceCheck, doneV,
 		int64(len(b.check)), sh.bmCmp, int64(len(races)))
 	for _, r := range races {
 		ww := int64(0)
 		if r.WriteWrite() {
 			ww = 1
 		}
-		telemetry.Emit(p.id, telemetry.KRaceFound, doneV, int64(r.Addr), int64(r.Epoch), ww)
+		p.tel.Emit(p.id, telemetry.KRaceFound, doneV, int64(r.Addr), int64(r.Epoch), ww)
 	}
 	done := &msg.BarrierDone{Epoch: b.epoch, Races: races}
 	for q := 0; q < p.n; q++ {

@@ -59,11 +59,17 @@ type RunConfig struct {
 	// not surfaced here: the benchmark applications are whole-program
 	// bodies, and only epoch-structured runs (dsm.RunEpochs) can recover.
 	Checkpoint bool
-	// Telemetry, when non-nil, installs a telemetry recorder for the run
-	// (Procs defaults to the run's process count). The recorder is stopped
-	// when Run returns and is available as Result.Telemetry; its metrics
+	// Telemetry, when non-nil, builds a handle-scoped telemetry recorder
+	// for the run (Procs defaults to the run's process count). The recorder
+	// is private to this run — concurrent Runs in one process do not share
+	// rings or metrics — and is available as Result.Telemetry; its metrics
 	// registry additionally receives the run's raw counters (FillMetrics).
 	Telemetry *telemetry.Config
+	// Recorder, when non-nil, supplies a pre-built recorder (telemetry.New)
+	// instead of having Run build one from Telemetry. The caller keeps the
+	// handle for the whole run, which is what lets a live /metrics endpoint
+	// scrape a run in flight. Takes precedence over Telemetry.
+	Recorder *telemetry.Recorder
 	// Tracer optionally observes the run (reference detectors, trace logs).
 	Tracer dsm.Tracer
 	// Verify runs the application's result check (on by default via Run).
@@ -118,6 +124,14 @@ func Run(cfg RunConfig) (*Result, error) {
 	if delay == 0 {
 		delay = appDefaultDelay(cfg.App)
 	}
+	rec := cfg.Recorder
+	if rec == nil && cfg.Telemetry != nil {
+		tc := *cfg.Telemetry
+		if tc.Procs == 0 {
+			tc.Procs = cfg.Procs
+		}
+		rec = telemetry.New(tc)
+	}
 	sys, err := dsm.New(dsm.Config{
 		NumProcs:           cfg.Procs,
 		SharedSize:         app.SharedBytes(),
@@ -134,24 +148,13 @@ func Run(cfg RunConfig) (*Result, error) {
 		ReliableConfig:     cfg.ReliableConfig,
 		BarrierWallTimeout: cfg.BarrierWallTimeout,
 		Checkpoint:         cfg.Checkpoint,
+		Recorder:           rec,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := app.Setup(sys); err != nil {
 		return nil, err
-	}
-	var rec *telemetry.Recorder
-	if cfg.Telemetry != nil {
-		tc := *cfg.Telemetry
-		if tc.Procs == 0 {
-			tc.Procs = cfg.Procs
-		}
-		rec = telemetry.Start(tc)
-		// Stop on every exit path so a failed run does not leave a stale
-		// global recorder installed (flight dumps happen at Trip time, so
-		// they are not lost).
-		defer telemetry.Stop()
 	}
 	start := time.Now()
 	if err := sys.Run(app.Worker); err != nil {

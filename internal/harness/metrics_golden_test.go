@@ -1,0 +1,168 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/race"
+	"lrcrace/internal/simnet"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// syntheticResult builds a fully deterministic Result for app: every
+// counter is a fixed function of the app name's bytes, so the rendered
+// metrics depend on nothing but this test file.
+func syntheticResult(app string, procs int, detect bool) *Result {
+	seed := int64(0)
+	for _, b := range app {
+		seed += int64(b)
+	}
+	d := int64(1)
+	if detect {
+		d = 2
+	}
+	r := &Result{
+		VirtualNS: seed * d * 1_000_000,
+		WallNS:    987654321, // wall-dependent: must vanish under Canonical
+		MemBytes:  int(seed) * 1024,
+		Procs:     make([]dsm.Stats, procs),
+	}
+	for i := range r.Procs {
+		r.Procs[i] = dsm.Stats{
+			SharedReads:  seed * int64(i+1),
+			SharedWrites: seed * int64(i+2),
+			ReadFaults:   seed + int64(i),
+			Barriers:     10,
+		}
+	}
+	r.Net = simnet.Stats{}
+	r.Net.Messages[0] = seed * 3
+	r.Net.Bytes[0] = seed * 300
+	if detect {
+		r.Det = race.Stats{Epochs: 10, PairComparisons: int(seed), ConcurrentPairs: int(seed / 2)}
+		r.Races = make([]race.Report, seed%5)
+	}
+	return r
+}
+
+// fillSyntheticSuite loads a suite's cache with synthetic pairs so
+// WriteMetricsJSON renders without running any workload.
+func fillSyntheticSuite(s *Suite) {
+	for _, app := range AppNames {
+		key := fmt.Sprintf("%s|%d", app, s.Procs)
+		s.cache[key] = [2]*Result{
+			syntheticResult(app, s.Procs, false),
+			syntheticResult(app, s.Procs, true),
+		}
+	}
+}
+
+// TestWriteMetricsJSONGolden pins the exact bytes of the canonical metrics
+// document: the format consumed by sweep aggregation and CI artifact diffs
+// must not drift silently. Regenerate with -update-golden after an
+// intentional format change.
+func TestWriteMetricsJSONGolden(t *testing.T) {
+	s := NewSuite(0.5, 4)
+	s.Canonical = true
+	fillSyntheticSuite(s)
+
+	var buf bytes.Buffer
+	if err := s.WriteMetricsJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "suite_metrics.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("metrics JSON drifted from golden file (len %d vs %d); run with -update-golden if intentional",
+			buf.Len(), len(want))
+	}
+	if bytes.Contains(buf.Bytes(), []byte("run_wall_ns")) {
+		t.Error("canonical document still contains wall-dependent series run_wall_ns")
+	}
+}
+
+// TestWriteMetricsJSONDeterministic renders the same suite concurrently
+// from many goroutines and sequentially twice: every rendering must be
+// byte-identical. Map iteration order, concurrent cache fills, and
+// snapshot copying must not leak into the bytes.
+func TestWriteMetricsJSONDeterministic(t *testing.T) {
+	s := NewSuite(0.5, 4)
+	s.Canonical = true
+	fillSyntheticSuite(s)
+
+	var ref bytes.Buffer
+	if err := s.WriteMetricsJSON(&ref); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 8
+	outs := make([]bytes.Buffer, writers)
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = s.WriteMetricsJSON(&outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < writers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("writer %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(outs[i].Bytes(), ref.Bytes()) {
+			t.Errorf("writer %d produced different bytes (%d vs %d)", i, outs[i].Len(), ref.Len())
+		}
+	}
+}
+
+// TestSuitePairConcurrentFill pins the inflight-dedup contract: concurrent
+// requests for the same uncached pair run the workload once and all get
+// the same cached Results.
+func TestSuitePairConcurrentFill(t *testing.T) {
+	s := NewSuite(0.02, 2) // tiny scale: one real fill, quickly
+	const callers = 4
+	type got struct {
+		base, det *Result
+		err       error
+	}
+	outs := make([]got, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, d, err := s.pair("SOR", 2)
+			outs[i] = got{b, d, err}
+		}(i)
+	}
+	wg.Wait()
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("caller %d: %v", i, o.err)
+		}
+		if o.base != outs[0].base || o.det != outs[0].det {
+			t.Errorf("caller %d got a different Result pointer: the pair ran more than once", i)
+		}
+	}
+}

@@ -93,6 +93,7 @@ func runShardSynthetic(procs int, sharded bool) ([]int64, int64, error) {
 	if procs*hotWords > pageSize/8 {
 		return nil, 0, fmt.Errorf("harness: %d procs × %d words exceeds the %d-word page", procs, hotWords, pageSize/8)
 	}
+	rec := telemetry.New(telemetry.Config{Procs: procs, Cap: -1})
 	s, err := dsm.New(dsm.Config{
 		NumProcs:     procs,
 		SharedSize:   pages * pageSize,
@@ -100,6 +101,7 @@ func runShardSynthetic(procs int, sharded bool) ([]int64, int64, error) {
 		Protocol:     dsm.MultiWriter,
 		Detect:       true,
 		ShardedCheck: sharded,
+		Recorder:     rec,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -108,8 +110,6 @@ func runShardSynthetic(procs int, sharded bool) ([]int64, int64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	rec := telemetry.Start(telemetry.Config{Procs: procs, Cap: -1})
-	defer telemetry.Stop()
 	err = s.Run(func(p *dsm.Proc) {
 		for e := 0; e < epochs; e++ {
 			for pg := 0; pg < pages; pg++ {

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"lrcrace/internal/dsm"
@@ -74,8 +75,14 @@ type Suite struct {
 	// the metrics document records the serialized recovery-state overhead
 	// next to the detection-slowdown tables.
 	Checkpoint bool
+	// Canonical strips wall-clock-dependent series from the metrics
+	// document (telemetry.Snapshot.Canonical), so deterministic workloads
+	// produce byte-identical JSON across runs.
+	Canonical bool
 
-	cache map[string][2]*Result // key: app|procs → {base, det}
+	mu       sync.Mutex
+	inflight map[string]chan struct{} // pairs being filled right now
+	cache    map[string][2]*Result    // key: app|procs → {base, det}
 }
 
 // NewSuite builds a suite; procs 0 → 8 (the paper's measurement size),
@@ -90,10 +97,35 @@ func NewSuite(scale float64, procs int) *Suite {
 	return &Suite{Scale: scale, Procs: procs, cache: make(map[string][2]*Result)}
 }
 
+// pair returns the cached baseline/detection pair for app at procs,
+// running it on a miss. Concurrent callers are safe: a second request for
+// a pair already being filled waits for the first rather than running the
+// workload twice, so Prefill and the table writers can overlap.
 func (s *Suite) pair(app string, procs int) (*Result, *Result, error) {
 	key := fmt.Sprintf("%s|%d", app, procs)
-	if c, ok := s.cache[key]; ok {
-		return c[0], c[1], nil
+	var ch chan struct{}
+	for {
+		s.mu.Lock()
+		if c, ok := s.cache[key]; ok {
+			s.mu.Unlock()
+			return c[0], c[1], nil
+		}
+		var busy bool
+		ch, busy = s.inflight[key]
+		if !busy {
+			if s.inflight == nil {
+				s.inflight = make(map[string]chan struct{})
+			}
+			if s.cache == nil {
+				s.cache = make(map[string][2]*Result)
+			}
+			ch = make(chan struct{})
+			s.inflight[key] = ch
+			s.mu.Unlock()
+			break // this caller owns the fill
+		}
+		s.mu.Unlock()
+		<-ch // another caller is filling; wait and re-check
 	}
 	scale := s.Scale * PaperScaleFactors[app]
 	if scale == 0 {
@@ -107,11 +139,47 @@ func (s *Suite) pair(app string, procs int) (*Result, *Result, error) {
 		RealMsgDelay: s.RealMsgDelay,
 		Checkpoint:   s.Checkpoint,
 	})
+	s.mu.Lock()
+	if err == nil {
+		s.cache[key] = [2]*Result{base, det}
+	}
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(ch) // wake waiters; on error they retry the fill themselves
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: %s at %d procs: %w", app, procs, err)
 	}
-	s.cache[key] = [2]*Result{base, det}
 	return base, det, nil
+}
+
+// Prefill runs every application's pair at the suite's process count, at
+// most workers at a time (0 → one per application). A failed pair does not
+// stop the others; the first error is returned.
+func (s *Suite) Prefill(workers int) error {
+	if workers <= 0 {
+		workers = len(AppNames)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, app := range AppNames {
+		wg.Add(1)
+		go func(app string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if _, _, err := s.pair(app, s.Procs); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(app)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // Table1 regenerates the paper's Table 1: application characteristics.

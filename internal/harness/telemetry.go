@@ -155,9 +155,13 @@ func (s *Suite) WriteMetricsJSON(w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		bs, ds := base.MetricsSnapshot(), det.MetricsSnapshot()
+		if s.Canonical {
+			bs, ds = bs.Canonical(), ds.Canonical()
+		}
 		am := &suiteAppMetrics{
-			Baseline: base.MetricsSnapshot(),
-			Detect:   det.MetricsSnapshot(),
+			Baseline: bs,
+			Detect:   ds,
 			Slowdown: Slowdown(base, det),
 		}
 		if det.Checkpoint.Count > 0 || det.Recovery.Recoveries > 0 {

@@ -67,6 +67,11 @@ type Config struct {
 	// layer uses this to mark the unreachable peer as a crash suspect and
 	// tear the run down for coordinated rollback.
 	OnLinkDead func(from, to int)
+
+	// Telemetry is where retransmission and link-death events go. The zero
+	// Scope follows the process-global recorder; the DSM layer binds it to
+	// the owning System's recorder so concurrent transports stay isolated.
+	Telemetry telemetry.Scope
 }
 
 func (c Config) withDefaults() Config {
@@ -259,10 +264,10 @@ func (sl *sendLink) onTimeout() {
 		sl.mu.Unlock()
 		debuglog.Logf("reliable: link %d->%d dead: %d unacked after %d retries (first %v seq %d)",
 			sl.from, sl.to, nun, t.cfg.MaxRetries, first.typ, first.seq)
-		telemetry.Emit(sl.from, telemetry.KLinkDead, first.vtime,
+		t.cfg.Telemetry.Emit(sl.from, telemetry.KLinkDead, first.vtime,
 			int64(sl.to), int64(nun), int64(t.cfg.MaxRetries))
 		t.bumpStats(func(st *simnet.Stats) { st.Errors++ })
-		telemetry.Trip(telemetry.TripLinkDead,
+		t.cfg.Telemetry.Trip(telemetry.TripLinkDead,
 			fmt.Sprintf("reliable: link %d->%d dead after %d retries (%d unacked, first %v seq %d)",
 				sl.from, sl.to, t.cfg.MaxRetries, nun, first.typ, first.seq))
 		if h := t.cfg.OnLinkDead; h != nil {
@@ -286,7 +291,7 @@ func (sl *sendLink) onTimeout() {
 			st.RetransBytes += int64(wire)
 		})
 	}
-	telemetry.Emit(sl.from, telemetry.KRetransmit, sl.unacked[0].vtime,
+	t.cfg.Telemetry.Emit(sl.from, telemetry.KRetransmit, sl.unacked[0].vtime,
 		int64(sl.to), int64(len(sl.unacked)), int64(sl.retries))
 	sl.rto = time.Duration(float64(sl.rto) * t.cfg.Backoff)
 	if sl.rto > t.cfg.MaxRTO {

@@ -151,7 +151,7 @@ func (nw *Network) sendFaulty(from, to int, d Delivery, t msg.Type, frags, size 
 		nw.mu.Lock()
 		nw.stats.Dropped[t]++
 		nw.mu.Unlock()
-		telemetry.Emit(from, telemetry.KWireDrop, d.VTime, int64(to), int64(t), 0)
+		nw.tel.Emit(from, telemetry.KWireDrop, d.VTime, int64(to), int64(t), 0)
 	case plan.Dup > 0 && lf.rng.Float64() < plan.Dup:
 		nw.queues[to].Push(d)
 		nw.queues[to].Push(d)
@@ -161,7 +161,7 @@ func (nw *Network) sendFaulty(from, to int, d Delivery, t msg.Type, frags, size 
 		nw.stats.Messages[t] += int64(frags)
 		nw.stats.Bytes[t] += int64(size)
 		nw.mu.Unlock()
-		telemetry.Emit(from, telemetry.KWireDup, d.VTime, int64(to), int64(t), 0)
+		nw.tel.Emit(from, telemetry.KWireDup, d.VTime, int64(to), int64(t), 0)
 	case plan.Reorder > 0 && lf.rng.Float64() < plan.Reorder:
 		lf.held = append(lf.held, heldDelivery{
 			d:     d,
@@ -170,7 +170,7 @@ func (nw *Network) sendFaulty(from, to int, d Delivery, t msg.Type, frags, size 
 		nw.mu.Lock()
 		nw.stats.Reordered++
 		nw.mu.Unlock()
-		telemetry.Emit(from, telemetry.KWireReorder, d.VTime, int64(to), int64(t), 0)
+		nw.tel.Emit(from, telemetry.KWireReorder, d.VTime, int64(to), int64(t), 0)
 	default:
 		nw.queues[to].Push(d)
 	}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"lrcrace/internal/msg"
+	"lrcrace/internal/telemetry"
 )
 
 // UDPOverhead is the per-message header overhead charged to the wire
@@ -109,9 +110,26 @@ type Network struct {
 	faults *FaultPlan
 	links  []*faultLink // per ordered pair, indexed from*n+to; nil without faults
 
+	// tel is where fault-injection events go; the zero Scope follows the
+	// process-global recorder. Set before traffic via SetTelemetry.
+	tel telemetry.Scope
+
 	mu      sync.Mutex
 	stats   Stats
 	started bool // first Send seen; SetMTU/SetFaults are sealed after this
+}
+
+// SetTelemetry scopes the network's fault-injection events (WireDrop /
+// WireDup / WireReorder) to a specific recording session, so concurrent
+// networks in one process do not interleave events in the global recorder.
+// Like SetMTU it must be called before traffic starts.
+func (nw *Network) SetTelemetry(tel telemetry.Scope) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.started {
+		panic("simnet: SetTelemetry after traffic has started")
+	}
+	nw.tel = tel
 }
 
 // New returns a network with n endpoints, numbered 0..n-1, and DefaultMTU.

@@ -1,0 +1,167 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"lrcrace/internal/telemetry"
+)
+
+// Summary is the sweep's human-and-machine-readable outcome: per-cell
+// status in grid order plus the totals. Wall times live here (and only
+// here) — the aggregated metrics document excludes them so it stays
+// deterministic.
+type Summary struct {
+	Fingerprint string `json:"fingerprint"`
+
+	Total    int `json:"total"`
+	OK       int `json:"ok"`
+	Failed   int `json:"failed"`
+	Timeout  int `json:"timeout"`
+	Panicked int `json:"panicked"`
+	// Missing cells have no terminal result (the sweep was interrupted);
+	// rerunning the same plan over the same directory completes them.
+	Missing int `json:"missing"`
+
+	Races         int   `json:"races"`
+	DistinctRaces int   `json:"distinct_races"`
+	VirtualNS     int64 `json:"virtual_ns"`
+	WallNS        int64 `json:"wall_ns"`
+
+	Cells []CellResult `json:"cells"`
+}
+
+// Summary collects the current results in grid order; safe during Run.
+func (s *Sweep) Summary() *Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sum := &Summary{Fingerprint: s.plan.Fingerprint(), Total: len(s.cells)}
+	for _, c := range s.cells {
+		r, ok := s.results[c.ID]
+		if !ok || !r.Status.Terminal() {
+			sum.Missing++
+			continue
+		}
+		switch r.Status {
+		case StatusOK:
+			sum.OK++
+		case StatusTimeout:
+			sum.Timeout++
+		case StatusPanic:
+			sum.Panicked++
+		default:
+			sum.Failed++
+		}
+		sum.Races += r.Races
+		sum.DistinctRaces += r.DistinctRaces
+		sum.VirtualNS += r.VirtualNS
+		sum.WallNS += r.WallNS
+		sum.Cells = append(sum.Cells, *r)
+	}
+	return sum
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteTable writes the summary as a fixed-width text table.
+func (s *Summary) WriteTable(w io.Writer) error {
+	fmt.Fprintf(w, "sweep %0.12s: %d cells — %d ok, %d failed, %d timeout, %d panicked, %d missing; %d races (%d distinct)\n",
+		s.Fingerprint, s.Total, s.OK, s.Failed, s.Timeout, s.Panicked, s.Missing, s.Races, s.DistinctRaces)
+	fmt.Fprintf(w, "%-40s %-8s %7s %8s %14s %12s\n", "cell", "status", "races", "attempt", "virtual ms", "wall ms")
+	for _, r := range s.Cells {
+		fmt.Fprintf(w, "%-40s %-8s %7d %8d %14.1f %12.0f\n",
+			r.ID, r.Status, r.Races, r.Attempt, float64(r.VirtualNS)/1e6, float64(r.WallNS)/1e6)
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MetricsDoc is the sweep's machine-readable metrics document: one
+// canonical snapshot per finished cell plus their sum. Every part of it is
+// deterministic for deterministic workloads — wall-dependent series are
+// stripped before a snapshot reaches a CellResult, keys are map keys (Go
+// marshals them sorted), and cells enter the document by ID — so two runs
+// of the same plan with the same seeds produce byte-identical output.
+type MetricsDoc struct {
+	Fingerprint string                         `json:"fingerprint"`
+	Cells       map[string]*telemetry.Snapshot `json:"cells"`
+	Aggregate   *telemetry.Snapshot            `json:"aggregate"`
+}
+
+// MetricsDoc builds the document from the finished cells' snapshots.
+func (s *Sweep) MetricsDoc() *MetricsDoc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc := &MetricsDoc{
+		Fingerprint: s.plan.Fingerprint(),
+		Cells:       make(map[string]*telemetry.Snapshot),
+	}
+	var snaps []*telemetry.Snapshot
+	for _, c := range s.cells {
+		if r, ok := s.results[c.ID]; ok && r.Status.Terminal() && r.Metrics != nil {
+			doc.Cells[c.ID] = r.Metrics
+			snaps = append(snaps, r.Metrics)
+		}
+	}
+	doc.Aggregate = mergeSnapshots(snaps)
+	return doc
+}
+
+// WriteMetricsJSON writes the metrics document as indented JSON.
+func (s *Sweep) WriteMetricsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.MetricsDoc())
+}
+
+// mergeSnapshots sums counters and gauges key-wise and merges histograms
+// whose bucket structures agree (mismatched ones keep the first seen —
+// cannot happen across cells of one sweep, which share the registration
+// code). Gauges sum because every gauge the harness publishes is a
+// per-run total (virtual ns, memory bytes, checkpoint counts).
+func mergeSnapshots(snaps []*telemetry.Snapshot) *telemetry.Snapshot {
+	out := &telemetry.Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]telemetry.HistSnapshot),
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] += v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] += v
+		}
+		for k, h := range s.Histograms {
+			have, ok := out.Histograms[k]
+			if !ok {
+				out.Histograms[k] = copyHist(h)
+				continue
+			}
+			if len(have.Buckets) != len(h.Buckets) {
+				continue
+			}
+			have.Count += h.Count
+			have.Sum += h.Sum
+			for i := range have.Buckets {
+				have.Buckets[i].Count += h.Buckets[i].Count
+			}
+			out.Histograms[k] = have
+		}
+	}
+	return out
+}
+
+func copyHist(h telemetry.HistSnapshot) telemetry.HistSnapshot {
+	c := h
+	c.Buckets = append([]telemetry.BucketCount(nil), h.Buckets...)
+	return c
+}

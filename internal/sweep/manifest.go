@@ -1,0 +1,133 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The checkpoint directory layout:
+//
+//	<dir>/manifest.json   — the plan, its fingerprint, and the cell list
+//	<dir>/cells/<id>.json — one CellResult per finished cell
+//
+// Cell files are written atomically (temp file + rename), so a sweep
+// killed mid-write never leaves a half-result: on restart the cell is
+// simply missing and re-runs. The manifest pins the plan — resuming a
+// directory with a different plan is an error, not a silent mixed grid.
+
+type manifest struct {
+	Fingerprint string   `json:"fingerprint"`
+	Plan        *Plan    `json:"plan"`
+	Cells       []string `json:"cells"`
+}
+
+const manifestName = "manifest.json"
+
+// initDir prepares dir for the plan: on first use it writes the manifest;
+// on reuse it verifies the fingerprint and loads every finished cell.
+func initDir(dir string, plan *Plan, cells []Cell) (map[string]*CellResult, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "cells"), 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: creating checkpoint dir: %w", err)
+	}
+	fp := plan.Fingerprint()
+	mpath := filepath.Join(dir, manifestName)
+	if b, err := os.ReadFile(mpath); err == nil {
+		var m manifest
+		if err := json.Unmarshal(b, &m); err != nil {
+			return nil, fmt.Errorf("sweep: corrupt manifest %s: %w", mpath, err)
+		}
+		if m.Fingerprint != fp {
+			return nil, fmt.Errorf("sweep: %s holds a different plan (fingerprint %.12s, want %.12s); use a fresh directory", dir, m.Fingerprint, fp)
+		}
+		return loadCellResults(dir, cells)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sweep: reading manifest: %w", err)
+	}
+	ids := make([]string, len(cells))
+	for i, c := range cells {
+		ids[i] = c.ID
+	}
+	b, err := json.MarshalIndent(manifest{Fingerprint: fp, Plan: plan, Cells: ids}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := atomicWrite(mpath, append(b, '\n')); err != nil {
+		return nil, fmt.Errorf("sweep: writing manifest: %w", err)
+	}
+	return map[string]*CellResult{}, nil
+}
+
+// loadCellResults reads every persisted terminal result belonging to the
+// grid. Files for unknown cells (or unreadable ones) are ignored rather
+// than fatal: the worst case is re-running a cell.
+func loadCellResults(dir string, cells []Cell) (map[string]*CellResult, error) {
+	known := make(map[string]bool, len(cells))
+	for _, c := range cells {
+		known[c.ID] = true
+	}
+	out := make(map[string]*CellResult)
+	entries, err := os.ReadDir(filepath.Join(dir, "cells"))
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading cell results: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if !known[id] {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "cells", name))
+		if err != nil {
+			continue
+		}
+		var r CellResult
+		if err := json.Unmarshal(b, &r); err != nil || r.ID != id || !r.Status.Terminal() {
+			continue
+		}
+		out[id] = &r
+	}
+	return out, nil
+}
+
+// writeCellResult persists one terminal result atomically.
+func writeCellResult(dir string, r *CellResult) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "cells", r.ID+".json")
+	if err := atomicWrite(path, append(b, '\n')); err != nil {
+		return fmt.Errorf("sweep: persisting cell %s: %w", r.ID, err)
+	}
+	return nil
+}
+
+// atomicWrite lands data at path via a same-directory temp file + rename,
+// so readers (and crash-interrupted writers) never observe a torn file.
+func atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

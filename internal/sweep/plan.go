@@ -1,0 +1,232 @@
+// Package sweep is the multi-run orchestrator: it expands a parameter grid
+// over the harness's run configurations into cells, executes them on a
+// bounded worker pool — one DSM System and one handle-scoped telemetry
+// recorder per cell, so concurrent cells cannot cross-talk — and
+// aggregates the results into a deterministic machine-readable document.
+//
+// A sweep is resumable: with a checkpoint directory, every finished cell
+// is persisted as it completes, and restarting the same plan over the same
+// directory re-executes only the missing cells. A live HTTP endpoint
+// (Handler) exposes Prometheus-format metrics, JSON progress, and
+// on-demand flight-recorder dumps while the grid runs; see docs/SWEEP.md.
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/harness"
+	"lrcrace/internal/simnet"
+)
+
+// Plan is the parameter grid of one sweep: the cartesian product of every
+// axis, in the field order below, defines the cell list. Empty axes take
+// the singleton defaults noted on each field, so the zero Plan plus one
+// app is a valid 1-cell sweep.
+//
+// Combinations the DSM rejects are skipped at expansion rather than run to
+// failure: a sharded check requires detection, and a lossy fault plan
+// requires the reliable sublayer (which Expand turns on for those cells).
+type Plan struct {
+	// Apps are the benchmark applications to run (required).
+	Apps []string `json:"apps"`
+	// Scales are problem-scale multipliers; empty → [1].
+	Scales []float64 `json:"scales,omitempty"`
+	// Procs are DSM process counts; empty → [4].
+	Procs []int `json:"procs,omitempty"`
+	// Protocols are coherence protocols, "sw" or "mw"; empty → ["sw"].
+	Protocols []string `json:"protocols,omitempty"`
+	// Detect are race-detection settings; empty → [true].
+	Detect []bool `json:"detect,omitempty"`
+	// Sharded are sharded-check settings; empty → [false]. A true value is
+	// skipped for cells whose Detect is false (the DSM rejects it).
+	Sharded []bool `json:"sharded,omitempty"`
+	// Checkpoint are barrier-epoch-checkpointing settings; empty → [false].
+	Checkpoint []bool `json:"checkpoint,omitempty"`
+	// Seeds drive the fault plan's PRNGs; empty → [0]. Without Faults the
+	// axis is forced to its default: seed-varied reliable runs would be
+	// identical cells under different names.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Faults, when non-nil, applies this fault template to every cell,
+	// with the cell's seed. Lossy templates imply the reliable sublayer.
+	Faults *FaultAxis `json:"faults,omitempty"`
+	// RealMsgDelayUS overrides the per-app real-latency coupling when
+	// nonzero (microseconds).
+	RealMsgDelayUS int64 `json:"real_msg_delay_us,omitempty"`
+}
+
+// FaultAxis is the wire-fault template a plan applies across the grid
+// (simnet.FaultPlan minus the seed, which is the plan's Seeds axis).
+type FaultAxis struct {
+	Drop     float64 `json:"drop,omitempty"`
+	Dup      float64 `json:"dup,omitempty"`
+	Reorder  float64 `json:"reorder,omitempty"`
+	JitterUS int64   `json:"jitter_us,omitempty"`
+}
+
+// lossy reports whether the template can violate the reliable-FIFO
+// contract and therefore needs the retransmission sublayer.
+func (f *FaultAxis) lossy() bool {
+	return f != nil && (f.Drop > 0 || f.Dup > 0 || f.Reorder > 0)
+}
+
+// Cell is one expanded grid point: a fully determined run configuration
+// with a stable ID that doubles as its result file name.
+type Cell struct {
+	ID         string  `json:"id"`
+	App        string  `json:"app"`
+	Scale      float64 `json:"scale"`
+	Procs      int     `json:"procs"`
+	Protocol   string  `json:"protocol"`
+	Detect     bool    `json:"detect"`
+	Sharded    bool    `json:"sharded"`
+	Checkpoint bool    `json:"checkpoint"`
+	Seed       int64   `json:"seed"`
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func cellID(c Cell) string {
+	return fmt.Sprintf("%s-s%g-p%d-%s-d%d-sh%d-ck%d-seed%d",
+		c.App, c.Scale, c.Procs, c.Protocol,
+		boolBit(c.Detect), boolBit(c.Sharded), boolBit(c.Checkpoint), c.Seed)
+}
+
+func protocolKind(name string) (dsm.ProtocolKind, error) {
+	switch name {
+	case "sw", "":
+		return dsm.SingleWriter, nil
+	case "mw":
+		return dsm.MultiWriter, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown protocol %q (want sw or mw)", name)
+}
+
+func defaults(p *Plan) Plan {
+	d := *p
+	if len(d.Scales) == 0 {
+		d.Scales = []float64{1}
+	}
+	if len(d.Procs) == 0 {
+		d.Procs = []int{4}
+	}
+	if len(d.Protocols) == 0 {
+		d.Protocols = []string{"sw"}
+	}
+	if len(d.Detect) == 0 {
+		d.Detect = []bool{true}
+	}
+	if len(d.Sharded) == 0 {
+		d.Sharded = []bool{false}
+	}
+	if len(d.Checkpoint) == 0 {
+		d.Checkpoint = []bool{false}
+	}
+	if len(d.Seeds) == 0 || d.Faults == nil {
+		d.Seeds = []int64{0}
+	}
+	return d
+}
+
+// Expand validates the plan and returns its cell list in grid order.
+// Invalid combinations (sharded check without detection) are skipped;
+// duplicate cell IDs (a repeated axis value) are an error.
+func (p *Plan) Expand() ([]Cell, error) {
+	if len(p.Apps) == 0 {
+		return nil, fmt.Errorf("sweep: plan has no applications")
+	}
+	d := defaults(p)
+	for _, proto := range d.Protocols {
+		if _, err := protocolKind(proto); err != nil {
+			return nil, err
+		}
+	}
+	for _, pc := range d.Procs {
+		if pc < 1 {
+			return nil, fmt.Errorf("sweep: invalid process count %d", pc)
+		}
+	}
+	var cells []Cell
+	seen := make(map[string]bool)
+	for _, app := range d.Apps {
+		for _, sc := range d.Scales {
+			for _, pc := range d.Procs {
+				for _, proto := range d.Protocols {
+					for _, det := range d.Detect {
+						for _, sh := range d.Sharded {
+							if sh && !det {
+								continue // dsm: sharded check requires detection
+							}
+							for _, ck := range d.Checkpoint {
+								for _, seed := range d.Seeds {
+									c := Cell{
+										App: app, Scale: sc, Procs: pc, Protocol: proto,
+										Detect: det, Sharded: sh, Checkpoint: ck, Seed: seed,
+									}
+									c.ID = cellID(c)
+									if seen[c.ID] {
+										return nil, fmt.Errorf("sweep: duplicate cell %s (repeated axis value?)", c.ID)
+									}
+									seen[c.ID] = true
+									cells = append(cells, c)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// RunConfig builds the harness configuration for one cell of the plan.
+func (p *Plan) RunConfig(c Cell) (harness.RunConfig, error) {
+	proto, err := protocolKind(c.Protocol)
+	if err != nil {
+		return harness.RunConfig{}, err
+	}
+	cfg := harness.RunConfig{
+		App:          c.App,
+		Scale:        c.Scale,
+		Procs:        c.Procs,
+		Protocol:     proto,
+		Detect:       c.Detect,
+		ShardedCheck: c.Sharded,
+		Checkpoint:   c.Checkpoint,
+		RealMsgDelay: time.Duration(p.RealMsgDelayUS) * time.Microsecond,
+	}
+	if f := p.Faults; f != nil {
+		cfg.Faults = &simnet.FaultPlan{
+			Seed:     c.Seed,
+			Drop:     f.Drop,
+			Dup:      f.Dup,
+			Reorder:  f.Reorder,
+			JitterNS: f.JitterUS * 1000,
+		}
+		cfg.Reliable = f.lossy()
+	}
+	return cfg, nil
+}
+
+// Fingerprint is the plan's identity for resumability: the SHA-256 of its
+// canonical JSON encoding. Two plans fingerprint equal exactly when they
+// expand to the same grid with the same run configurations.
+func (p *Plan) Fingerprint() string {
+	b, err := json.Marshal(defaults(p))
+	if err != nil {
+		// Plan has no unmarshalable fields; keep the signature clean.
+		panic(fmt.Sprintf("sweep: marshaling plan: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

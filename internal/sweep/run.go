@@ -1,0 +1,367 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"lrcrace/internal/harness"
+	"lrcrace/internal/race"
+	"lrcrace/internal/telemetry"
+)
+
+// Status is the terminal state of one cell.
+type Status string
+
+// Cell terminal states. A cell missing from the results (sweep
+// interrupted before it finished) has no status; resuming re-runs it.
+const (
+	StatusOK      Status = "ok"      // run completed and verified
+	StatusFailed  Status = "failed"  // run returned an error on every attempt
+	StatusTimeout Status = "timeout" // run exceeded the per-cell deadline
+	StatusPanic   Status = "panic"   // run panicked (caught; sweep continued)
+)
+
+// Terminal reports whether the status means the cell is done and a resumed
+// sweep must not re-run it.
+func (s Status) Terminal() bool {
+	switch s {
+	case StatusOK, StatusFailed, StatusTimeout, StatusPanic:
+		return true
+	}
+	return false
+}
+
+// CellResult is the persisted outcome of one cell.
+type CellResult struct {
+	ID      string `json:"id"`
+	Status  Status `json:"status"`
+	Error   string `json:"error,omitempty"`
+	Attempt int    `json:"attempt"` // 1-based attempt that produced this result
+
+	Races         int   `json:"races"`
+	DistinctRaces int   `json:"distinct_races"`
+	VirtualNS     int64 `json:"virtual_ns"`
+	// WallNS is real execution time — reported in the summary but never in
+	// the aggregated metrics document, which must be deterministic.
+	WallNS int64 `json:"wall_ns"`
+
+	// Metrics is the cell's canonical metrics snapshot (wall-dependent
+	// series stripped); nil for cells that never produced a result.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+}
+
+// Options tunes sweep execution.
+type Options struct {
+	// Workers is the number of cells run concurrently; 0 → 4.
+	Workers int
+	// CellTimeout bounds one attempt's wall time; 0 → 2 minutes. The run's
+	// barrier wall timeout is set from it too (unless the plan is lossy and
+	// the reliable sublayer's own link-death detection is in charge), so a
+	// wedged barrier aborts itself instead of leaking a live System.
+	CellTimeout time.Duration
+	// Retries is how many extra attempts a failed or panicking cell gets
+	// before its failure is recorded; timeouts are never retried.
+	Retries int
+	// Dir, when non-empty, persists the manifest and per-cell results
+	// there, making the sweep resumable (see manifest.go).
+	Dir string
+	// TelemetryCap is the per-ring event capacity of each cell's recorder;
+	// 0 → 4096, negative → unbounded.
+	TelemetryCap int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.CellTimeout <= 0 {
+		o.CellTimeout = 2 * time.Minute
+	}
+	if o.TelemetryCap == 0 {
+		o.TelemetryCap = 4096
+	}
+	return o
+}
+
+// Sweep is one orchestrated grid execution: the expanded plan, the results
+// gathered so far, and the live per-cell recorders the HTTP endpoint
+// serves. Create with New, execute with Run; the read-side accessors are
+// safe to call concurrently with Run (that is the point of them).
+type Sweep struct {
+	plan  *Plan
+	opts  Options
+	cells []Cell
+
+	mu      sync.Mutex
+	results map[string]*CellResult
+	live    map[string]*telemetry.Recorder // recorders of cells in flight
+	flight  map[string]*telemetry.Recorder // latest recorder per cell, kept for /flight
+	start   time.Time
+}
+
+// New expands the plan and, when opts.Dir is set, loads any previous
+// results from it (writing the manifest on first use). Cells whose results
+// were loaded are skipped by Run.
+func New(plan *Plan, opts Options) (*Sweep, error) {
+	cells, err := plan.Expand()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{
+		plan:    plan,
+		opts:    opts.withDefaults(),
+		cells:   cells,
+		results: make(map[string]*CellResult),
+		live:    make(map[string]*telemetry.Recorder),
+		flight:  make(map[string]*telemetry.Recorder),
+	}
+	if s.opts.Dir != "" {
+		loaded, err := initDir(s.opts.Dir, plan, cells)
+		if err != nil {
+			return nil, err
+		}
+		for id, r := range loaded {
+			s.results[id] = r
+		}
+	}
+	return s, nil
+}
+
+// Cells returns the expanded grid in plan order.
+func (s *Sweep) Cells() []Cell { return s.cells }
+
+// Run executes every cell that does not already have a terminal result,
+// at most Options.Workers at a time. A failed, wedged, or panicking cell
+// is recorded and the sweep continues; Run's error is reserved for the
+// sweep's own machinery (context cancellation, checkpoint I/O). The
+// returned Summary covers all cells, including ones loaded from a
+// previous interrupted run.
+func (s *Sweep) Run(ctx context.Context) (*Summary, error) {
+	s.mu.Lock()
+	s.start = time.Now()
+	pending := make([]Cell, 0, len(s.cells))
+	for _, c := range s.cells {
+		if r, ok := s.results[c.ID]; !ok || !r.Status.Terminal() {
+			pending = append(pending, c)
+		}
+	}
+	s.mu.Unlock()
+
+	jobs := make(chan Cell)
+	var wg sync.WaitGroup
+	var ioMu sync.Mutex
+	var ioErr error
+	for i := 0; i < s.opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				res := s.runCell(ctx, c)
+				if res == nil {
+					continue // canceled mid-cell; leave it missing for resume
+				}
+				s.mu.Lock()
+				s.results[c.ID] = res
+				s.mu.Unlock()
+				if s.opts.Dir != "" {
+					if err := writeCellResult(s.opts.Dir, res); err != nil {
+						ioMu.Lock()
+						if ioErr == nil {
+							ioErr = err
+						}
+						ioMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for _, c := range pending {
+		select {
+		case jobs <- c:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if ioErr != nil {
+		return s.Summary(), ioErr
+	}
+	return s.Summary(), ctx.Err()
+}
+
+// runCell executes one cell with attempt/panic/deadline isolation. It
+// returns nil when the context was canceled before a terminal outcome.
+func (s *Sweep) runCell(ctx context.Context, c Cell) *CellResult {
+	attempts := 1 + s.opts.Retries
+	var last *CellResult
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		last = s.attemptCell(ctx, c, attempt)
+		if last == nil || last.Status == StatusOK || last.Status == StatusTimeout {
+			return last
+		}
+	}
+	return last
+}
+
+type cellOutcome struct {
+	res *harness.Result
+	err error
+}
+
+// attemptCell is one isolated execution: its own System, its own recorder,
+// its own goroutine so a wedged or panicking run is abandoned at the
+// deadline instead of taking the sweep down. The abandoned goroutine's
+// telemetry stays in its own recorder, so it cannot corrupt later cells.
+func (s *Sweep) attemptCell(ctx context.Context, c Cell, attempt int) *CellResult {
+	cfg, err := s.plan.RunConfig(c)
+	if err != nil {
+		return &CellResult{ID: c.ID, Status: StatusFailed, Error: err.Error(), Attempt: attempt}
+	}
+	rec := telemetry.New(telemetry.Config{
+		Procs:      c.Procs,
+		Cap:        s.opts.TelemetryCap,
+		FlightSink: io.Discard, // dumps are served on demand, not spammed to stderr
+	})
+	cfg.Recorder = rec
+	if cfg.BarrierWallTimeout == 0 && !cfg.Reliable {
+		cfg.BarrierWallTimeout = s.opts.CellTimeout
+	}
+
+	s.mu.Lock()
+	s.live[c.ID] = rec
+	s.flight[c.ID] = rec // retained after completion so /flight still answers
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.live, c.ID)
+		s.mu.Unlock()
+	}()
+
+	out := make(chan cellOutcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				out <- cellOutcome{err: fmt.Errorf("panic: %v\n%s", p, debug.Stack())}
+			}
+		}()
+		res, err := harness.Run(cfg)
+		out <- cellOutcome{res: res, err: err}
+	}()
+
+	timer := time.NewTimer(s.opts.CellTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-out:
+		if o.err != nil {
+			status := StatusFailed
+			if len(o.err.Error()) > 6 && o.err.Error()[:6] == "panic:" {
+				status = StatusPanic
+			}
+			return &CellResult{ID: c.ID, Status: status, Error: o.err.Error(), Attempt: attempt,
+				Metrics: rec.Metrics().Snapshot().Canonical()}
+		}
+		return &CellResult{
+			ID:            c.ID,
+			Status:        StatusOK,
+			Attempt:       attempt,
+			Races:         len(o.res.Races),
+			DistinctRaces: len(race.DedupByAddr(o.res.Races)),
+			VirtualNS:     o.res.VirtualNS,
+			WallNS:        o.res.WallNS,
+			Metrics:       rec.Metrics().Snapshot().Canonical(),
+		}
+	case <-timer.C:
+		// The run goroutine may be wedged; abandon it. Its System and
+		// recorder are private to this attempt, so the leak is bounded and
+		// harmless to every other cell.
+		return &CellResult{ID: c.ID, Status: StatusTimeout, Attempt: attempt,
+			Error:   fmt.Sprintf("cell exceeded %v", s.opts.CellTimeout),
+			Metrics: rec.Metrics().Snapshot().Canonical()}
+	case <-ctx.Done():
+		return nil
+	}
+}
+
+// Progress is a point-in-time view of the sweep for the HTTP endpoint.
+type Progress struct {
+	Total   int    `json:"total"`
+	Done    int    `json:"done"`
+	OK      int    `json:"ok"`
+	Failed  int    `json:"failed"` // failed + timeout + panic
+	Running int    `json:"running"`
+	Races   int    `json:"races"`
+	Elapsed string `json:"elapsed,omitempty"`
+
+	Cells []CellStatus `json:"cells"`
+}
+
+// CellStatus is one cell's line in the progress view.
+type CellStatus struct {
+	ID      string `json:"id"`
+	Status  Status `json:"status"` // "" → not started, "running" → in flight
+	Races   int    `json:"races,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Progress returns the sweep's current state; safe during Run.
+func (s *Sweep) Progress() Progress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := Progress{Total: len(s.cells)}
+	if !s.start.IsZero() {
+		p.Elapsed = time.Since(s.start).Round(time.Millisecond).String()
+	}
+	for _, c := range s.cells {
+		cs := CellStatus{ID: c.ID}
+		if r, ok := s.results[c.ID]; ok && r.Status.Terminal() {
+			cs.Status, cs.Races, cs.Attempt, cs.Error = r.Status, r.Races, r.Attempt, r.Error
+			p.Done++
+			if r.Status == StatusOK {
+				p.OK++
+			} else {
+				p.Failed++
+			}
+			p.Races += r.Races
+		} else if _, running := s.live[c.ID]; running {
+			cs.Status = "running"
+			p.Running++
+		}
+		p.Cells = append(p.Cells, cs)
+	}
+	return p
+}
+
+// snapshots returns every cell's metrics snapshot: finished cells from
+// their results, in-flight cells live from their recorders.
+func (s *Sweep) snapshots() map[string]*telemetry.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*telemetry.Snapshot)
+	for id, r := range s.results {
+		if r.Metrics != nil {
+			out[id] = r.Metrics
+		}
+	}
+	for id, rec := range s.live {
+		out[id] = rec.Metrics().Snapshot()
+	}
+	return out
+}
+
+// flightRecorder returns a cell's most recent recorder (in flight or
+// finished this process), or nil if the cell never started here.
+func (s *Sweep) flightRecorder(id string) *telemetry.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flight[id]
+}

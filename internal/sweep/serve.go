@@ -1,0 +1,244 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+
+	"lrcrace/internal/telemetry"
+)
+
+// Handler returns the sweep's live HTTP surface:
+//
+//	/metrics       — Prometheus text: sweep progress gauges, every cell's
+//	                 series labeled cell="<id>" (finished cells from their
+//	                 canonical results, in-flight cells straight off their
+//	                 recorders), and unlabeled aggregate sums per family
+//	/sweep         — JSON progress (Progress)
+//	/flight/<id>   — flight-recorder dump of a cell's latest attempt
+//
+// All endpoints are read-only and safe to scrape while Run executes.
+func (s *Sweep) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/flight/", s.handleFlight)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "lrcrace sweep: /metrics (Prometheus text), /sweep (JSON progress), /flight/<cell-id> (flight dump)\n")
+	})
+	return mux
+}
+
+// Serve listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves Handler
+// in the background, returning the server and the bound address. Shut it
+// down with srv.Close after the sweep finishes.
+func (s *Sweep) Serve(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("sweep: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+func (s *Sweep) handleSweep(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Progress())
+}
+
+func (s *Sweep) handleFlight(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/flight/")
+	rec := s.flightRecorder(id)
+	if rec == nil {
+		http.Error(w, fmt.Sprintf("no recorder for cell %q (not started yet?)", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	rec.DumpFlight(w, "on-demand dump over /flight")
+}
+
+func (s *Sweep) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := s.Progress()
+	for _, g := range []struct {
+		name, help string
+		v          int
+	}{
+		{"sweep_cells_total", "Cells in the sweep grid.", p.Total},
+		{"sweep_cells_done", "Cells with a terminal result.", p.Done},
+		{"sweep_cells_ok", "Cells that completed and verified.", p.OK},
+		{"sweep_cells_failed", "Cells that failed, timed out, or panicked.", p.Failed},
+		{"sweep_cells_running", "Cells currently in flight.", p.Running},
+		{"sweep_races_total", "Dynamic race reports across finished cells.", p.Races},
+	} {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
+	}
+	writeCellsProm(w, s.snapshots())
+}
+
+// injectCell prefixes a snapshot series key's label set with cell="id".
+func injectCell(key, id string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + `{cell="` + id + `",` + key[i+1:]
+	}
+	return key + `{cell="` + id + `"}`
+}
+
+// baseName strips the label set off a snapshot series key.
+func baseName(key string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// writeCellsProm renders the per-cell snapshots as one valid Prometheus
+// text exposition: each family appears once (# TYPE emitted a single
+// time), carrying every cell's series with an injected cell label, and —
+// for counters and gauges — an unlabeled aggregate sum per original
+// series. Histograms are rendered per cell only. Ordering is fully
+// deterministic: families, cells, and series keys all sort
+// lexicographically.
+func writeCellsProm(w io.Writer, cells map[string]*telemetry.Snapshot) {
+	ids := make([]string, 0, len(cells))
+	for id := range cells {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	for _, fam := range snapshotFamilies(cells, func(s *telemetry.Snapshot) []string {
+		return int64Keys(s.Counters)
+	}) {
+		fmt.Fprintf(w, "# TYPE %s counter\n", fam)
+		agg := make(map[string]int64)
+		for _, id := range ids {
+			s := cells[id]
+			for _, k := range familyKeys(int64Keys(s.Counters), fam) {
+				fmt.Fprintf(w, "%s %d\n", injectCell(k, id), s.Counters[k])
+				agg[k] += s.Counters[k]
+			}
+		}
+		for _, k := range sortedKeys(agg) {
+			fmt.Fprintf(w, "%s %d\n", k, agg[k])
+		}
+	}
+
+	for _, fam := range snapshotFamilies(cells, func(s *telemetry.Snapshot) []string {
+		return float64Keys(s.Gauges)
+	}) {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", fam)
+		agg := make(map[string]float64)
+		for _, id := range ids {
+			s := cells[id]
+			for _, k := range familyKeys(float64Keys(s.Gauges), fam) {
+				fmt.Fprintf(w, "%s %g\n", injectCell(k, id), s.Gauges[k])
+				agg[k] += s.Gauges[k]
+			}
+		}
+		for _, k := range sortedKeys(agg) {
+			fmt.Fprintf(w, "%s %g\n", k, agg[k])
+		}
+	}
+
+	for _, fam := range snapshotFamilies(cells, func(s *telemetry.Snapshot) []string {
+		return histKeys(s.Histograms)
+	}) {
+		fmt.Fprintf(w, "# TYPE %s histogram\n", fam)
+		for _, id := range ids {
+			s := cells[id]
+			for _, k := range familyKeys(histKeys(s.Histograms), fam) {
+				h := s.Histograms[k]
+				inner := ""
+				if i := strings.IndexByte(k, '{'); i >= 0 {
+					inner = k[i+1 : len(k)-1]
+				}
+				lbl := func(extra string) string {
+					parts := []string{`cell="` + id + `"`}
+					if inner != "" {
+						parts = append(parts, inner)
+					}
+					if extra != "" {
+						parts = append(parts, extra)
+					}
+					return strings.Join(parts, ",")
+				}
+				for _, b := range h.Buckets {
+					fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, lbl(fmt.Sprintf("le=%q", fmtG(b.LE))), b.Count)
+				}
+				fmt.Fprintf(w, "%s_bucket{%s} %d\n", fam, lbl(`le="+Inf"`), h.Count)
+				fmt.Fprintf(w, "%s_sum{%s} %g\n", fam, lbl(""), h.Sum)
+				fmt.Fprintf(w, "%s_count{%s} %d\n", fam, lbl(""), h.Count)
+			}
+		}
+	}
+}
+
+func fmtG(v float64) string { return fmt.Sprintf("%g", v) }
+
+func int64Keys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func float64Keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func histKeys(m map[string]telemetry.HistSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshotFamilies returns the sorted union of family base names across
+// every cell's keys of one metric class.
+func snapshotFamilies(cells map[string]*telemetry.Snapshot, keys func(*telemetry.Snapshot) []string) []string {
+	set := make(map[string]bool)
+	for _, s := range cells {
+		for _, k := range keys(s) {
+			set[baseName(k)] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// familyKeys filters keys to one family, sorted.
+func familyKeys(keys []string, fam string) []string {
+	var out []string
+	for _, k := range keys {
+		if baseName(k) == fam {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

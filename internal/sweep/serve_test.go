@@ -1,0 +1,170 @@
+package sweep
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promLine matches one Prometheus text-format sample:
+// name{labels} value — labels optional, value a Go float.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*,?\})? -?[0-9].*$`)
+
+// checkPromText validates a /metrics body: every non-comment line is a
+// well-formed sample and every family declares its # TYPE exactly once.
+func checkPromText(t *testing.T, body string) {
+	t.Helper()
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		lines++
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Errorf("malformed TYPE line: %q", line)
+				continue
+			}
+			if typed[fields[2]] {
+				t.Errorf("family %s declared # TYPE twice", fields[2])
+			}
+			typed[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("unparseable metrics line: %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Error("empty /metrics body")
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestServeLiveMetrics scrapes the HTTP surface while a sweep is running
+// and again after it finishes: /metrics must be valid Prometheus text both
+// times, /sweep must decode as Progress, and /flight/<id> must dump a
+// started cell's recorder.
+func TestServeLiveMetrics(t *testing.T) {
+	// One worker over four cells keeps the sweep observably "running".
+	plan := planFFTSOR()
+	s, err := New(plan, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	done := make(chan *Summary, 1)
+	go func() {
+		sum, err := s.Run(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		done <- sum
+	}()
+
+	// Wait until at least one cell has started, then scrape mid-run.
+	var started string
+	deadline := time.After(10 * time.Second)
+	for started == "" {
+		select {
+		case <-deadline:
+			t.Fatal("no cell started within 10s")
+		default:
+		}
+		for _, cs := range s.Progress().Cells {
+			if cs.Status != "" {
+				started = cs.ID
+				break
+			}
+		}
+		if started == "" {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics mid-run: status %d", code)
+	}
+	checkPromText(t, body)
+	if !strings.Contains(body, "sweep_cells_total 4") {
+		t.Errorf("/metrics missing sweep_cells_total 4:\n%.400s", body)
+	}
+
+	code, body = get(t, srv.URL+"/sweep")
+	if code != http.StatusOK {
+		t.Fatalf("/sweep: status %d", code)
+	}
+	var p Progress
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/sweep body does not decode as Progress: %v", err)
+	}
+	if p.Total != 4 {
+		t.Errorf("/sweep Total = %d, want 4", p.Total)
+	}
+
+	if code, _ := get(t, srv.URL+"/flight/"+started); code != http.StatusOK {
+		t.Errorf("/flight/%s: status %d, want 200", started, code)
+	}
+	if code, _ := get(t, srv.URL+"/flight/no-such-cell"); code != http.StatusNotFound {
+		t.Errorf("/flight of unknown cell: status %d, want 404", code)
+	}
+
+	sum := <-done
+	if sum == nil || sum.OK != sum.Total {
+		t.Fatalf("sweep did not finish clean: %+v", sum)
+	}
+
+	// Final scrape: all cells present with the cell label, aggregates too.
+	code, body = get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics post-run: status %d", code)
+	}
+	checkPromText(t, body)
+	cells, _ := plan.Expand()
+	for _, c := range cells {
+		if !strings.Contains(body, `cell="`+c.ID+`"`) {
+			t.Errorf("final /metrics missing series for cell %s", c.ID)
+		}
+	}
+	if !strings.Contains(body, "sweep_cells_ok 4") {
+		t.Error("final /metrics missing sweep_cells_ok 4")
+	}
+	// Cell-free aggregate lines exist alongside the labeled ones.
+	if !regexp.MustCompile(`(?m)^telemetry_events_total\{kind="BarrierArrive"\} \d+$`).MatchString(body) {
+		t.Error("final /metrics missing cell-free aggregate for telemetry_events_total")
+	}
+}

@@ -279,6 +279,73 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
+// wallDependentSeries are the metric families whose values depend on
+// wall-clock scheduling rather than the deterministic virtual-time
+// simulation: end-to-end wall times, restore wall times, and everything
+// the reliable sublayer's real retransmission timers drive. Canonical
+// strips them so that two runs of the same deterministic workload snapshot
+// to byte-identical JSON.
+var wallDependentSeries = map[string]bool{
+	"run_wall_ns":                true,
+	"run_recovery_wall_ns":       true,
+	"dsm_recovery_wall_ns_total": true,
+	"net_retransmits_total":      true,
+	"net_retrans_bytes_total":    true,
+	"net_deduped_total":          true,
+	"telemetry_trips_total":      true,
+}
+
+// canonicalKey reports whether a series key survives canonicalization:
+// its family is not wall-dependent, and it is not the Retransmit or
+// LinkDead event count (both produced by real timers).
+func canonicalKey(key string) bool {
+	base := key
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		base = key[:i]
+	}
+	if wallDependentSeries[base] {
+		return false
+	}
+	if base == "telemetry_events_total" &&
+		(strings.Contains(key, `kind="Retransmit"`) || strings.Contains(key, `kind="LinkDead"`)) {
+		return false
+	}
+	return true
+}
+
+// Canonical returns a copy of the snapshot with every wall-clock-dependent
+// series removed (see wallDependentSeries): run/recovery wall times, trip
+// counts, and the retransmission counters the reliable sublayer's real
+// timers drive. What remains is a function of the deterministic
+// virtual-time simulation alone, so deterministic workloads canonicalize
+// to byte-identical JSON across runs — the form the sweep aggregator and
+// golden tests pin. (Note: a run with Config.Reliable still inflates
+// per-type net_* traffic counters by timer-driven resends; byte-identical
+// aggregation is guaranteed only for grids without the reliable sublayer.)
+func (s *Snapshot) Canonical() *Snapshot {
+	out := &Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistSnapshot),
+	}
+	for k, v := range s.Counters {
+		if canonicalKey(k) {
+			out.Counters[k] = v
+		}
+	}
+	for k, v := range s.Gauges {
+		if canonicalKey(k) {
+			out.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		if canonicalKey(k) {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
 // CounterTotal sums every counter series of the family name (e.g. all
 // net_bytes_total{type=...} series). A series with no labels contributes
 // its value directly.

@@ -19,6 +19,17 @@
 // JSON (see WriteChromeTrace), which renders a run as a per-process cluster
 // timeline in Perfetto or chrome://tracing.
 //
+// Recorders come in two flavors. Start installs a process-global recorder —
+// the historical single-run mode, still what the debuglog shim and the
+// simplest tools use. New builds a handle-scoped recorder that is never
+// installed globally: thread it to the layers that should record into it
+// (dsm.Config.Recorder, or a Scope built with To) and N recording sessions
+// can coexist in one process without interleaving rings, sequence numbers,
+// or metric registries — the property the sweep orchestrator
+// (internal/sweep) depends on to run a grid of Systems concurrently.
+// Event sites take a Scope; the zero Scope falls back to the global
+// recorder, preserving the one-atomic-load disabled fast path.
+//
 // The package deliberately imports only the standard library so that any
 // layer of the system can instrument itself without dependency cycles.
 package telemetry
@@ -343,10 +354,23 @@ var LatencyBuckets = []float64{
 // (powers of two up to 256 entries).
 var ShardSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
-// Start installs a new Recorder as the destination of every event site and
-// returns it. Any previous recorder is replaced (its contents remain
-// readable through the returned value of the Start that created it).
+// Start installs a new Recorder as the process-global destination of every
+// zero-Scope event site and returns it. Any previous recorder is replaced
+// (its contents remain readable through the returned value of the Start
+// that created it) — which is exactly why two concurrent runs must NOT
+// share the global: the second Start silently steals the first run's
+// events and metrics. Concurrent sessions use New and scoped handles.
 func Start(cfg Config) *Recorder {
+	r := New(cfg)
+	active.Store(r)
+	return r
+}
+
+// New builds a Recorder without installing it globally: a handle-scoped
+// recording session. Events reach it only through a Scope bound with To
+// (or a layer configured with the handle, e.g. dsm.Config.Recorder), so
+// any number of New recorders can record concurrently in one process.
+func New(cfg Config) *Recorder {
 	r := &Recorder{cfg: cfg.withDefaults(), start: time.Now()}
 	r.rings = make([]*ring, r.cfg.Procs+1)
 	for i := range r.rings {
@@ -385,8 +409,60 @@ func Start(cfg Config) *Recorder {
 		"Wall time spent tearing down and restoring during recoveries.")
 	r.recLocks = m.Counter("dsm_recovery_locks_reclaimed_total",
 		"Locks last held by a crashed process, reclaimed during restore.")
-	active.Store(r)
 	return r
+}
+
+// Scope is a nil-safe handle directing one layer's events at a specific
+// recording session. The zero Scope is the process-global shim: events go
+// to whatever recorder Start has installed, or nowhere at the cost of one
+// atomic load. A bound Scope (To) bypasses the global entirely, so
+// concurrent sessions cannot cross-talk. Scopes are values; copy freely.
+type Scope struct{ r *Recorder }
+
+// To returns a Scope bound to r; To(nil) is the zero (global) Scope.
+func To(r *Recorder) Scope { return Scope{r: r} }
+
+// Bound reports whether the scope is pinned to a specific recorder rather
+// than following the process-global installation.
+func (s Scope) Bound() bool { return s.r != nil }
+
+// Recorder resolves the scope's destination: the bound recorder, or the
+// currently installed global one (possibly nil).
+func (s Scope) Recorder() *Recorder {
+	if s.r != nil {
+		return s.r
+	}
+	return active.Load()
+}
+
+// Enabled reports whether events emitted through this scope are recorded.
+func (s Scope) Enabled() bool { return s.Recorder() != nil }
+
+// Emit records one typed event through the scope; a no-op costing one
+// pointer check (plus, unbound, one atomic load) when recording is off.
+func (s Scope) Emit(proc int, k Kind, vt int64, a, b, c int64) {
+	r := s.Recorder()
+	if r == nil {
+		return
+	}
+	r.emit(proc, k, vt, a, b, c, "")
+}
+
+// Logf records one formatted string event through the scope; a no-op
+// unless the resolved recorder has CaptureLog set.
+func (s Scope) Logf(proc int, vt int64, format string, args ...interface{}) {
+	r := s.Recorder()
+	if r == nil || !r.cfg.CaptureLog {
+		return
+	}
+	r.emit(proc, KLog, vt, 0, 0, 0, fmt.Sprintf(format, args...))
+}
+
+// Trip triggers the scope's flight recorder (no-op when recording is off).
+func (s Scope) Trip(reason TripReason, detail string) {
+	if r := s.Recorder(); r != nil {
+		r.Trip(reason, detail)
+	}
 }
 
 // Stop uninstalls the recorder and returns it for inspection (nil if none
@@ -428,15 +504,18 @@ func Logf(proc int, vt int64, format string, args ...interface{}) {
 	r.emit(proc, KLog, vt, 0, 0, 0, fmt.Sprintf(format, args...))
 }
 
-// Trip triggers a flight-recorder dump with the given typed reason and a
-// free-form detail line (no-op when recording is off). Layers call it at
-// the moments the paper's user would want a core dump of the cluster:
-// retry-cap exhaustion, barrier timeout, process panic, peer crash.
+// Trip triggers a flight-recorder dump on the global recorder with the
+// given typed reason and a free-form detail line (no-op when recording is
+// off). Layers call it at the moments the paper's user would want a core
+// dump of the cluster: retry-cap exhaustion, barrier timeout, process
+// panic, peer crash.
 func Trip(reason TripReason, detail string) {
-	r := active.Load()
-	if r == nil {
-		return
-	}
+	Scope{}.Trip(reason, detail)
+}
+
+// Trip dumps this recorder's flight buffer with the given typed reason and
+// detail line, and counts the trip in telemetry_trips_total.
+func (r *Recorder) Trip(reason TripReason, detail string) {
 	r.trips.Add(1)
 	if int(reason) < len(r.tripCount) && r.tripCount[reason] != nil {
 		r.tripCount[reason].Add(1)

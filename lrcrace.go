@@ -203,6 +203,13 @@ func StartTelemetry(cfg TelemetryConfig) *TelemetryRecorder { return telemetry.S
 // StopTelemetry uninstalls the recorder and returns it for inspection.
 func StopTelemetry() *TelemetryRecorder { return telemetry.Stop() }
 
+// NewTelemetryRecorder builds a handle-scoped recorder (telemetry.New)
+// without installing it globally. Set it as ExperimentConfig.Recorder to
+// keep the handle while the run executes — a live metrics endpoint can
+// then scrape Metrics().WriteProm mid-run — and to let any number of runs
+// record concurrently in one process without cross-talk.
+func NewTelemetryRecorder(cfg TelemetryConfig) *TelemetryRecorder { return telemetry.New(cfg) }
+
 // Transport is the message-carrying contract; the default is the in-memory
 // simulated network.
 type Transport = dsm.Transport
