@@ -11,7 +11,8 @@
 //	sweeprun -apps SOR -protocols sw,mw -sharded 0,1 -metrics-out m.json
 //	sweeprun -plan plan.json -dir sweep.ckpt        # resumable
 //	sweeprun -apps Water -metrics-addr :9090        # live /metrics, /sweep
-//	sweeprun -apps TSP -drop 0.05 -seeds 0,1,2      # chaos sweep
+//	sweeprun -apps TSP -drop 0.05 -seeds 0,1,2      # wire-fault sweep
+//	sweeprun -apps ChaosTSP -crash single,double -corrupt none,chunk -seeds 0,1
 package main
 
 import (
@@ -36,8 +37,10 @@ func main() {
 	protocols := flag.String("protocols", "", "protocol axis: sw,mw (default sw)")
 	detect := flag.String("detect", "", "detection axis: true,false (default true)")
 	sharded := flag.String("sharded", "", "sharded-check axis: true,false (default false)")
-	checkpoint := flag.String("checkpoint", "", "checkpointing axis: true,false (default false)")
-	seeds := flag.String("seeds", "", "fault-seed axis (default 0; needs a fault flag)")
+	checkpoint := flag.String("checkpoint", "", "checkpointing axis: true,false (default true)")
+	crash := flag.String("crash", "", "crash-mode axis for chaos apps: none,single,double,recovery (default none)")
+	corrupt := flag.String("corrupt", "", "checkpoint-corruption axis: none,chunk,delete (default none; needs -crash)")
+	seeds := flag.String("seeds", "", "fault-seed axis (default 0; needs a fault or chaos flag)")
 	drop := flag.Float64("drop", 0, "fault template: per-message drop probability")
 	dup := flag.Float64("dup", 0, "fault template: per-message duplication probability")
 	reorder := flag.Float64("reorder", 0, "fault template: per-message reorder probability")
@@ -55,7 +58,8 @@ func main() {
 
 	plan, err := buildPlan(*planFile, axisFlags{
 		apps: *apps, scales: *scales, procs: *procs, protocols: *protocols,
-		detect: *detect, sharded: *sharded, checkpoint: *checkpoint, seeds: *seeds,
+		detect: *detect, sharded: *sharded, checkpoint: *checkpoint,
+		crash: *crash, corrupt: *corrupt, seeds: *seeds,
 		drop: *drop, dup: *dup, reorder: *reorder, jitterUS: *jitterUS, msgDelayUS: *msgDelayUS,
 	})
 	if err != nil {
@@ -112,9 +116,10 @@ func main() {
 }
 
 type axisFlags struct {
-	apps, scales, procs, protocols, detect, sharded, checkpoint, seeds string
-	drop, dup, reorder                                                 float64
-	jitterUS, msgDelayUS                                               int64
+	apps, scales, procs, protocols, detect, sharded, checkpoint string
+	crash, corrupt, seeds                                       string
+	drop, dup, reorder                                          float64
+	jitterUS, msgDelayUS                                        int64
 }
 
 func buildPlan(planFile string, a axisFlags) (*sweep.Plan, error) {
@@ -150,6 +155,8 @@ func buildPlan(planFile string, a axisFlags) (*sweep.Plan, error) {
 	if p.Checkpoint, err = cli.Bools(a.checkpoint); err != nil {
 		return nil, fmt.Errorf("-checkpoint: %w", err)
 	}
+	p.CrashModes = cli.Strings(a.crash)
+	p.CorruptModes = cli.Strings(a.corrupt)
 	if p.Seeds, err = cli.Int64s(a.seeds); err != nil {
 		return nil, fmt.Errorf("-seeds: %w", err)
 	}

@@ -26,7 +26,8 @@ func main() {
 		NumProcs:           4,
 		SharedSize:         16 * 1024,
 		Detect:             true,
-		Checkpoint:         true,            // checkpoint at every barrier
+		// Checkpointing is on by default: every barrier departure deposits
+		// a chunk-deduplicated manifest the rollback below restores from.
 		Reliable:           true,            // link death detects the crash
 		BarrierWallTimeout: 5 * time.Second, // backstop for quiet deaths
 		Crash:              plan,

@@ -1,0 +1,104 @@
+package dsm
+
+import (
+	"errors"
+	"testing"
+
+	"lrcrace/internal/castore"
+	"lrcrace/internal/mem"
+)
+
+// fuzzSeedCheckpoints runs a small two-process, two-epoch workload and
+// returns every manifest it deposited together with the chunk store the
+// manifests reference — real encoder output as the fuzz corpus.
+func fuzzSeedCheckpoints(f *testing.F, proto ProtocolKind) ([][]byte, *castore.Store) {
+	f.Helper()
+	s, err := New(Config{
+		NumProcs:         2,
+		SharedSize:       8 * 1024,
+		PageSize:         1024,
+		Protocol:         proto,
+		Detect:           true,
+		CheckpointRetain: -1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	words, err := s.AllocWords("w", 8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	err = s.RunEpochs(2, func() EpochFunc {
+		return func(p *Proc, e int32) {
+			p.Lock(0)
+			p.Write(words+mem.Addr(p.ID()*8), uint64(e)+1)
+			p.Unlock(0)
+			p.Write(words, uint64(p.ID())) // a race, so racy-word state serializes too
+		}
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var manifests [][]byte
+	for proc := 0; proc < 2; proc++ {
+		for e := int32(1); e <= 2; e++ {
+			if m := s.ckpts.Get(proc, e); m != nil {
+				manifests = append(manifests, m)
+			}
+		}
+	}
+	if len(manifests) == 0 {
+		f.Fatal("seed run deposited no checkpoints")
+	}
+	return manifests, s.ckpts.Chunks()
+}
+
+// FuzzDecodeCheckpoint: decodeCheckpoint must never panic, whatever the
+// bytes — a checkpoint is read back at the most fragile moment there is,
+// mid-recovery — and every rejection must carry one of the two typed
+// errors so the rollback planner can fall back instead of crashing.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	manifests, chunks := fuzzSeedCheckpoints(f, MultiWriter)
+	swManifests, swChunks := fuzzSeedCheckpoints(f, SingleWriter)
+	manifests = append(manifests, swManifests...)
+
+	for _, m := range manifests {
+		f.Add(m)
+		// Truncations: a torn write.
+		f.Add(m[:len(m)/2])
+		f.Add(m[:len(m)-1])
+		// Bit flips: bad storage under the header, in the body, at the tail.
+		for _, at := range []int{4, len(m) / 3, len(m) - 2} {
+			flipped := append([]byte(nil), m...)
+			flipped[at] ^= 0x40
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, src := range []*castore.Store{chunks, swChunks, nil} {
+			ck, err := decodeCheckpoint(data, chunkSourceOrNil(src))
+			if err != nil {
+				if !errors.Is(err, ErrCheckpointCorrupt) && !errors.Is(err, ErrCheckpointChunk) {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				continue
+			}
+			if ck == nil {
+				t.Fatal("nil checkpoint without error")
+			}
+		}
+	})
+}
+
+// chunkSourceOrNil converts a possibly-nil *castore.Store into the
+// chunkSource interface without producing a non-nil interface wrapping a
+// nil pointer.
+func chunkSourceOrNil(s *castore.Store) chunkSource {
+	if s == nil {
+		return nil
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package dsm
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"lrcrace/internal/castore"
+	"lrcrace/internal/telemetry"
+)
+
+// CorruptMode selects how a CorruptionPlan damages stored checkpoints.
+type CorruptMode int
+
+const (
+	// CorruptChunk flips a bit in the stored copy of each victim chunk, so
+	// resolving it fails its hash check (castore.ErrCorrupt).
+	CorruptChunk CorruptMode = iota
+	// DeleteChunk drops each victim chunk's stored bytes entirely, so
+	// resolving it fails with castore.ErrMissing.
+	DeleteChunk
+)
+
+func (m CorruptMode) String() string {
+	switch m {
+	case CorruptChunk:
+		return "corrupt-chunk"
+	case DeleteChunk:
+		return "delete-chunk"
+	default:
+		return fmt.Sprintf("CorruptMode(%d)", int(m))
+	}
+}
+
+// CorruptionPlan schedules deterministic damage to stored checkpoint
+// state — the storage-fault sibling of CrashPlan (process death) and
+// simnet.FaultPlan (wire faults). Once every process has deposited its
+// checkpoint for Epoch, the plan fires exactly once: Count chunks of that
+// epoch's closure, chosen by a seeded PRNG over the sorted address list,
+// are tampered with or deleted.
+//
+// Corruption is silent until a rollback tries to use the damaged epoch;
+// then manifest decoding detects the broken closure (the address is the
+// hash) and recovery falls back to the newest older epoch that still
+// verifies. Re-execution across the damaged barrier re-deposits the true
+// chunk contents, healing the store.
+type CorruptionPlan struct {
+	// Epoch is the barrier epoch whose deposited checkpoints are attacked.
+	// Must be ≥ 1: epoch 0 is the initial state and has no checkpoints.
+	Epoch int32
+	// Mode is the kind of damage.
+	Mode CorruptMode
+	// Count is how many distinct chunks are attacked; 0 → 1. Capped at the
+	// epoch's closure size.
+	Count int
+	// Seed drives the deterministic chunk choice.
+	Seed uint64
+
+	fired atomic.Bool
+}
+
+// Validate checks the plan.
+func (c *CorruptionPlan) Validate() error {
+	if c.Epoch < 1 {
+		return fmt.Errorf("corruption plan: epoch %d (want ≥ 1; epoch 0 has no checkpoints)", c.Epoch)
+	}
+	if c.Count < 0 {
+		return fmt.Errorf("corruption plan: Count = %d", c.Count)
+	}
+	switch c.Mode {
+	case CorruptChunk, DeleteChunk:
+	default:
+		return fmt.Errorf("corruption plan: unknown mode %d", int(c.Mode))
+	}
+	return nil
+}
+
+// Fired reports whether the plan's damage has been injected.
+func (c *CorruptionPlan) Fired() bool { return c.fired.Load() }
+
+// RandomCorruptionPlan derives a corruption plan deterministically from
+// seed for a run of the given epoch count: a seed-driven target epoch and
+// chunk count with the requested damage mode. The same seed always
+// produces the same plan; nil if the run has no checkpointed epoch to
+// attack.
+func RandomCorruptionPlan(seed uint64, epochs int32, mode CorruptMode) *CorruptionPlan {
+	if epochs < 1 {
+		return nil
+	}
+	next := splitmix64(seed)
+	return &CorruptionPlan{
+		Epoch: 1 + int32(next()%uint64(epochs)),
+		Mode:  mode,
+		Count: 1 + int(next()%2),
+		Seed:  next(),
+	}
+}
+
+// maybeCorrupt fires the system's corruption plan once all processes have
+// deposited checkpoints for epoch. Called from checkpointLocked after
+// each deposit; the CAS makes the racing depositors inject exactly once.
+func (s *System) maybeCorrupt(epoch int32) {
+	cp := s.cfg.Corruption
+	if cp == nil || epoch != cp.Epoch || cp.fired.Load() {
+		return
+	}
+	n := s.cfg.NumProcs
+	if !s.ckpts.haveAll(epoch, n) {
+		return
+	}
+	if !cp.fired.CompareAndSwap(false, true) {
+		return
+	}
+	hit := s.ckpts.corruptEpoch(epoch, n, cp)
+	s.tel.Emit(0, telemetry.KCkptCorrupt, 0, int64(epoch), int64(hit), int64(cp.Mode))
+	dbgf("checkpoint corruption injected: epoch %d, %d chunks, %v", epoch, hit, cp.Mode)
+}
+
+// corruptEpoch applies the plan's damage to epoch's chunk closure: the
+// union of every process's chunk references at that epoch, deduplicated
+// and lexicographically sorted so the seeded choice is deterministic.
+// Returns the number of chunks attacked.
+func (cs *CheckpointStore) corruptEpoch(epoch int32, n int, cp *CorruptionPlan) int {
+	cs.mu.Lock()
+	seen := make(map[castore.Addr]bool)
+	var addrs []castore.Addr
+	for p := 0; p < n; p++ {
+		for _, a := range cs.byProc[p][epoch].addrs {
+			if !seen[a] {
+				seen[a] = true
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	cs.mu.Unlock()
+	if len(addrs) == 0 {
+		return 0
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		for k := range addrs[i] {
+			if addrs[i][k] != addrs[j][k] {
+				return addrs[i][k] < addrs[j][k]
+			}
+		}
+		return false
+	})
+	count := cp.Count
+	if count <= 0 {
+		count = 1
+	}
+	if count > len(addrs) {
+		count = len(addrs)
+	}
+	next := splitmix64(cp.Seed)
+	picked := make(map[int]bool, count)
+	hit := 0
+	for hit < count {
+		i := int(next() % uint64(len(addrs)))
+		for picked[i] {
+			i = (i + 1) % len(addrs)
+		}
+		picked[i] = true
+		switch cp.Mode {
+		case DeleteChunk:
+			cs.chunks.Delete(addrs[i])
+		default:
+			cs.chunks.Tamper(addrs[i])
+		}
+		hit++
+	}
+	return hit
+}

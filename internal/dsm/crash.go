@@ -45,9 +45,12 @@ func (c CrashPoint) String() string {
 }
 
 // CrashPlan schedules the crash of one process, deterministically — the
-// process-death analogue of simnet.FaultPlan's wire faults. The plan fires
-// at most once per System: after a coordinated rollback the re-executed
-// epoch runs crash-free, exactly like a machine that is rebooted once.
+// process-death analogue of simnet.FaultPlan's wire faults. Each plan
+// fires at most once per System: after a coordinated rollback the
+// re-executed epoch runs free of that plan's crash, exactly like a machine
+// that is rebooted once. A system can carry several plans
+// (Config.Crashes) for compound faults: two victims in the same epoch, or
+// a second crash arming only once recovery has begun (DuringRecovery).
 //
 // The victim dies abruptly: its network endpoint is killed (queued traffic
 // discarded, later sends dropped on the floor) and its application thread
@@ -70,7 +73,12 @@ type CrashPlan struct {
 	VTime int64
 	// AfterN counts trigger sites within the epoch for CrashMidInterval
 	// (shared accesses) and CrashHoldingLock (lock acquisitions); 0 → 1.
+	// Plans targeting the same victim share the per-process site counters.
 	AfterN int
+	// DuringRecovery arms the plan only on re-execution attempts, after at
+	// least one coordinated rollback has happened — a second failure
+	// striking while the system is still healing from the first.
+	DuringRecovery bool
 
 	fired atomic.Bool
 }
@@ -116,9 +124,21 @@ func RandomCrashPlan(seed uint64, n int, epochs int32) *CrashPlan {
 	if n < 2 || epochs < 1 {
 		return nil
 	}
+	next := splitmix64(seed)
+	return &CrashPlan{
+		Victim: 1 + int(next()%uint64(n-1)),
+		Epoch:  int32(next() % uint64(epochs)),
+		Point:  CrashMidInterval,
+		AfterN: 1 + int(next()%4),
+	}
+}
+
+// splitmix64 returns a deterministic PRNG seeded with seed — the same
+// generator simnet's fault plan seeds with, shared by every seed-driven
+// plan derivation in this package.
+func splitmix64(seed uint64) func() uint64 {
 	s := seed
-	next := func() uint64 {
-		// splitmix64, the same generator simnet's fault plan seeds with.
+	return func() uint64 {
 		s += 0x9e3779b97f4a7c15
 		z := s
 		z ^= z >> 30
@@ -127,12 +147,6 @@ func RandomCrashPlan(seed uint64, n int, epochs int32) *CrashPlan {
 		z *= 0x94d049bb133111eb
 		z ^= z >> 31
 		return z
-	}
-	return &CrashPlan{
-		Victim: 1 + int(next()%uint64(n-1)),
-		Epoch:  int32(next() % uint64(epochs)),
-		Point:  CrashMidInterval,
-		AfterN: 1 + int(next()%4),
 	}
 }
 
@@ -163,44 +177,61 @@ type endpointKiller interface {
 	KillEndpoint(proc int)
 }
 
-// shouldCrashLocked consults the crash plan at one instrumentation site.
-// Must be called with p.mu held; the caller must release p.mu before
-// acting on a true return (crashNow panics, and a panic holding p.mu
-// would wedge the service thread).
+// shouldCrashLocked consults every armed crash plan at one
+// instrumentation site. Must be called with p.mu held; the caller must
+// release p.mu before acting on a true return (crashNow panics, and a
+// panic holding p.mu would wedge the service thread). The per-process
+// site counters advance once per visit, shared by all plans targeting
+// this victim; the firing plan is recorded on the process for crashNow.
 func (p *Proc) shouldCrashLocked(site crashSite) bool {
-	cp := p.sys.cfg.Crash
-	if cp == nil || cp.Victim != p.id || cp.fired.Load() {
-		return false
+	var countedAccess, countedLock bool
+	for _, cp := range p.sys.crashes {
+		if cp.Victim != p.id || cp.fired.Load() {
+			continue
+		}
+		if cp.DuringRecovery && p.sys.recStats.Recoveries == 0 {
+			continue
+		}
+		switch cp.Point {
+		case CrashAtVTime:
+			if site != siteAccess || p.vnow < cp.VTime {
+				continue
+			}
+		case CrashMidInterval:
+			if site != siteAccess || p.epoch != cp.Epoch {
+				continue
+			}
+			if !countedAccess {
+				countedAccess = true
+				p.crashAccesses++
+			}
+			if p.crashAccesses < cp.afterN() {
+				continue
+			}
+		case CrashHoldingLock:
+			if site != siteLock || p.epoch != cp.Epoch {
+				continue
+			}
+			if !countedLock {
+				countedLock = true
+				p.crashLocks++
+			}
+			if p.crashLocks < cp.afterN() {
+				continue
+			}
+		case CrashInBitmapRound:
+			if site != siteBitmap || p.epoch != cp.Epoch {
+				continue
+			}
+		default:
+			continue
+		}
+		if cp.fired.CompareAndSwap(false, true) {
+			p.firedCrash = cp
+			return true
+		}
 	}
-	switch cp.Point {
-	case CrashAtVTime:
-		if site != siteAccess || p.vnow < cp.VTime {
-			return false
-		}
-	case CrashMidInterval:
-		if site != siteAccess || p.epoch != cp.Epoch {
-			return false
-		}
-		p.crashAccesses++
-		if p.crashAccesses < cp.afterN() {
-			return false
-		}
-	case CrashHoldingLock:
-		if site != siteLock || p.epoch != cp.Epoch {
-			return false
-		}
-		p.crashLocks++
-		if p.crashLocks < cp.afterN() {
-			return false
-		}
-	case CrashInBitmapRound:
-		if site != siteBitmap || p.epoch != cp.Epoch {
-			return false
-		}
-	default:
-		return false
-	}
-	return cp.fired.CompareAndSwap(false, true)
+	return false
 }
 
 // crashNow kills this process: its transport endpoint dies (discarding
@@ -209,7 +240,10 @@ func (p *Proc) shouldCrashLocked(site crashSite) bool {
 func (p *Proc) crashNow() {
 	p.mu.Lock()
 	v := p.vnow
-	pt := p.sys.cfg.Crash.Point
+	pt := CrashMidInterval
+	if p.firedCrash != nil {
+		pt = p.firedCrash.Point
+	}
 	p.mu.Unlock()
 	p.tel.Emit(p.id, telemetry.KCrashInjected, v, int64(pt), int64(p.id), 0)
 	dbgf("p%d CRASH injected (%v, vt=%d)", p.id, pt, v)

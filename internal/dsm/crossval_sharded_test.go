@@ -204,7 +204,6 @@ func shardedRecoverySys(t *testing.T, nproc int, proto ProtocolKind, crash *Cras
 		Protocol:     proto,
 		Detect:       true,
 		ShardedCheck: true,
-		Checkpoint:   true,
 		Reliable:     true,
 		ReliableConfig: reliable.Config{
 			RTO:        2 * time.Millisecond,

@@ -151,19 +151,42 @@ type Config struct {
 	// can starve centralized-work-queue applications at tiny scales.
 	RealMsgDelay time.Duration
 
-	// Checkpoint enables barrier-epoch checkpointing: at every barrier
-	// departure each process serializes its recovery state — page copies
-	// and rights, twins, version vector, interval log and bitmaps, lock
-	// table, race reports, statistics, and the master's detector state —
-	// to bytes (see CheckpointStats for the measured sizes). Required for
-	// crash recovery (RunEpochs + Crash).
-	Checkpoint bool
+	// NoCheckpoint disables barrier-epoch checkpointing, which is ON by
+	// default: at every barrier departure each process serializes its
+	// recovery state — page copies and rights, twins, version vector,
+	// interval log and bitmaps, lock table, race reports, statistics, and
+	// the master's detector state — as a chunked ckptVersion-3 manifest
+	// whose unchanged payloads dedup across epochs (see CheckpointStats
+	// for the measured sizes). Incremental chunking is what makes
+	// always-on affordable; disable only for A/B overhead measurement.
+	// Checkpointing is required for crash recovery (RunEpochs + crash
+	// plans).
+	NoCheckpoint bool
+
+	// CheckpointRetain is the retention tail of the checkpoint store: how
+	// many epochs at and below the recovery line survive the per-barrier
+	// GC sweep. 0 → 2 (the line plus one fallback for verify failures);
+	// negative → keep every epoch.
+	CheckpointRetain int
 
 	// Crash schedules the injected fail-stop death of one process (see
-	// CrashPlan). Requires Checkpoint, the built-in simulated network
-	// (Transport == nil), and at least one failure-detection path:
-	// Reliable (link retry-cap exhaustion) or BarrierWallTimeout > 0.
+	// CrashPlan). Requires checkpointing (NoCheckpoint false), the
+	// built-in simulated network (Transport == nil), and at least one
+	// failure-detection path: Reliable (link retry-cap exhaustion) or
+	// BarrierWallTimeout > 0.
 	Crash *CrashPlan
+
+	// Crashes schedules additional crash plans for compound faults — two
+	// victims in one epoch, or a second crash armed only during recovery
+	// (CrashPlan.DuringRecovery). Same requirements as Crash; Crash and
+	// Crashes merge into one plan list.
+	Crashes []*CrashPlan
+
+	// Corruption schedules deterministic damage to stored checkpoint
+	// chunks (see CorruptionPlan) — exercised when a later rollback finds
+	// the damaged epoch's closure unverifiable and falls back. Requires
+	// checkpointing.
+	Corruption *CorruptionPlan
 
 	// MaxRecoveries caps coordinated rollbacks per RunEpochs run; 0 → 3.
 	MaxRecoveries int
@@ -260,24 +283,54 @@ func (c *Config) fill() error {
 			return fmt.Errorf("dsm: %w", err)
 		}
 	}
-	if c.Crash != nil {
-		if err := c.Crash.Validate(c.NumProcs); err != nil {
-			return fmt.Errorf("dsm: %w", err)
+	if plans := c.crashPlans(); len(plans) > 0 {
+		for _, cp := range plans {
+			if err := cp.Validate(c.NumProcs); err != nil {
+				return fmt.Errorf("dsm: %w", err)
+			}
 		}
-		if !c.Checkpoint {
-			return fmt.Errorf("dsm: Crash requires Checkpoint: recovery restores from barrier-epoch checkpoints")
+		if c.NoCheckpoint {
+			return fmt.Errorf("dsm: crash plans require checkpointing: recovery restores from barrier-epoch checkpoints")
 		}
 		if c.Transport != nil {
-			return fmt.Errorf("dsm: Crash requires the built-in simulated network (Transport must be nil)")
+			return fmt.Errorf("dsm: crash plans require the built-in simulated network (Transport must be nil)")
 		}
 		if !c.Reliable && c.BarrierWallTimeout <= 0 {
-			return fmt.Errorf("dsm: Crash requires a failure-detection path: set Reliable (link retry-cap exhaustion) or BarrierWallTimeout (barrier wall timeout)")
+			return fmt.Errorf("dsm: crash plans require a failure-detection path: set Reliable (link retry-cap exhaustion) or BarrierWallTimeout (barrier wall timeout)")
+		}
+	}
+	if c.Corruption != nil {
+		if err := c.Corruption.Validate(); err != nil {
+			return fmt.Errorf("dsm: %w", err)
+		}
+		if c.NoCheckpoint {
+			return fmt.Errorf("dsm: Corruption attacks stored checkpoints and so requires checkpointing")
+		}
+		if len(c.crashPlans()) == 0 {
+			return fmt.Errorf("dsm: Corruption is only observable during rollback; schedule a crash (Crash/Crashes) to trigger one")
 		}
 	}
 	if c.MaxRecoveries < 0 {
 		return fmt.Errorf("dsm: MaxRecoveries = %d", c.MaxRecoveries)
 	}
 	return nil
+}
+
+// checkpointing reports whether barrier-epoch checkpointing is on — the
+// default; NoCheckpoint opts out.
+func (c *Config) checkpointing() bool { return !c.NoCheckpoint }
+
+// crashPlans merges the single-plan convenience field and the compound
+// list into one slice, in a stable order.
+func (c *Config) crashPlans() []*CrashPlan {
+	if c.Crash == nil && len(c.Crashes) == 0 {
+		return nil
+	}
+	plans := make([]*CrashPlan, 0, 1+len(c.Crashes))
+	if c.Crash != nil {
+		plans = append(plans, c.Crash)
+	}
+	return append(plans, c.Crashes...)
 }
 
 // Symbol names an allocated shared variable, for mapping race addresses
@@ -305,8 +358,10 @@ type System struct {
 
 	detector *race.Detector // lives at the barrier master (proc 0)
 
-	// Crash recovery (see checkpoint.go / recovery.go).
+	// Crash recovery (see checkpoint.go / recovery.go). crashes is the
+	// merged plan list (Config.Crash + Config.Crashes).
 	ckpts     *CheckpointStore
+	crashes   []*CrashPlan
 	epochMode bool
 	recStats  RecoveryStats
 	stop      chan struct{} // closed when an attempt's app threads have all exited
@@ -330,7 +385,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, layout: l, tel: telemetry.To(cfg.Recorder)}
+	s := &System{cfg: cfg, layout: l, tel: telemetry.To(cfg.Recorder), crashes: cfg.crashPlans()}
 	if cfg.Detect {
 		s.detector = race.NewDetector(l, race.Options{
 			FirstOnly:         cfg.FirstOnly,
@@ -406,8 +461,9 @@ func (s *System) Run(app func(p *Proc)) error {
 
 func (s *System) run(app func(p *Proc)) error {
 	s.ran = true
-	if s.cfg.Checkpoint {
+	if s.cfg.checkpointing() {
 		s.ckpts = NewCheckpointStore()
+		s.ckpts.SetRetain(s.cfg.CheckpointRetain)
 	}
 	s.runErr = s.attempt(func(p *Proc) {
 		app(p)

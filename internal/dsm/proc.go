@@ -151,9 +151,11 @@ type Proc struct {
 	vnow  int64
 
 	// Crash-plan trigger counters (see crash.go); only the victim's are
-	// ever advanced.
+	// ever advanced, shared across plans targeting this process.
+	// firedCrash is the plan whose CAS this process won.
 	crashAccesses int
 	crashLocks    int
+	firedCrash    *CrashPlan
 }
 
 type barrierState struct {
@@ -327,51 +329,59 @@ func (p *Proc) waitReplyTimeout(op string) simnet.Delivery {
 		return d
 	case <-t.C:
 		tp := timeoutPanic{proc: p.id, op: op, timeout: to, suspect: -1}
-		// Only a barrier wait may name suspects from the master's arrival
-		// bookkeeping: there, a missing process has demonstrably gone
-		// silent. During any other wait (a lock grant wedged by a dead
-		// holder, say) the arrival ledger reflects who has merely not
-		// reached the barrier yet — this process included — not who died.
-		barrierWait := op == "barrier release" || op == "barrier bitmap round"
-		if p.bar != nil && barrierWait {
-			p.mu.Lock()
-			b := p.bar
-			var missing []int
-			from := b.arrivedFrom
-			tracking := b.arrived > 0
-			if b.bmWait {
-				from = b.bmFrom
-				tracking = true
-			}
-			if sh := p.shard; sh != nil && sh.expect > 0 && sh.got < sh.expect {
-				// Sharded check: the master's own shard round tracks who
-				// has sent bitmaps this epoch.
-				from = sh.from
-				tracking = true
-			}
-			if tracking {
-				for q := 0; q < p.n; q++ {
-					if q < len(from) && !from[q] {
-						missing = append(missing, q)
-					}
-				}
-			}
-			p.mu.Unlock()
-			// Name a suspect only when exactly one process is missing:
-			// with several, any of them may merely be wedged behind the
-			// dead one (a lock chain through the victim stalls every
-			// process queued after it), and guessing wrongly would roll
-			// the blame onto a healthy process. Leave it to the link-death
-			// detector or the crash plan's ground truth to sharpen.
-			if len(missing) == 1 {
-				tp.suspect = missing[0]
-			}
-			if len(missing) > 0 && len(missing) < p.n {
-				tp.detail = fmt.Sprintf(" (no word from %v)", missing)
-			}
-		}
+		tp.suspect, tp.detail = p.barrierBlame(op)
 		panic(tp)
 	}
+}
+
+// barrierBlame derives a crash suspect from the barrier master's arrival
+// bookkeeping after a reply wait timed out on op. Only a barrier wait may
+// name suspects: there, a missing process has demonstrably gone silent.
+// During any other wait (a lock grant wedged by a dead holder, say) the
+// arrival ledger reflects who has merely not reached the barrier yet —
+// this process included — not who died, so the suspect stays -1.
+//
+// A suspect is named only when exactly one process is missing: with
+// several, any of them may merely be wedged behind the dead one (a lock
+// chain through the victim stalls every process queued after it), and
+// guessing wrongly would roll the blame onto a healthy process. Leave it
+// to the link-death detector or the crash plan's ground truth to sharpen.
+func (p *Proc) barrierBlame(op string) (suspect int, detail string) {
+	suspect = -1
+	barrierWait := op == "barrier release" || op == "barrier bitmap round"
+	if p.bar == nil || !barrierWait {
+		return suspect, ""
+	}
+	p.mu.Lock()
+	b := p.bar
+	var missing []int
+	from := b.arrivedFrom
+	tracking := b.arrived > 0
+	if b.bmWait {
+		from = b.bmFrom
+		tracking = true
+	}
+	if sh := p.shard; sh != nil && sh.expect > 0 && sh.got < sh.expect {
+		// Sharded check: the master's own shard round tracks who
+		// has sent bitmaps this epoch.
+		from = sh.from
+		tracking = true
+	}
+	if tracking {
+		for q := 0; q < p.n; q++ {
+			if q < len(from) && !from[q] {
+				missing = append(missing, q)
+			}
+		}
+	}
+	p.mu.Unlock()
+	if len(missing) == 1 {
+		suspect = missing[0]
+	}
+	if len(missing) > 0 && len(missing) < p.n {
+		detail = fmt.Sprintf(" (no word from %v)", missing)
+	}
+	return suspect, detail
 }
 
 // bumpVTo advances the virtual clock to at least t.

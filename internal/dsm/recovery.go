@@ -44,6 +44,10 @@ type RecoveryStats struct {
 	PagesReconciled int   // directory entries repaired at restore
 	VirtualNS       int64 // virtual time rolled back (lost work re-executed)
 	WallNS          int64 // real time spent decoding and restoring state
+	// VerifyFailures counts candidate recovery lines rejected because a
+	// checkpoint's manifest or chunk closure failed its integrity check;
+	// each rejection made rollback fall back one epoch.
+	VerifyFailures int
 
 	LastEpoch  int32  // recovery line of the most recent rollback
 	LastVictim int    // suspected dead proc; -1 if never identified
@@ -102,8 +106,9 @@ func (s *System) runEpochs(epochs int32, appFactory func() EpochFunc) error {
 		s.runErr = fmt.Errorf("dsm: RunEpochs(%d): need at least one epoch", epochs)
 		return s.runErr
 	}
-	if s.cfg.Checkpoint && s.ckpts == nil {
+	if s.cfg.checkpointing() && s.ckpts == nil {
 		s.ckpts = NewCheckpointStore()
+		s.ckpts.SetRetain(s.cfg.CheckpointRetain)
 	}
 	maxRec := s.cfg.MaxRecoveries
 	if maxRec <= 0 {
@@ -142,13 +147,13 @@ func (s *System) runEpochs(epochs int32, appFactory func() EpochFunc) error {
 // canRecover reports whether coordinated rollback is possible: checkpoints
 // are being taken and the transport can be rebuilt (the built-in simnet).
 func (s *System) canRecover() bool {
-	return s.cfg.Checkpoint && s.ckpts != nil && s.cfg.Transport == nil
+	return s.cfg.checkpointing() && s.ckpts != nil && s.cfg.Transport == nil
 }
 
 // recoveryArmed reports whether link-death suspicion should feed the
 // recovery machinery rather than just abort the run.
 func (s *System) recoveryArmed() bool {
-	return s.cfg.Crash != nil || (s.epochMode && s.cfg.Checkpoint)
+	return len(s.crashes) > 0 || (s.epochMode && s.cfg.checkpointing())
 }
 
 // --- crash suspicion (shared by the reliable sublayer's timer goroutine,
@@ -334,56 +339,86 @@ func (s *System) attempt(body func(p *Proc), plan *rollbackPlan) error {
 // --- rollback ---
 
 // planRollback selects the recovery line and decodes every process's
-// checkpoint at it. Called after a crash-aborted attempt has fully wound
-// down.
+// checkpoint at it, verifying each manifest's chunk closure (the address
+// is the hash, so decoding IS the integrity check). A line whose closure
+// does not verify — a chunk tampered with, deleted, or a manifest
+// bit-flipped — is rejected with a telemetry trip and rollback falls back
+// to the next older epoch; if no stored epoch verifies, the plan is a
+// full restart from the initial state (epoch 0). Called after a
+// crash-aborted attempt has fully wound down.
 func (s *System) planRollback() (*rollbackPlan, error) {
 	n := s.cfg.NumProcs
 	suspect, via := s.suspectInfo()
 	victim := suspect
-	if cp := s.cfg.Crash; victim < 0 && cp != nil && cp.Fired() {
-		// Detection could not name the victim (e.g. a worker's timeout with
-		// no master-side bookkeeping); fall back to the crash plan's ground
-		// truth for labeling. Recovery itself never needs the identity: all
-		// processes are rebuilt uniformly from the recovery line.
-		victim = cp.Victim
+	if victim < 0 {
+		for _, cp := range s.crashes {
+			if cp.Fired() {
+				// Detection could not name the victim (e.g. a worker's timeout
+				// with no master-side bookkeeping); fall back to the crash
+				// plan's ground truth for labeling. Recovery itself never needs
+				// the identity: all processes are rebuilt uniformly from the
+				// recovery line.
+				victim = cp.Victim
+				break
+			}
+		}
 	}
 	if via == "" {
 		via = "crash-observed"
 	}
 	abortedV := s.VirtualTime()
-	re := s.ckpts.LatestCommonEpoch(n)
-	plan := &rollbackPlan{epoch: re, started: time.Now(), victim: victim}
+	plan := &rollbackPlan{started: time.Now(), victim: victim}
 	var restoredV int64
-	if re > 0 {
-		plan.cks = make([]*procCheckpoint, n)
-		for i := 0; i < n; i++ {
-			raw := s.ckpts.Get(i, re)
-			if raw == nil {
-				return nil, fmt.Errorf("no checkpoint for proc %d at epoch %d", i, re)
-			}
-			ck, err := decodeCheckpoint(raw)
-			if err != nil {
-				return nil, fmt.Errorf("proc %d epoch %d: %w", i, re, err)
-			}
-			if ck.Vnow > restoredV {
-				restoredV = ck.Vnow
-			}
-			plan.cks[i] = ck
+	for re := s.ckpts.LatestCommonEpoch(n); re > 0; re-- {
+		cks, maxV, err := s.decodeLine(re, n)
+		if err != nil {
+			s.recStats.VerifyFailures++
+			s.tel.Emit(0, telemetry.KCkptVerifyFail, abortedV, int64(re), 0, 0)
+			s.tel.Trip(telemetry.TripCkptVerify,
+				fmt.Sprintf("checkpoint epoch %d failed verification: %v", re, err))
+			dbgf("RECOVERY: epoch %d failed verification (%v), falling back", re, err)
+			continue
 		}
+		plan.epoch, plan.cks, restoredV = re, cks, maxV
+		break
 	}
 	plan.virtualNS = abortedV - restoredV
 	if plan.virtualNS < 0 {
 		plan.virtualNS = 0
 	}
 	s.recStats.Recoveries++
-	s.recStats.LastEpoch = re
+	s.recStats.LastEpoch = plan.epoch
 	s.recStats.LastVictim = victim
 	s.recStats.LastReason = via
 	s.recStats.VirtualNS += plan.virtualNS
-	s.tel.Emit(0, telemetry.KRecoveryStart, abortedV, int64(re), int64(victim), 0)
+	s.tel.Emit(0, telemetry.KRecoveryStart, abortedV, int64(plan.epoch), int64(victim), 0)
 	dbgf("RECOVERY: rolling back to epoch %d (victim p%d via %s, %dns of virtual work lost)",
-		re, victim, via, plan.virtualNS)
+		plan.epoch, victim, via, plan.virtualNS)
 	return plan, nil
+}
+
+// decodeLine decodes and verifies all n checkpoints at epoch re, returning
+// the restore set and the highest restored virtual clock. Any missing
+// manifest, decode failure, or unresolvable chunk fails the whole line.
+func (s *System) decodeLine(re int32, n int) ([]*procCheckpoint, int64, error) {
+	cks := make([]*procCheckpoint, n)
+	var maxV int64
+	chunks := s.ckpts.Chunks()
+	for i := 0; i < n; i++ {
+		raw := s.ckpts.Get(i, re)
+		if raw == nil {
+			return nil, 0, fmt.Errorf("no checkpoint for proc %d at epoch %d", i, re)
+		}
+		ck, err := decodeCheckpoint(raw, chunks)
+		if err != nil {
+			return nil, 0, fmt.Errorf("proc %d epoch %d: %w", i, re, err)
+		}
+		if ck.Vnow > maxV {
+			maxV = ck.Vnow
+		}
+		cks[i] = ck
+	}
+	return cks, maxV, nil
 }
 
 // restoreFromPlan overwrites the freshly built process set with the

@@ -27,8 +27,10 @@ func recoverySys(t *testing.T, nproc int, proto ProtocolKind, crash *CrashPlan) 
 		PageSize:   1024,
 		Protocol:   proto,
 		Detect:     true,
-		Checkpoint: true,
 		Reliable:   true,
+		// Keep every epoch line: the round-trip and grid tests below assert
+		// on checkpoints the default retention tail would have collected.
+		CheckpointRetain: -1,
 		// Tuned to detect a dead endpoint in ~a quarter second. Do not make
 		// this much tighter: under -race a scheduler stall of a few
 		// milliseconds on a healthy process is routine, and a retry budget
@@ -269,7 +271,6 @@ func TestCrashRecoveryCrossValidation(t *testing.T) {
 		PageSize:   1024,
 		Protocol:   SingleWriter,
 		Detect:     true,
-		Checkpoint: true,
 		Tracer:     hb,
 	})
 	if err != nil {
@@ -380,7 +381,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 					if blob == nil {
 						t.Fatalf("no checkpoint for proc %d epoch %d", proc, epoch)
 					}
-					ck, err := decodeCheckpoint(blob)
+					ck, err := decodeCheckpoint(blob, s.ckpts.Chunks())
 					if err != nil {
 						t.Fatalf("proc %d epoch %d: %v", proc, epoch, err)
 					}
@@ -405,11 +406,11 @@ func TestCheckpointRoundTrip(t *testing.T) {
 
 			// Corruption is rejected, not misparsed.
 			blob := append([]byte(nil), s.ckpts.Get(1, 1)...)
-			if _, err := decodeCheckpoint(blob[:len(blob)-3]); err == nil {
+			if _, err := decodeCheckpoint(blob[:len(blob)-3], s.ckpts.Chunks()); err == nil {
 				t.Error("truncated checkpoint decoded without error")
 			}
 			blob[0] ^= 0xff
-			if _, err := decodeCheckpoint(blob); err == nil {
+			if _, err := decodeCheckpoint(blob, s.ckpts.Chunks()); err == nil {
 				t.Error("bad magic accepted")
 			}
 		})
@@ -422,22 +423,22 @@ func TestCheckpointStoreRecoveryLine(t *testing.T) {
 	if got := cs.LatestCommonEpoch(2); got != 0 {
 		t.Errorf("empty store line = %d, want 0", got)
 	}
-	cs.Put(0, 1, []byte{1})
-	cs.Put(0, 2, []byte{2, 2})
+	cs.Put(0, 1, []byte{1}, nil)
+	cs.Put(0, 2, []byte{2, 2}, nil)
 	if got := cs.LatestCommonEpoch(2); got != 0 {
 		t.Errorf("line with proc 1 missing = %d, want 0", got)
 	}
-	cs.Put(1, 1, []byte{3})
+	cs.Put(1, 1, []byte{3}, nil)
 	if got := cs.LatestCommonEpoch(2); got != 1 {
 		t.Errorf("line = %d, want 1", got)
 	}
-	cs.Put(1, 2, []byte{4, 4})
+	cs.Put(1, 2, []byte{4, 4}, nil)
 	if got := cs.LatestCommonEpoch(2); got != 2 {
 		t.Errorf("line = %d, want 2", got)
 	}
 	// Re-depositing an existing key must not double-count stats.
 	before := cs.Stats()
-	cs.Put(1, 2, []byte{4, 4})
+	cs.Put(1, 2, []byte{4, 4}, nil)
 	if after := cs.Stats(); after != before {
 		t.Errorf("re-put changed stats: %+v -> %+v", before, after)
 	}
@@ -453,7 +454,6 @@ func TestCrashConfigValidation(t *testing.T) {
 		return Config{
 			NumProcs:           2,
 			SharedSize:         4096,
-			Checkpoint:         true,
 			BarrierWallTimeout: time.Second,
 		}
 	}
@@ -464,7 +464,7 @@ func TestCrashConfigValidation(t *testing.T) {
 	}
 
 	noCkpt := base()
-	noCkpt.Checkpoint = false
+	noCkpt.NoCheckpoint = true
 	noCkpt.Crash = &CrashPlan{Victim: 1}
 	if _, err := New(noCkpt); err == nil {
 		t.Error("Crash without Checkpoint accepted")
@@ -500,6 +500,20 @@ func TestCrashConfigValidation(t *testing.T) {
 	badVT.Crash = &CrashPlan{Victim: 1, Point: CrashAtVTime}
 	if _, err := New(badVT); err == nil {
 		t.Error("CrashAtVTime without VTime accepted")
+	}
+
+	idleCorrupt := base()
+	idleCorrupt.Corruption = &CorruptionPlan{Epoch: 1, Count: 1}
+	if _, err := New(idleCorrupt); err == nil {
+		t.Error("Corruption without a crash accepted (it could never be observed)")
+	}
+
+	corruptNoCkpt := base()
+	corruptNoCkpt.NoCheckpoint = true
+	corruptNoCkpt.Crash = &CrashPlan{Victim: 1}
+	corruptNoCkpt.Corruption = &CorruptionPlan{Epoch: 1, Count: 1}
+	if _, err := New(corruptNoCkpt); err == nil {
+		t.Error("Corruption with NoCheckpoint accepted")
 	}
 }
 
@@ -621,5 +635,180 @@ func TestLockReclamation(t *testing.T) {
 	}
 	if got := s.RecoveryStats().LocksReclaimed; got != 1 {
 		t.Errorf("LocksReclaimed = %d, want 1", got)
+	}
+}
+
+// TestBarrierBlame pins the suspect-derivation rules for barrier-wait
+// timeouts: only a barrier wait may name a suspect, and only when exactly
+// one process is missing from the round's arrival ledger — with several
+// missing, any of them may merely be wedged behind the real victim.
+func TestBarrierBlame(t *testing.T) {
+	const n = 4
+	mk := func() *Proc {
+		s := newSys(t, n, SingleWriter, true)
+		return newProc(s, 0)
+	}
+
+	t.Run("non-barrier op never blames", func(t *testing.T) {
+		p := mk()
+		p.bar.arrived = 3
+		p.bar.arrivedFrom[0], p.bar.arrivedFrom[1], p.bar.arrivedFrom[2] = true, true, true
+		// A lock wait wedged behind a dead holder must not blame whoever
+		// has not reached the barrier yet (that includes this process).
+		if suspect, detail := p.barrierBlame("lock grant"); suspect != -1 || detail != "" {
+			t.Errorf("lock-grant timeout blamed p%d%s, want no suspect", suspect, detail)
+		}
+	})
+
+	t.Run("non-master has no ledger", func(t *testing.T) {
+		s := newSys(t, n, SingleWriter, true)
+		p := newProc(s, 1)
+		if suspect, _ := p.barrierBlame("barrier release"); suspect != -1 {
+			t.Errorf("worker blamed p%d, want -1", suspect)
+		}
+	})
+
+	t.Run("exactly one missing is the suspect", func(t *testing.T) {
+		p := mk()
+		p.bar.arrived = 3
+		p.bar.arrivedFrom[0], p.bar.arrivedFrom[1], p.bar.arrivedFrom[2] = true, true, true
+		suspect, detail := p.barrierBlame("barrier release")
+		if suspect != 3 {
+			t.Errorf("suspect = %d, want 3", suspect)
+		}
+		if !strings.Contains(detail, "[3]") {
+			t.Errorf("detail %q does not name the missing process", detail)
+		}
+	})
+
+	t.Run("several missing names nobody", func(t *testing.T) {
+		p := mk()
+		p.bar.arrived = 2
+		p.bar.arrivedFrom[0], p.bar.arrivedFrom[2] = true, true
+		suspect, detail := p.barrierBlame("barrier release")
+		if suspect != -1 {
+			t.Errorf("suspect = %d, want -1 (either of 1, 3 may just be wedged)", suspect)
+		}
+		if !strings.Contains(detail, "1") || !strings.Contains(detail, "3") {
+			t.Errorf("detail %q should still list the missing processes", detail)
+		}
+	})
+
+	t.Run("no arrivals yet tracks nothing", func(t *testing.T) {
+		p := mk()
+		if suspect, detail := p.barrierBlame("barrier release"); suspect != -1 || detail != "" {
+			t.Errorf("empty ledger blamed p%d%s", suspect, detail)
+		}
+	})
+
+	t.Run("bitmap round uses its own ledger", func(t *testing.T) {
+		p := mk()
+		// Arrival round complete, bitmap round missing only p2: the flap of
+		// the master's own links during the second round must blame p2, not
+		// whoever the stale arrival ledger shows.
+		p.bar.arrived = n
+		for i := range p.bar.arrivedFrom {
+			p.bar.arrivedFrom[i] = true
+		}
+		p.bar.bmWait = true
+		p.bar.bmFrom[0], p.bar.bmFrom[1], p.bar.bmFrom[3] = true, true, true
+		suspect, _ := p.barrierBlame("barrier bitmap round")
+		if suspect != 2 {
+			t.Errorf("suspect = %d, want 2", suspect)
+		}
+	})
+
+	t.Run("sharded round uses the shard ledger", func(t *testing.T) {
+		p := mk()
+		p.shard = &shardState{expect: n, got: n - 1, from: []bool{true, false, true, true}}
+		suspect, _ := p.barrierBlame("barrier bitmap round")
+		if suspect != 1 {
+			t.Errorf("suspect = %d, want 1", suspect)
+		}
+	})
+}
+
+// TestNoteSuspectPrecedence pins how detection verdicts combine when
+// link-death and barrier-timeout evidence arrive in the same epoch: the
+// first verdict wins, except that hard link-death evidence overrides a
+// circumstantial barrier-timeout, and an unidentified suspect may be
+// sharpened by any later identified verdict.
+func TestNoteSuspectPrecedence(t *testing.T) {
+	mk := func() *System {
+		s := newSys(t, 4, SingleWriter, false)
+		s.resetSuspectLocked()
+		return s
+	}
+	check := func(t *testing.T, s *System, proc int, via string) {
+		t.Helper()
+		if gotP, gotV := s.suspectInfo(); gotP != proc || gotV != via {
+			t.Errorf("suspect = (%d, %q), want (%d, %q)", gotP, gotV, proc, via)
+		}
+	}
+
+	t.Run("first verdict wins", func(t *testing.T) {
+		s := mk()
+		s.noteSuspect(2, "barrier-timeout")
+		s.noteSuspect(1, "barrier-timeout")
+		check(t, s, 2, "barrier-timeout")
+	})
+
+	t.Run("link-death overrides barrier-timeout", func(t *testing.T) {
+		s := mk()
+		s.noteSuspect(1, "barrier-timeout")
+		s.noteSuspect(3, "link-death")
+		check(t, s, 3, "link-death")
+	})
+
+	t.Run("barrier-timeout never downgrades link-death", func(t *testing.T) {
+		s := mk()
+		s.noteSuspect(3, "link-death")
+		s.noteSuspect(1, "barrier-timeout")
+		check(t, s, 3, "link-death")
+	})
+
+	t.Run("anonymous link-death does not erase a named timeout", func(t *testing.T) {
+		s := mk()
+		s.noteSuspect(2, "barrier-timeout")
+		s.noteSuspect(-1, "link-death")
+		check(t, s, 2, "barrier-timeout")
+	})
+
+	t.Run("later verdicts sharpen an unidentified suspect", func(t *testing.T) {
+		s := mk()
+		s.noteSuspect(-1, "barrier-timeout")
+		s.noteSuspect(2, "barrier-timeout")
+		check(t, s, 2, "barrier-timeout")
+	})
+
+	t.Run("reset clears the verdict", func(t *testing.T) {
+		s := mk()
+		s.noteSuspect(3, "link-death")
+		s.resetSuspectLocked()
+		check(t, s, -1, "")
+	})
+}
+
+// TestCompoundBlameSameEpoch: a quiet death plus a wedged lock chain in
+// one epoch — the victim dies holding a lock, so survivors queued on the
+// lock wedge (a barrier-timeout with no nameable suspect) while the
+// victim's silent links exhaust their retry budget (link-death with hard
+// evidence). Whichever fires first, recovery must settle on the true
+// victim and converge.
+func TestCompoundBlameSameEpoch(t *testing.T) {
+	for _, sc := range []recoveryScenario{tspScenario(), mwScenario()} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			baseRaces := stableRaceKeys(sc.run(t, nil).Races())
+			s := sc.run(t, &CrashPlan{Victim: 2, Epoch: 1, Point: CrashHoldingLock})
+			rs := s.RecoveryStats()
+			if rs.LastVictim != 2 {
+				t.Errorf("blamed p%d (via %s), want the true victim p2", rs.LastVictim, rs.LastReason)
+			}
+			if got := stableRaceKeys(s.Races()); !reflect.DeepEqual(got, baseRaces) {
+				t.Errorf("race set differs from crash-free run:\ncrash-free: %v\nrecovered:  %v",
+					baseRaces, got)
+			}
+		})
 	}
 }

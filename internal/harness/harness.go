@@ -53,12 +53,30 @@ type RunConfig struct {
 	// BarrierWallTimeout bounds the real time a process waits for a
 	// barrier release before tripping the flight recorder and aborting.
 	BarrierWallTimeout time.Duration
-	// Checkpoint enables barrier-epoch checkpointing, so the run measures
-	// the serialized recovery state alongside the paper's metrics (see
-	// Result.Checkpoint and docs/ROBUSTNESS.md). Crash injection itself is
-	// not surfaced here: the benchmark applications are whole-program
-	// bodies, and only epoch-structured runs (dsm.RunEpochs) can recover.
-	Checkpoint bool
+	// NoCheckpoint disables the always-on barrier-epoch checkpointing, for
+	// measuring the DSM without the recovery layer's cost. By default every
+	// run records the serialized recovery state alongside the paper's
+	// metrics (see Result.Checkpoint and docs/ROBUSTNESS.md).
+	NoCheckpoint bool
+	// CheckpointRetain overrides how many epoch lines the checkpoint store
+	// keeps behind the newest common epoch (dsm.Config.CheckpointRetain):
+	// 0 → the default tail of 2, negative → keep everything.
+	CheckpointRetain int
+	// CrashMode selects deterministic crash injection for the chaos
+	// applications ("ChaosTSP", "ChaosMW"): "" or "none" (off), "single",
+	// "double" (two victims), "recovery" (second crash arms only during
+	// recovery). Non-chaos apps are whole-program bodies and cannot
+	// recover, so crash modes are rejected for them.
+	CrashMode string
+	// CorruptMode attacks stored checkpoint chunks once the crash epoch's
+	// line is complete: "" or "none" (off), "chunk" (bit-flip), "delete"
+	// (drop payload). Requires a CrashMode so recovery exercises the
+	// verify-then-fallback path.
+	CorruptMode string
+	// ChaosSeed drives the seed-derived crash/corruption plans.
+	ChaosSeed uint64
+	// Epochs is the chaos applications' barrier-epoch count; 0 → 4.
+	Epochs int
 	// Telemetry, when non-nil, builds a handle-scoped telemetry recorder
 	// for the run (Procs defaults to the run's process count). The recorder
 	// is private to this run — concurrent Runs in one process do not share
@@ -94,7 +112,8 @@ type Result struct {
 	// Checkpoint and Recovery summarize the run's crash-tolerance costs:
 	// how many barrier-epoch checkpoints were serialized and how large, and
 	// what any coordinated rollbacks cost in re-executed virtual time and
-	// restore wall time. Zero-valued unless RunConfig.Checkpoint was set.
+	// restore wall time. Zero-valued only when RunConfig.NoCheckpoint
+	// disabled the layer.
 	Checkpoint dsm.CheckpointStats
 	Recovery   dsm.RecoveryStats
 
@@ -115,6 +134,12 @@ func appDefaultDelay(app string) time.Duration {
 func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
+	}
+	if IsChaosApp(cfg.App) {
+		return runChaos(cfg)
+	}
+	if chaosMode(cfg.CrashMode) != "none" || chaosMode(cfg.CorruptMode) != "none" {
+		return nil, fmt.Errorf("harness: %s is a whole-program benchmark and cannot recover; crash/corruption modes need a chaos app (%s)", cfg.App, chaosAppNames())
 	}
 	app, err := apps.New(cfg.App, cfg.Scale)
 	if err != nil {
@@ -147,7 +172,8 @@ func Run(cfg RunConfig) (*Result, error) {
 		Reliable:           cfg.Reliable,
 		ReliableConfig:     cfg.ReliableConfig,
 		BarrierWallTimeout: cfg.BarrierWallTimeout,
-		Checkpoint:         cfg.Checkpoint,
+		NoCheckpoint:       cfg.NoCheckpoint,
+		CheckpointRetain:   cfg.CheckpointRetain,
 		Recorder:           rec,
 	})
 	if err != nil {

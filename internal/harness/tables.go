@@ -71,10 +71,10 @@ type Suite struct {
 	Protocol dsm.ProtocolKind
 	// RealMsgDelay overrides the per-app default when nonzero.
 	RealMsgDelay time.Duration
-	// Checkpoint runs every pair with barrier-epoch checkpointing on, so
-	// the metrics document records the serialized recovery-state overhead
-	// next to the detection-slowdown tables.
-	Checkpoint bool
+	// NoCheckpoint runs every pair with the (default-on) barrier-epoch
+	// checkpointing disabled, removing the recovery-state overhead from the
+	// metrics document next to the detection-slowdown tables.
+	NoCheckpoint bool
 	// Canonical strips wall-clock-dependent series from the metrics
 	// document (telemetry.Snapshot.Canonical), so deterministic workloads
 	// produce byte-identical JSON across runs.
@@ -137,7 +137,7 @@ func (s *Suite) pair(app string, procs int) (*Result, *Result, error) {
 		Procs:        procs,
 		Protocol:     s.Protocol,
 		RealMsgDelay: s.RealMsgDelay,
-		Checkpoint:   s.Checkpoint,
+		NoCheckpoint: s.NoCheckpoint,
 	})
 	s.mu.Lock()
 	if err == nil {

@@ -54,6 +54,12 @@ func (e *Encoder) Blob(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// Raw writes b with no length prefix — for fixed-width fields (chunk
+// addresses) whose size both sides agree on out of band.
+func (e *Encoder) Raw(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
 // VC writes a version vector.
 func (e *Encoder) VC(v vc.VC) {
 	e.U16(uint16(len(v)))
@@ -150,6 +156,26 @@ func (d *Decoder) U64() uint64 {
 }
 func (d *Decoder) I64() int64 { return int64(d.U64()) }
 func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// Raw reads n bytes with no length prefix (the inverse of Encoder.Raw).
+func (d *Decoder) Raw(n int) []byte {
+	if d.err2(n) {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:])
+	d.off += n
+	return b
+}
+
+// Remaining returns the number of unread bytes (0 once an error is set) —
+// the bound sanity checks on untrusted element counts compare against.
+func (d *Decoder) Remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.buf) - d.off
+}
 
 // Blob reads a length-prefixed byte slice.
 func (d *Decoder) Blob() []byte {

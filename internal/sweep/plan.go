@@ -45,11 +45,24 @@ type Plan struct {
 	// Sharded are sharded-check settings; empty → [false]. A true value is
 	// skipped for cells whose Detect is false (the DSM rejects it).
 	Sharded []bool `json:"sharded,omitempty"`
-	// Checkpoint are barrier-epoch-checkpointing settings; empty → [false].
+	// Checkpoint are barrier-epoch-checkpointing settings; empty → [true]
+	// (checkpointing is on by default; a false value measures the DSM
+	// without the recovery layer).
 	Checkpoint []bool `json:"checkpoint,omitempty"`
-	// Seeds drive the fault plan's PRNGs; empty → [0]. Without Faults the
-	// axis is forced to its default: seed-varied reliable runs would be
-	// identical cells under different names.
+	// CrashModes inject deterministic process crashes into the chaos
+	// applications (harness.ChaosAppNames): "none", "single", "double",
+	// "recovery"; empty → ["none"]. Non-"none" modes are skipped for
+	// whole-program benchmark apps (they cannot recover) and for cells with
+	// checkpointing off (nothing to roll back to).
+	CrashModes []string `json:"crash_modes,omitempty"`
+	// CorruptModes attack stored checkpoint chunks before rollback:
+	// "none", "chunk", "delete"; empty → ["none"]. Non-"none" modes apply
+	// only to cells that also crash.
+	CorruptModes []string `json:"corrupt_modes,omitempty"`
+	// Seeds drive the fault, crash, and corruption plans' PRNGs; empty →
+	// [0]. With no Faults and no non-"none" chaos mode the axis is forced
+	// to its default: seed-varied deterministic runs would be identical
+	// cells under different names.
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Faults, when non-nil, applies this fault template to every cell,
 	// with the cell's seed. Lossy templates imply the reliable sublayer.
@@ -77,15 +90,17 @@ func (f *FaultAxis) lossy() bool {
 // Cell is one expanded grid point: a fully determined run configuration
 // with a stable ID that doubles as its result file name.
 type Cell struct {
-	ID         string  `json:"id"`
-	App        string  `json:"app"`
-	Scale      float64 `json:"scale"`
-	Procs      int     `json:"procs"`
-	Protocol   string  `json:"protocol"`
-	Detect     bool    `json:"detect"`
-	Sharded    bool    `json:"sharded"`
-	Checkpoint bool    `json:"checkpoint"`
-	Seed       int64   `json:"seed"`
+	ID          string  `json:"id"`
+	App         string  `json:"app"`
+	Scale       float64 `json:"scale"`
+	Procs       int     `json:"procs"`
+	Protocol    string  `json:"protocol"`
+	Detect      bool    `json:"detect"`
+	Sharded     bool    `json:"sharded"`
+	Checkpoint  bool    `json:"checkpoint"`
+	CrashMode   string  `json:"crash_mode,omitempty"`
+	CorruptMode string  `json:"corrupt_mode,omitempty"`
+	Seed        int64   `json:"seed"`
 }
 
 func boolBit(b bool) int {
@@ -96,9 +111,18 @@ func boolBit(b bool) int {
 }
 
 func cellID(c Cell) string {
-	return fmt.Sprintf("%s-s%g-p%d-%s-d%d-sh%d-ck%d-seed%d",
+	id := fmt.Sprintf("%s-s%g-p%d-%s-d%d-sh%d-ck%d",
 		c.App, c.Scale, c.Procs, c.Protocol,
-		boolBit(c.Detect), boolBit(c.Sharded), boolBit(c.Checkpoint), c.Seed)
+		boolBit(c.Detect), boolBit(c.Sharded), boolBit(c.Checkpoint))
+	// Chaos modes suffix only when active, so pre-existing sweep
+	// checkpoints keep their cell names.
+	if c.CrashMode != "" && c.CrashMode != "none" {
+		id += "-cr" + c.CrashMode
+	}
+	if c.CorruptMode != "" && c.CorruptMode != "none" {
+		id += "-cx" + c.CorruptMode
+	}
+	return fmt.Sprintf("%s-seed%d", id, c.Seed)
 }
 
 func protocolKind(name string) (dsm.ProtocolKind, error) {
@@ -129,12 +153,46 @@ func defaults(p *Plan) Plan {
 		d.Sharded = []bool{false}
 	}
 	if len(d.Checkpoint) == 0 {
-		d.Checkpoint = []bool{false}
+		d.Checkpoint = []bool{true}
 	}
-	if len(d.Seeds) == 0 || d.Faults == nil {
+	if len(d.CrashModes) == 0 {
+		d.CrashModes = []string{"none"}
+	}
+	if len(d.CorruptModes) == 0 {
+		d.CorruptModes = []string{"none"}
+	}
+	if len(d.Seeds) == 0 || (d.Faults == nil && !d.chaotic()) {
 		d.Seeds = []int64{0}
 	}
 	return d
+}
+
+// chaotic reports whether any axis value injects seed-driven process
+// faults, making the Seeds axis meaningful without wire faults.
+func (p *Plan) chaotic() bool {
+	for _, m := range p.CrashModes {
+		if m != "" && m != "none" {
+			return true
+		}
+	}
+	for _, m := range p.CorruptModes {
+		if m != "" && m != "none" {
+			return true
+		}
+	}
+	return false
+}
+
+func validMode(mode string, valid []string) bool {
+	if mode == "" {
+		return true
+	}
+	for _, v := range valid {
+		if v == mode {
+			return true
+		}
+	}
+	return false
 }
 
 // Expand validates the plan and returns its cell list in grid order.
@@ -155,6 +213,16 @@ func (p *Plan) Expand() ([]Cell, error) {
 			return nil, fmt.Errorf("sweep: invalid process count %d", pc)
 		}
 	}
+	for _, m := range d.CrashModes {
+		if !validMode(m, harness.CrashModes) {
+			return nil, fmt.Errorf("sweep: unknown crash mode %q (want %v)", m, harness.CrashModes)
+		}
+	}
+	for _, m := range d.CorruptModes {
+		if !validMode(m, harness.CorruptModes) {
+			return nil, fmt.Errorf("sweep: unknown corrupt mode %q (want %v)", m, harness.CorruptModes)
+		}
+	}
 	var cells []Cell
 	seen := make(map[string]bool)
 	for _, app := range d.Apps {
@@ -167,17 +235,38 @@ func (p *Plan) Expand() ([]Cell, error) {
 								continue // dsm: sharded check requires detection
 							}
 							for _, ck := range d.Checkpoint {
-								for _, seed := range d.Seeds {
-									c := Cell{
-										App: app, Scale: sc, Procs: pc, Protocol: proto,
-										Detect: det, Sharded: sh, Checkpoint: ck, Seed: seed,
+								for _, cr := range d.CrashModes {
+									crash := cr != "" && cr != "none"
+									if crash && !harness.IsChaosApp(app) {
+										continue // whole-program apps cannot recover
 									}
-									c.ID = cellID(c)
-									if seen[c.ID] {
-										return nil, fmt.Errorf("sweep: duplicate cell %s (repeated axis value?)", c.ID)
+									if crash && !ck {
+										continue // dsm: crash plans require checkpointing
 									}
-									seen[c.ID] = true
-									cells = append(cells, c)
+									if crash && pc < 2 {
+										continue // no valid victim
+									}
+									if cr == "double" && pc < 3 {
+										continue // two distinct victims need three procs
+									}
+									for _, cx := range d.CorruptModes {
+										if cx != "" && cx != "none" && !crash {
+											continue // corruption is only read back under rollback
+										}
+										for _, seed := range d.Seeds {
+											c := Cell{
+												App: app, Scale: sc, Procs: pc, Protocol: proto,
+												Detect: det, Sharded: sh, Checkpoint: ck,
+												CrashMode: cr, CorruptMode: cx, Seed: seed,
+											}
+											c.ID = cellID(c)
+											if seen[c.ID] {
+												return nil, fmt.Errorf("sweep: duplicate cell %s (repeated axis value?)", c.ID)
+											}
+											seen[c.ID] = true
+											cells = append(cells, c)
+										}
+									}
 								}
 							}
 						}
@@ -202,7 +291,10 @@ func (p *Plan) RunConfig(c Cell) (harness.RunConfig, error) {
 		Protocol:     proto,
 		Detect:       c.Detect,
 		ShardedCheck: c.Sharded,
-		Checkpoint:   c.Checkpoint,
+		NoCheckpoint: !c.Checkpoint,
+		CrashMode:    c.CrashMode,
+		CorruptMode:  c.CorruptMode,
+		ChaosSeed:    uint64(c.Seed),
 		RealMsgDelay: time.Duration(p.RealMsgDelayUS) * time.Microsecond,
 	}
 	if f := p.Faults; f != nil {

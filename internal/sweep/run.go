@@ -232,7 +232,11 @@ func (s *Sweep) attemptCell(ctx context.Context, c Cell, attempt int) *CellResul
 		FlightSink: io.Discard, // dumps are served on demand, not spammed to stderr
 	})
 	cfg.Recorder = rec
-	if cfg.BarrierWallTimeout == 0 && !cfg.Reliable {
+	// Chaos cells keep the harness's own tight wall timeout: it doubles as
+	// the crash detector for quiet deaths (a mid-interval victim produces no
+	// link traffic, so only the barrier wall timeout notices it), and a
+	// detector as slow as the cell deadline would read as a wedged cell.
+	if cfg.BarrierWallTimeout == 0 && !cfg.Reliable && !harness.IsChaosApp(cfg.App) {
 		cfg.BarrierWallTimeout = s.opts.CellTimeout
 	}
 

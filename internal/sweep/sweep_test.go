@@ -221,10 +221,10 @@ func TestCellTimeout(t *testing.T) {
 	for _, r := range sum.Cells {
 		status[r.ID] = r.Status
 	}
-	if got := status["TSP-s0.25-p2-sw-d1-sh0-ck0-seed0"]; got != StatusTimeout {
+	if got := status["TSP-s0.25-p2-sw-d1-sh0-ck1-seed0"]; got != StatusTimeout {
 		t.Errorf("TSP cell status %q, want timeout", got)
 	}
-	if got := status["SOR-s0.25-p2-sw-d1-sh0-ck0-seed0"]; got != StatusOK {
+	if got := status["SOR-s0.25-p2-sw-d1-sh0-ck1-seed0"]; got != StatusOK {
 		t.Errorf("SOR cell status %q, want ok (timeout must not poison the sweep)", got)
 	}
 }

@@ -103,7 +103,8 @@ const (
 	// KWireReorder: the fault injector held a message back. A=dest, B=msg type.
 	KWireReorder
 	// KCheckpoint: a process serialized its recovery state at a barrier
-	// departure. A=epoch, B=checkpoint bytes.
+	// departure. A=epoch, B=manifest bytes, C=logical (full-serialization)
+	// bytes including chunk payloads.
 	KCheckpoint
 	// KCrashInjected: the crash plan killed a process. A=crash point
 	// (dsm.CrashPoint), B=victim proc.
@@ -128,6 +129,20 @@ const (
 	// up the binary reduction tree. A=epoch, B=reports forwarded,
 	// C=tree children merged.
 	KShardReduce
+	// KCkptChunk: one checkpoint encode's chunk-store activity. A=chunks
+	// referenced, B=chunks deduplicated against resident ones, C=bytes
+	// stored fresh.
+	KCkptChunk
+	// KCkptGC: checkpoint retention GC retired superseded epochs.
+	// A=manifests retired, B=resident bytes released.
+	KCkptGC
+	// KCkptVerifyFail: a candidate recovery line was rejected because a
+	// checkpoint manifest or its chunk closure failed verification; the
+	// rollback fell back one epoch. A=rejected epoch.
+	KCkptVerifyFail
+	// KCkptCorrupt: the corruption plan damaged stored checkpoint chunks.
+	// A=target epoch, B=chunks attacked, C=mode (dsm.CorruptMode).
+	KCkptCorrupt
 
 	numKinds
 )
@@ -162,6 +177,10 @@ var kindNames = [numKinds]string{
 	KLockReclaim:    "LockReclaim",
 	KShardCompare:   "ShardCompare",
 	KShardReduce:    "ShardReduce",
+	KCkptChunk:      "CkptChunk",
+	KCkptGC:         "CkptGC",
+	KCkptVerifyFail: "CkptVerifyFail",
+	KCkptCorrupt:    "CkptCorrupt",
 }
 
 func (k Kind) String() string {
@@ -186,6 +205,9 @@ const (
 	TripProcPanic
 	// TripProcCrash: a survivor detected a crashed peer process.
 	TripProcCrash
+	// TripCkptVerify: a stored checkpoint failed integrity verification
+	// during rollback planning (corrupt or missing chunks).
+	TripCkptVerify
 
 	numTripReasons
 )
@@ -195,6 +217,7 @@ var tripReasonNames = [numTripReasons]string{
 	TripBarrierTimeout: "BarrierTimeout",
 	TripProcPanic:      "ProcPanic",
 	TripProcCrash:      "ProcCrash",
+	TripCkptVerify:     "CkptVerify",
 }
 
 func (t TripReason) String() string {
@@ -328,12 +351,19 @@ type Recorder struct {
 	lockHist   *Histogram
 	shardEnt   *Histogram
 	shardCmp   *Histogram
-	ckptTotal  *Counter
-	ckptBytes  *Counter
-	recTotal   *Counter
-	recVirtual *Counter
-	recWall    *Counter
-	recLocks   *Counter
+	ckptTotal   *Counter
+	ckptBytes   *Counter
+	ckptLogical *Counter
+	chunkPuts   *Counter
+	chunkHits   *Counter
+	chunkBytes  *Counter
+	verifyFails *Counter
+	gcFreed     *Counter
+	dedupRatio  *Gauge
+	recTotal    *Counter
+	recVirtual  *Counter
+	recWall     *Counter
+	recLocks    *Counter
 
 	dumpMu sync.Mutex
 	trips  atomic.Int64
@@ -401,6 +431,20 @@ func New(cfg Config) *Recorder {
 		"Barrier-epoch checkpoints taken.")
 	r.ckptBytes = m.Counter("dsm_checkpoint_bytes_total",
 		"Serialized bytes across all barrier-epoch checkpoints.")
+	r.ckptLogical = m.Counter("dsm_ckpt_logical_bytes_total",
+		"Bytes checkpoints would occupy fully serialized, without chunk dedup.")
+	r.chunkPuts = m.Counter("dsm_ckpt_chunk_puts_total",
+		"Chunk references written by checkpoint encodes.")
+	r.chunkHits = m.Counter("dsm_ckpt_chunk_hits_total",
+		"Chunk references deduplicated against already-resident chunks.")
+	r.chunkBytes = m.Counter("dsm_ckpt_chunk_bytes_total",
+		"Bytes of fresh (previously unseen) chunk payloads stored.")
+	r.verifyFails = m.Counter("dsm_ckpt_verify_failures_total",
+		"Checkpoint recovery lines rejected by integrity verification.")
+	r.gcFreed = m.Counter("dsm_ckpt_gc_freed_bytes_total",
+		"Resident bytes released by checkpoint retention GC.")
+	r.dedupRatio = m.Gauge("dsm_ckpt_dedup_ratio",
+		"Stored checkpoint bytes (manifests + fresh chunks) over logical bytes; lower is better dedup.")
 	r.recTotal = m.Counter("dsm_recovery_total",
 		"Coordinated rollback recoveries completed.")
 	r.recVirtual = m.Counter("dsm_recovery_virtual_ns_total",
@@ -550,6 +594,17 @@ func (r *Recorder) emit(proc int, k Kind, vt int64, a, b, c int64, msg string) {
 	case KCheckpoint:
 		r.ckptTotal.Add(1)
 		r.ckptBytes.Add(b)
+		r.ckptLogical.Add(c)
+		r.updateDedupRatio()
+	case KCkptChunk:
+		r.chunkPuts.Add(a)
+		r.chunkHits.Add(b)
+		r.chunkBytes.Add(c)
+		r.updateDedupRatio()
+	case KCkptGC:
+		r.gcFreed.Add(b)
+	case KCkptVerifyFail:
+		r.verifyFails.Add(1)
 	case KRecoveryDone:
 		r.recTotal.Add(1)
 		r.recVirtual.Add(b)
@@ -560,6 +615,19 @@ func (r *Recorder) emit(proc int, k Kind, vt int64, a, b, c int64, msg string) {
 		r.shardEnt.Observe(float64(a))
 		r.shardCmp.Observe(float64(c))
 	}
+}
+
+// updateDedupRatio recomputes dsm_ckpt_dedup_ratio from the stored-bytes
+// and logical-bytes counters: (manifests + fresh chunk payloads) over what
+// full serialization would have written. 1.0 means no structural sharing;
+// values approach 1/N when all N processes checkpoint identical pages.
+func (r *Recorder) updateDedupRatio() {
+	logical := r.ckptLogical.Value()
+	if logical <= 0 {
+		return
+	}
+	stored := r.ckptBytes.Value() + r.chunkBytes.Value()
+	r.dedupRatio.Set(float64(stored) / float64(logical))
 }
 
 func (r *Recorder) ring(proc int) *ring {

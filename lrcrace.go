@@ -98,20 +98,29 @@ const (
 // call Run with the per-process worker.
 func New(cfg Config) (*System, error) { return dsm.New(cfg) }
 
-// Crash tolerance (see docs/ROBUSTNESS.md): barrier-epoch checkpointing
-// (Config.Checkpoint), injected fail-stop crashes (Config.Crash), and
-// coordinated rollback recovery via System.RunEpochs.
+// Crash tolerance (see docs/ROBUSTNESS.md): always-on barrier-epoch
+// checkpointing (disable with Config.NoCheckpoint), injected fail-stop
+// crashes (Config.Crash, Config.Crashes), checkpoint corruption
+// (Config.Corruption), and coordinated rollback recovery via
+// System.RunEpochs.
 type (
 	// CrashPlan schedules the deterministic fail-stop death of one process;
-	// set it via Config.Crash. Recovery requires Config.Checkpoint plus a
-	// detection path (Config.Reliable or Config.BarrierWallTimeout).
+	// set it via Config.Crash (or several via Config.Crashes). Recovery
+	// requires checkpointing (the default) plus a detection path
+	// (Config.Reliable or Config.BarrierWallTimeout).
 	CrashPlan = dsm.CrashPlan
+	// CorruptionPlan deterministically damages stored checkpoint chunks, so
+	// rollback must verify and fall back; set it via Config.Corruption.
+	CorruptionPlan = dsm.CorruptionPlan
+	// CorruptMode selects how the corruption plan damages chunks.
+	CorruptMode = dsm.CorruptMode
 	// CrashPoint selects where in the protocol the victim dies.
 	CrashPoint = dsm.CrashPoint
 	// EpochFunc is one epoch body for System.RunEpochs — the epoch-structured
 	// entry point that can roll back and re-execute after a crash.
 	EpochFunc = dsm.EpochFunc
-	// CheckpointStats counts serialized barrier-epoch checkpoints.
+	// CheckpointStats measures the serialized barrier-epoch checkpoints:
+	// manifest and chunk bytes, dedup hits, and retention-GC totals.
 	CheckpointStats = dsm.CheckpointStats
 	// RecoveryStats summarizes coordinated rollbacks: counts, reclaimed
 	// locks, re-executed virtual time, restore wall time.
@@ -130,10 +139,24 @@ const (
 	CrashInBitmapRound = dsm.CrashInBitmapRound
 )
 
+// Corruption modes.
+const (
+	// CorruptChunk flips a bit in a stored checkpoint chunk.
+	CorruptChunk = dsm.CorruptChunk
+	// DeleteChunk drops a stored chunk's payload entirely.
+	DeleteChunk = dsm.DeleteChunk
+)
+
 // RandomCrashPlan derives a valid, deterministic crash plan from a seed —
 // the chaos-testing entry point.
 func RandomCrashPlan(seed uint64, nprocs int, epochs int32) *CrashPlan {
 	return dsm.RandomCrashPlan(seed, nprocs, epochs)
+}
+
+// RandomCorruptionPlan derives a deterministic checkpoint-corruption plan
+// from a seed — the storage-fault analogue of RandomCrashPlan.
+func RandomCorruptionPlan(seed uint64, epochs int32, mode CorruptMode) *CorruptionPlan {
+	return dsm.RandomCorruptionPlan(seed, epochs, mode)
 }
 
 // DedupRaces collapses dynamic race reports to one representative per

@@ -151,7 +151,6 @@ func TestFacadeCrashRecovery(t *testing.T) {
 		NumProcs:           3,
 		SharedSize:         8192,
 		Detect:             true,
-		Checkpoint:         true,
 		Reliable:           true,
 		BarrierWallTimeout: 5 * time.Second,
 		Crash:              &lrcrace.CrashPlan{Victim: 1, Epoch: 1, Point: lrcrace.CrashMidInterval},
