@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"lrcrace/internal/dsm"
+)
+
+// Mux wraps a handler with the operational endpoints every lrcrace
+// server shares:
+//
+//	/healthz — liveness: always 200 {"status":"ok"}
+//	/version — module version, Go runtime, VCS revision when the binary
+//	           embeds one, and the checkpoint format version (so
+//	           operators can tell whether two deployments' checkpoint
+//	           stores are interchangeable)
+//
+// Everything else falls through to h.
+func Mux(h http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(versionInfo())
+	})
+	mux.Handle("/", h)
+	return mux
+}
+
+// VersionInfo is the /version payload.
+type VersionInfo struct {
+	Module            string `json:"module"`
+	Version           string `json:"version"`
+	Go                string `json:"go"`
+	Revision          string `json:"vcs_revision,omitempty"`
+	CheckpointVersion int    `json:"checkpoint_version"`
+}
+
+func versionInfo() VersionInfo {
+	v := VersionInfo{
+		Module:            "lrcrace",
+		Version:           "(devel)",
+		Go:                runtime.Version(),
+		CheckpointVersion: dsm.CheckpointVersion,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		v.Module = bi.Main.Path
+		if bi.Main.Version != "" {
+			v.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				v.Revision = s.Value
+			}
+		}
+	}
+	return v
+}
+
+// Serve listens on addr and serves h in the background, returning the
+// server and its bound address. The server always carries header/idle
+// timeouts; writeTimeout bounds each response write — pass 0 for servers
+// with streaming endpoints (SSE feeds must outlive any fixed write
+// deadline). Stop with Shutdown.
+func Serve(addr string, h http.Handler, writeTimeout time.Duration) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// Shutdown drains srv gracefully, waiting at most grace for in-flight
+// requests (streaming subscribers are closed by the handler's context),
+// then closes whatever remains.
+func Shutdown(srv *http.Server, grace time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"lrcrace/internal/dsm"
+)
+
+func TestServeMuxEndpoints(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "inner")
+	})
+	srv, addr, err := Serve("127.0.0.1:0", Mux(inner), 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer Shutdown(srv, time.Second)
+	base := "http://" + addr
+
+	// /healthz
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("/healthz: status %d body %+v", resp.StatusCode, health)
+	}
+
+	// /version carries the checkpoint format version so operators can tell
+	// whether two deployments' checkpoint stores interoperate.
+	resp, err = http.Get(base + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.CheckpointVersion != dsm.CheckpointVersion {
+		t.Errorf("/version checkpoint_version = %d, want %d", v.CheckpointVersion, dsm.CheckpointVersion)
+	}
+	if v.Go == "" || v.Module == "" {
+		t.Errorf("/version incomplete: %+v", v)
+	}
+
+	// Everything else falls through to the wrapped handler.
+	resp, err = http.Get(base + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "inner" {
+		t.Errorf("fall-through body %q, want %q", body, "inner")
+	}
+
+	// Graceful shutdown: the listener closes, later requests fail.
+	if err := Shutdown(srv, time.Second); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+}

@@ -13,6 +13,7 @@
 //	sweeprun -apps Water -metrics-addr :9090        # live /metrics, /sweep
 //	sweeprun -apps TSP -drop 0.05 -seeds 0,1,2      # wire-fault sweep
 //	sweeprun -apps ChaosTSP -crash single,double -corrupt none,chunk -seeds 0,1
+//	sweeprun -apps TSP,Water -remote host:8321      # dispatch cells to racedsvc
 package main
 
 import (
@@ -23,9 +24,11 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"lrcrace/cmd/internal/cli"
+	"lrcrace/internal/service"
 	"lrcrace/internal/sweep"
 )
 
@@ -54,6 +57,7 @@ func main() {
 	out := flag.String("out", "", "write the summary JSON here")
 	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics JSON here (deterministic)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /sweep and /flight/<cell> on this address during the run")
+	remote := flag.String("remote", "", "dispatch cells to a racedsvc at this address instead of running them locally")
 	flag.Parse()
 
 	plan, err := buildPlan(*planFile, axisFlags{
@@ -78,17 +82,24 @@ func main() {
 	fmt.Printf("sweep %0.12s: %d cells, %d workers\n", plan.Fingerprint(), len(s.Cells()), *workers)
 
 	if *metricsAddr != "" {
-		srv, addr, err := s.Serve(*metricsAddr)
+		// The shared scaffolding adds /healthz and /version next to the
+		// sweep's own endpoints and drains scrapes on exit.
+		srv, addr, err := cli.Serve(*metricsAddr, cli.Mux(s.Handler()), 30*time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer srv.Close()
+		defer cli.Shutdown(srv, 2*time.Second)
 		fmt.Printf("live endpoint: http://%s/metrics /sweep /flight/<cell-id>\n", addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	summary, err := s.Run(ctx)
+	var summary *sweep.Summary
+	if *remote != "" {
+		summary, err = runRemote(ctx, s, plan, *remote, *workers)
+	} else {
+		summary, err = s.Run(ctx)
+	}
 	if err != nil {
 		// An interrupted sweep still summarizes what finished; the
 		// checkpoint directory (if any) lets the next invocation resume.
@@ -113,6 +124,64 @@ func main() {
 	if summary.OK != summary.Total {
 		os.Exit(1)
 	}
+}
+
+// runRemote dispatches every pending cell to a detection service as a
+// session and merges the returned results through sweep.Record — the same
+// results map and checkpoint files a local run uses, so the summary,
+// metrics document, and resume behavior are identical to running locally.
+func runRemote(ctx context.Context, s *sweep.Sweep, plan *sweep.Plan, addr string, workers int) (*sweep.Summary, error) {
+	client := service.NewClient(addr)
+	if err := client.Health(ctx); err != nil {
+		return s.Summary(), fmt.Errorf("remote %s: %w", addr, err)
+	}
+	pending := s.Pending()
+	fmt.Printf("remote dispatch: %d pending cells -> %s\n", len(pending), client.Base)
+
+	jobs := make(chan sweep.Cell)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				res, err := client.RunCell(ctx, c, plan.Faults, plan.RealMsgDelayUS)
+				if err != nil {
+					fail(fmt.Errorf("cell %s: %w", c.ID, err))
+					continue
+				}
+				if err := s.Record(res); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+feed:
+	for _, c := range pending {
+		select {
+		case jobs <- c:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	return s.Summary(), firstErr
 }
 
 type axisFlags struct {

@@ -53,6 +53,12 @@ const (
 	addrSize = len(castore.Addr{})
 )
 
+// CheckpointVersion is the current checkpoint serialization format
+// version (ckptVersion), exported for operational surfaces — the service
+// /version endpoint reports it so operators can tell whether two
+// deployments' checkpoint stores are interchangeable.
+const CheckpointVersion = ckptVersion
+
 // Typed decode failures. ErrCheckpointCorrupt covers damage to the
 // manifest itself (truncation, bit flips, implausible counts);
 // ErrCheckpointChunk covers an unresolvable chunk closure (a referenced

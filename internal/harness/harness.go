@@ -135,11 +135,11 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1
 	}
+	if err := ValidateRunConfig(cfg); err != nil {
+		return nil, err
+	}
 	if IsChaosApp(cfg.App) {
 		return runChaos(cfg)
-	}
-	if chaosMode(cfg.CrashMode) != "none" || chaosMode(cfg.CorruptMode) != "none" {
-		return nil, fmt.Errorf("harness: %s is a whole-program benchmark and cannot recover; crash/corruption modes need a chaos app (%s)", cfg.App, chaosAppNames())
 	}
 	app, err := apps.New(cfg.App, cfg.Scale)
 	if err != nil {

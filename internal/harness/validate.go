@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"lrcrace/internal/apps"
+)
+
+// ValidateRunConfig checks a configuration without running it: every
+// rejection Run (or the dsm.Config it builds) would raise mid-setup is
+// raised here, up front. It is the admission-time gate of the detection
+// service — a request that fails ValidateRunConfig can never run, so the
+// service refuses it with a typed 4xx instead of burning a pool slot on a
+// doomed System — and Run itself calls it first, so the two can never
+// disagree about what is runnable.
+func ValidateRunConfig(cfg RunConfig) error {
+	if cfg.App == "" {
+		return fmt.Errorf("harness: no application named")
+	}
+	if cfg.Procs < 1 {
+		return fmt.Errorf("harness: Procs = %d (want >= 1)", cfg.Procs)
+	}
+	if cfg.Scale < 0 {
+		return fmt.Errorf("harness: negative Scale %g", cfg.Scale)
+	}
+	if cfg.ShardedCheck && !cfg.Detect {
+		return fmt.Errorf("harness: ShardedCheck distributes the race check and so requires Detect")
+	}
+	if cfg.Faults != nil && !cfg.Reliable &&
+		(cfg.Faults.Drop > 0 || cfg.Faults.Dup > 0 || cfg.Faults.Reorder > 0) {
+		return fmt.Errorf("harness: lossy fault plan requires the Reliable sublayer")
+	}
+	if IsChaosApp(cfg.App) {
+		if chaosMode(cfg.CrashMode) != "none" && cfg.NoCheckpoint {
+			return fmt.Errorf("harness: CrashMode %q requires checkpointing: with NoCheckpoint there is nothing to roll back to", cfg.CrashMode)
+		}
+		epochs := int32(cfg.Epochs)
+		if epochs == 0 {
+			epochs = chaosDefaultEpochs
+		}
+		// chaosPlans is the single source of truth for crash/corruption
+		// mode rules; a dry derivation validates without side effects.
+		if _, _, err := chaosPlans(cfg, cfg.Procs, epochs); err != nil {
+			return err
+		}
+		return nil
+	}
+	if chaosMode(cfg.CrashMode) != "none" || chaosMode(cfg.CorruptMode) != "none" {
+		return fmt.Errorf("harness: %s is a whole-program benchmark and cannot recover; crash/corruption modes need a chaos app (%s)", cfg.App, chaosAppNames())
+	}
+	for _, n := range apps.Names() {
+		if n == cfg.App {
+			return nil
+		}
+	}
+	return fmt.Errorf("harness: unknown application %q (have %s and chaos apps %s)",
+		cfg.App, strings.Join(apps.Names(), ", "), chaosAppNames())
+}

@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"lrcrace/internal/sweep"
+)
+
+// Client talks to a running detection service: submit sessions, wait for
+// their results, tail the report store. It is the dispatch half of
+// distributed sweeps — `sweeprun -remote <addr>` drives every pending
+// cell through RunCell and merges the returned results via sweep.Record.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8321".
+	Base string
+	// HTTP is the underlying client; nil → a client with a 90s timeout
+	// (long-polls are capped at 60s server-side).
+	HTTP *http.Client
+}
+
+// NewClient builds a client for addr ("host:port" or a full http URL).
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{Base: strings.TrimRight(addr, "/"), HTTP: &http.Client{Timeout: 90 * time.Second}}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 90 * time.Second}
+}
+
+// apiErrorOf decodes a non-2xx response into the matching typed error.
+func apiErrorOf(status int, body []byte) error {
+	var ae apiError
+	if json.Unmarshal(body, &ae) == nil && ae.Code != "" {
+		switch ae.Code {
+		case codeInvalidRequest:
+			return &RequestError{Reason: ae.Error}
+		case codeOverloaded:
+			return &OverloadError{}
+		case codeShuttingDown:
+			return ErrClosed
+		}
+		return fmt.Errorf("service: http %d: %s", status, ae.Error)
+	}
+	return fmt.Errorf("service: http %d: %s", status, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiErrorOf(resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Health checks the service's /healthz endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service: /healthz returned %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Submit opens a session. The returned errors mirror Service.Submit:
+// *RequestError (never retryable), *OverloadError and ErrClosed
+// (retryable after backoff).
+func (c *Client) Submit(ctx context.Context, r RunRequest) (SessionInfo, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/sessions", bytes.NewReader(b))
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return SessionInfo{}, apiErrorOf(resp.StatusCode, body)
+	}
+	var info SessionInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return SessionInfo{}, err
+	}
+	return info, nil
+}
+
+// Wait long-polls the session until it reaches a terminal state (or ctx
+// ends), returning its final info.
+func (c *Client) Wait(ctx context.Context, id string) (SessionInfo, error) {
+	for {
+		var info SessionInfo
+		if err := c.getJSON(ctx, "/sessions/"+id+"?wait=30s", &info); err != nil {
+			return SessionInfo{}, err
+		}
+		switch info.State {
+		case StateDone, StateCanceled:
+			return info, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return SessionInfo{}, err
+		}
+	}
+}
+
+// Reports fetches one report-store batch (see ReportBatch).
+func (c *Client) Reports(ctx context.Context, session string, since uint64, max int) (ReportBatch, error) {
+	path := fmt.Sprintf("/reports?since=%d&max=%d", since, max)
+	if session != "" {
+		path += "&session=" + session
+	}
+	var batch ReportBatch
+	err := c.getJSON(ctx, path, &batch)
+	return batch, err
+}
+
+// RunCell runs one sweep cell remotely: submit (retrying overload with
+// backoff), wait, and return the cell's result — interchangeable with
+// running the cell in a local sweep pool. faults and realMsgDelayUS carry
+// the plan-level template the cell's grid was expanded under.
+func (c *Client) RunCell(ctx context.Context, cell sweep.Cell, faults *sweep.FaultAxis, realMsgDelayUS int64) (*sweep.CellResult, error) {
+	req := RequestFor(cell, faults, realMsgDelayUS)
+	backoff := 50 * time.Millisecond
+	var info SessionInfo
+	for {
+		var err error
+		info, err = c.Submit(ctx, req)
+		if err == nil {
+			break
+		}
+		var ovl *OverloadError
+		if !errors.As(err, &ovl) {
+			return nil, err
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+	final, err := c.Wait(ctx, info.ID)
+	if err != nil {
+		return nil, err
+	}
+	if final.State == StateCanceled || final.Result == nil {
+		return nil, fmt.Errorf("service: session %s ended %s without a result", info.ID, final.State)
+	}
+	return final.Result, nil
+}

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStoreSeqsAndSince(t *testing.T) {
+	st := NewStore(100)
+	for i := 0; i < 10; i++ {
+		sess := "a"
+		if i%2 == 1 {
+			sess = "b"
+		}
+		r := st.Append(Record{Session: sess, Kind: KindRace, Addr: uint64(i)})
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d got seq %d, want %d", i, r.Seq, i+1)
+		}
+	}
+	if st.Len() != 10 || st.Appended() != 10 || st.Dropped() != 0 {
+		t.Fatalf("len/appended/dropped = %d/%d/%d, want 10/10/0", st.Len(), st.Appended(), st.Dropped())
+	}
+
+	recs, lost, next := st.Since(0, "", 0)
+	if len(recs) != 10 || lost != 0 || next != 10 {
+		t.Fatalf("Since(0) = %d recs, lost %d, next %d; want 10, 0, 10", len(recs), lost, next)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("merged view out of order: recs[%d].Seq = %d", i, r.Seq)
+		}
+	}
+
+	// The per-session view is a subsequence of the merged view under the
+	// same cursor space.
+	recs, _, _ = st.Since(0, "b", 0)
+	if len(recs) != 5 {
+		t.Fatalf("session b view has %d records, want 5", len(recs))
+	}
+	for _, r := range recs {
+		if r.Session != "b" || r.Seq%2 != 0 {
+			t.Fatalf("session b view contains %+v", r)
+		}
+	}
+
+	// Resume from a mid-stream cursor.
+	recs, lost, next = st.Since(7, "", 0)
+	if len(recs) != 3 || lost != 0 || recs[0].Seq != 8 || next != 10 {
+		t.Fatalf("Since(7) = %v lost=%d next=%d", recs, lost, next)
+	}
+
+	// max truncates; next points at the last returned record.
+	recs, _, next = st.Since(0, "", 4)
+	if len(recs) != 4 || next != 4 {
+		t.Fatalf("Since(0,max=4) = %d recs next=%d, want 4, 4", len(recs), next)
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	st := NewStore(8)
+	for i := 0; i < 20; i++ {
+		st.Append(Record{Session: "s", Kind: KindSession, Detail: fmt.Sprint(i)})
+	}
+	if st.Len() != 8 || st.Appended() != 20 || st.Dropped() != 12 {
+		t.Fatalf("len/appended/dropped = %d/%d/%d, want 8/20/12", st.Len(), st.Appended(), st.Dropped())
+	}
+	recs, lost, next := st.Since(0, "", 0)
+	if lost != 12 {
+		t.Fatalf("lost = %d, want 12", lost)
+	}
+	if len(recs) != 8 || recs[0].Seq != 13 || next != 20 {
+		t.Fatalf("retained window = %d recs starting %d next=%d, want 8 from 13, next 20", len(recs), recs[0].Seq, next)
+	}
+	// A cursor inside the retained window reports no loss.
+	if _, lost, _ = st.Since(15, "", 0); lost != 0 {
+		t.Fatalf("in-window cursor reported lost=%d", lost)
+	}
+}
+
+func TestSubscriberDelivery(t *testing.T) {
+	st := NewStore(100)
+	sub := st.Subscribe("", 16)
+	defer sub.Close()
+	if st.Subscribers() != 1 {
+		t.Fatalf("Subscribers() = %d, want 1", st.Subscribers())
+	}
+	for i := 0; i < 5; i++ {
+		st.Append(Record{Session: "s", Kind: KindRace, Addr: uint64(i)})
+	}
+	for i := 0; i < 5; i++ {
+		r := <-sub.C()
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("delivery %d got seq %d", i, r.Seq)
+		}
+	}
+	if sub.TakeGap() {
+		t.Fatal("gap reported without overflow")
+	}
+}
+
+func TestSubscriberSessionFilter(t *testing.T) {
+	st := NewStore(100)
+	sub := st.Subscribe("b", 16)
+	defer sub.Close()
+	st.Append(Record{Session: "a", Kind: KindRace})
+	st.Append(Record{Session: "b", Kind: KindRace})
+	st.Append(Record{Session: "a", Kind: KindRace})
+	r := <-sub.C()
+	if r.Session != "b" || r.Seq != 2 {
+		t.Fatalf("filtered subscriber got %+v", r)
+	}
+	select {
+	case r := <-sub.C():
+		t.Fatalf("unexpected extra delivery %+v", r)
+	default:
+	}
+}
+
+func TestSubscriberDropOldestAndGap(t *testing.T) {
+	st := NewStore(100)
+	sub := st.Subscribe("", 4)
+	defer sub.Close()
+	// Nobody drains: 10 appends into a 4-slot buffer must drop 6, keep the
+	// newest 4, and raise the gap flag — without ever blocking Append.
+	for i := 0; i < 10; i++ {
+		st.Append(Record{Session: "s", Kind: KindRace, Addr: uint64(i)})
+	}
+	if got := sub.DroppedRecords(); got != 6 {
+		t.Fatalf("DroppedRecords = %d, want 6", got)
+	}
+	if !sub.TakeGap() {
+		t.Fatal("overflow did not raise the gap flag")
+	}
+	if sub.TakeGap() {
+		t.Fatal("TakeGap did not clear the flag")
+	}
+	// Drop-oldest: the survivors are the newest records, in order.
+	for want := uint64(7); want <= 10; want++ {
+		r := <-sub.C()
+		if r.Seq != want {
+			t.Fatalf("survivor seq %d, want %d", r.Seq, want)
+		}
+	}
+	// The gap heals by replaying from the cursor before the hole.
+	recs, lost, _ := st.Since(2, "", 0)
+	if lost != 0 || len(recs) != 8 || recs[0].Seq != 3 {
+		t.Fatalf("replay = %d recs from %d lost=%d", len(recs), recs[0].Seq, lost)
+	}
+}
+
+func TestSubscriberCloseDetaches(t *testing.T) {
+	st := NewStore(100)
+	sub := st.Subscribe("", 4)
+	sub.Close()
+	sub.Close() // idempotent
+	if st.Subscribers() != 0 {
+		t.Fatalf("Subscribers() = %d after Close", st.Subscribers())
+	}
+	st.Append(Record{Session: "s"})
+	select {
+	case r := <-sub.C():
+		t.Fatalf("closed subscriber received %+v", r)
+	default:
+	}
+}

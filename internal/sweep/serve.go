@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"lrcrace/internal/telemetry"
 )
@@ -38,14 +39,23 @@ func (s *Sweep) Handler() http.Handler {
 }
 
 // Serve listens on addr (e.g. ":9090" or "127.0.0.1:0") and serves Handler
-// in the background, returning the server and the bound address. Shut it
-// down with srv.Close after the sweep finishes.
+// in the background, returning the server and the bound address. The
+// server carries read-header/read/write/idle timeouts so a stalled or
+// malicious scraper cannot pin a connection forever. Stop it gracefully
+// with srv.Shutdown (drains in-flight scrapes) or abruptly with
+// srv.Close; commands share that scaffolding via cmd/internal/cli.
 func (s *Sweep) Serve(addr string) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("sweep: metrics listener: %w", err)
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }
@@ -84,15 +94,15 @@ func (s *Sweep) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	} {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v)
 	}
-	writeCellsProm(w, s.snapshots())
+	WriteSnapshotsProm(w, "cell", s.snapshots())
 }
 
-// injectCell prefixes a snapshot series key's label set with cell="id".
-func injectCell(key, id string) string {
+// injectLabel prefixes a snapshot series key's label set with label="id".
+func injectLabel(key, label, id string) string {
 	if i := strings.IndexByte(key, '{'); i >= 0 {
-		return key[:i] + `{cell="` + id + `",` + key[i+1:]
+		return key[:i] + `{` + label + `="` + id + `",` + key[i+1:]
 	}
-	return key + `{cell="` + id + `"}`
+	return key + `{` + label + `="` + id + `"}`
 }
 
 // baseName strips the label set off a snapshot series key.
@@ -103,14 +113,15 @@ func baseName(key string) string {
 	return key
 }
 
-// writeCellsProm renders the per-cell snapshots as one valid Prometheus
-// text exposition: each family appears once (# TYPE emitted a single
-// time), carrying every cell's series with an injected cell label, and —
-// for counters and gauges — an unlabeled aggregate sum per original
-// series. Histograms are rendered per cell only. Ordering is fully
-// deterministic: families, cells, and series keys all sort
-// lexicographically.
-func writeCellsProm(w io.Writer, cells map[string]*telemetry.Snapshot) {
+// WriteSnapshotsProm renders a keyed set of snapshots as one valid
+// Prometheus text exposition: each family appears once (# TYPE emitted a
+// single time), carrying every snapshot's series with an injected
+// label="key" pair (the sweep labels cells cell="<id>", the detection
+// service labels sessions session="<id>"), and — for counters and gauges
+// — an unlabeled aggregate sum per original series. Histograms are
+// rendered per key only. Ordering is fully deterministic: families, keys,
+// and series names all sort lexicographically.
+func WriteSnapshotsProm(w io.Writer, label string, cells map[string]*telemetry.Snapshot) {
 	ids := make([]string, 0, len(cells))
 	for id := range cells {
 		ids = append(ids, id)
@@ -125,7 +136,7 @@ func writeCellsProm(w io.Writer, cells map[string]*telemetry.Snapshot) {
 		for _, id := range ids {
 			s := cells[id]
 			for _, k := range familyKeys(int64Keys(s.Counters), fam) {
-				fmt.Fprintf(w, "%s %d\n", injectCell(k, id), s.Counters[k])
+				fmt.Fprintf(w, "%s %d\n", injectLabel(k, label, id), s.Counters[k])
 				agg[k] += s.Counters[k]
 			}
 		}
@@ -142,7 +153,7 @@ func writeCellsProm(w io.Writer, cells map[string]*telemetry.Snapshot) {
 		for _, id := range ids {
 			s := cells[id]
 			for _, k := range familyKeys(float64Keys(s.Gauges), fam) {
-				fmt.Fprintf(w, "%s %g\n", injectCell(k, id), s.Gauges[k])
+				fmt.Fprintf(w, "%s %g\n", injectLabel(k, label, id), s.Gauges[k])
 				agg[k] += s.Gauges[k]
 			}
 		}
@@ -164,7 +175,7 @@ func writeCellsProm(w io.Writer, cells map[string]*telemetry.Snapshot) {
 					inner = k[i+1 : len(k)-1]
 				}
 				lbl := func(extra string) string {
-					parts := []string{`cell="` + id + `"`}
+					parts := []string{label + `="` + id + `"`}
 					if inner != "" {
 						parts = append(parts, inner)
 					}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// TestObserverSeesEveryEvent: a Config.Observer receives each emitted
+// event synchronously, after it has landed in the recorder's ring, with
+// all fields intact — the hook the detection service uses to stream race
+// reports into its store as they are found.
+func TestObserverSeesEveryEvent(t *testing.T) {
+	var seen []Event
+	r := New(Config{
+		Procs:      2,
+		FlightSink: io.Discard,
+		Observer:   func(e Event) { seen = append(seen, e) },
+	})
+	scope := To(r)
+	scope.Emit(0, KRaceFound, 100, 0xbeef, 3, 1)
+	scope.Emit(1, KPageFault, 200, 7, 0, 0)
+	scope.Emit(-1, KLinkDead, 300, 1, 2, 0)
+
+	if len(seen) != 3 {
+		t.Fatalf("observer saw %d events, want 3", len(seen))
+	}
+	race := seen[0]
+	if race.Kind != KRaceFound || race.A != 0xbeef || race.B != 3 || race.C != 1 || race.VT != 100 {
+		t.Fatalf("observed race event mangled: %+v", race)
+	}
+	// Synchronous, post-ring: by observation time the event is readable.
+	if got := len(r.Events()); got != 3 {
+		t.Fatalf("ring holds %d events after observation, want 3", got)
+	}
+	// The observer must not perturb the recorder's own accounting.
+	m := r.Metrics().Snapshot()
+	if got := m.Counters[`telemetry_events_total{kind="RaceFound"}`]; got != 1 {
+		t.Fatalf("RaceFound counter = %d, want 1", got)
+	}
+}
+
+// TestTripObserver: Recorder.Trip invokes the hook after the flight dump,
+// with the typed reason and detail; a recorder without the hook trips
+// exactly as before.
+func TestTripObserver(t *testing.T) {
+	type trip struct {
+		reason TripReason
+		detail string
+	}
+	var trips []trip
+	r := New(Config{
+		Procs:        1,
+		FlightSink:   io.Discard,
+		TripObserver: func(reason TripReason, detail string) { trips = append(trips, trip{reason, detail}) },
+	})
+	r.Trip(TripBarrierTimeout, "barrier 4 wedged")
+	r.Trip(TripProcPanic, "p2 panicked")
+
+	if len(trips) != 2 {
+		t.Fatalf("trip observer saw %d trips, want 2", len(trips))
+	}
+	if trips[0].reason != TripBarrierTimeout || trips[0].detail != "barrier 4 wedged" {
+		t.Fatalf("first trip mangled: %+v", trips[0])
+	}
+	if r.Trips() != 2 {
+		t.Fatalf("Trips() = %d, want 2", r.Trips())
+	}
+
+	// Hook-less recorders are untouched by the feature.
+	plain := New(Config{Procs: 1, FlightSink: io.Discard})
+	plain.Trip(TripLinkDead, "no observer")
+	if plain.Trips() != 1 {
+		t.Fatalf("plain recorder Trips() = %d, want 1", plain.Trips())
+	}
+}

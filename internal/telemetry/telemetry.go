@@ -273,6 +273,17 @@ type Config struct {
 	// Metrics is the registry event-derived metrics update; nil → a fresh
 	// registry, retrievable via Recorder.Metrics.
 	Metrics *Registry
+	// Observer, when non-nil, receives every recorded event synchronously
+	// on the emitting goroutine, after the event has landed in its ring.
+	// It is how a live consumer (the detection service's report store)
+	// tails a recording session without polling the rings. Implementations
+	// must be fast, safe for concurrent use, and must not call back into
+	// the recorder.
+	Observer func(Event)
+	// TripObserver, when non-nil, receives every flight-recorder trip
+	// (after the dump has been written to FlightSink), with the typed
+	// reason and the free-form detail line. Same constraints as Observer.
+	TripObserver func(reason TripReason, detail string)
 }
 
 func (c Config) withDefaults() Config {
@@ -565,6 +576,9 @@ func (r *Recorder) Trip(reason TripReason, detail string) {
 		r.tripCount[reason].Add(1)
 	}
 	r.DumpFlight(r.cfg.FlightSink, fmt.Sprintf("%s: %s", reason, detail))
+	if r.cfg.TripObserver != nil {
+		r.cfg.TripObserver(reason, detail)
+	}
 }
 
 // Trips returns how many flight dumps this recorder has produced.
@@ -614,6 +628,9 @@ func (r *Recorder) emit(proc int, k Kind, vt int64, a, b, c int64, msg string) {
 	case KShardCompare:
 		r.shardEnt.Observe(float64(a))
 		r.shardCmp.Observe(float64(c))
+	}
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(e)
 	}
 }
 
