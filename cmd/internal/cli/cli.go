@@ -6,21 +6,42 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
 
-// WriteFile creates path and streams write into it, closing on all paths.
+// WriteFile atomically replaces path with what write streams out: the
+// content goes to a temp file in the destination directory, is synced,
+// and only then renamed over path — a crash mid-write can never leave a
+// torn manifest or metrics file, only the old content or the new.
 func WriteFile(path string, write func(io.Writer) error) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // fields splits a comma-separated flag value, trimming blanks; an empty

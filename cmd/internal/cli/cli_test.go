@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v1")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("wrote %q, want v1", b)
+	}
+
+	// A failing writer must leave the previous content intact and no temp
+	// file behind — the atomicity contract.
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "torn")
+		return fmt.Errorf("mid-write crash")
+	})
+	if err == nil || err.Error() != "mid-write crash" {
+		t.Fatalf("writer error not propagated: %v", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v1" {
+		t.Fatalf("failed write corrupted the destination: %q", b)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp droppings left behind: %v", names)
+	}
+
+	// A successful rewrite replaces the content whole.
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "v2")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "v2" {
+		t.Fatalf("rewrite produced %q, want v2", b)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "x"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("writing into a missing directory succeeded")
+	}
+}

@@ -11,6 +11,8 @@
 //
 //	racedsvc -addr :8321
 //	racedsvc -addr :8321 -max-sessions 8 -queue 128 -session-timeout 5m
+//	racedsvc -addr :8321 -data /var/lib/racedsvc        # durable report store
+//	racedsvc -addr :8321 -tenant-max-active 4           # per-tenant quotas
 //
 // Then:
 //
@@ -43,20 +45,39 @@ func main() {
 	subBuf := flag.Int("subscriber-buf", service.DefaultSubscriberBuf, "per-subscriber buffer (records)")
 	keepDone := flag.Int("keep-done", 1024, "finished sessions kept queryable")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace for in-flight HTTP requests")
+	dataDir := flag.String("data", "", "durable report-store directory: records persist to a content-addressed segment log and replay on restart (empty = in-memory only)")
+	storeSync := flag.Int("store-sync", 1, "fsync the report log every N records (1 = every record durable before the append returns; negative = only on shutdown)")
+	tenantMaxActive := flag.Int("tenant-max-active", 0, "per-tenant cap on queued+running sessions; beyond it that tenant gets 429 (0 = unlimited)")
+	tenantMaxQueued := flag.Int("tenant-max-queued", 0, "per-tenant cap on queued sessions (0 = unlimited)")
 	flag.Parse()
 
-	svc := service.New(service.Config{
-		MaxSessions:    *maxSessions,
-		QueueDepth:     *queue,
-		SessionTimeout: *sessionTimeout,
-		StoreCap:       *storeCap,
-		SubscriberBuf:  *subBuf,
-		KeepDone:       *keepDone,
+	svc, replay, err := service.Open(service.Config{
+		MaxSessions:     *maxSessions,
+		QueueDepth:      *queue,
+		SessionTimeout:  *sessionTimeout,
+		StoreCap:        *storeCap,
+		SubscriberBuf:   *subBuf,
+		KeepDone:        *keepDone,
+		DataDir:         *dataDir,
+		StoreSyncEvery:  *storeSync,
+		TenantMaxActive: *tenantMaxActive,
+		TenantMaxQueued: *tenantMaxQueued,
 	})
+	if err != nil {
+		log.Fatalf("racedsvc: opening report store: %v", err)
+	}
+	if *dataDir != "" {
+		fmt.Printf("report store: durable at %s (%d records replayed, resuming at seq %d)\n",
+			*dataDir, replay.Records, replay.LastSeq+1)
+		if replay.Truncation != "" {
+			fmt.Fprintf(os.Stderr, "racedsvc: WARNING: %s\n", replay.Truncation)
+		}
+	}
 	// WriteTimeout 0: /reports/stream subscribers hold their response open
 	// for as long as they like; per-write deadlines would cut them off.
 	srv, bound, err := cli.Serve(*addr, cli.Mux(svc.Handler()), 0)
-	if err != nil {
+	if err != nil { // svc.Close syncs the report log even on listen failure
+		svc.Close()
 		log.Fatal(err)
 	}
 	fmt.Printf("racedsvc on http://%s: POST /sessions, GET /reports[/stream], /metrics, /healthz, /version\n", bound)

@@ -24,7 +24,6 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"sync"
 	"time"
 
 	"lrcrace/cmd/internal/cli"
@@ -57,7 +56,8 @@ func main() {
 	out := flag.String("out", "", "write the summary JSON here")
 	metricsOut := flag.String("metrics-out", "", "write the aggregated metrics JSON here (deterministic)")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /sweep and /flight/<cell> on this address during the run")
-	remote := flag.String("remote", "", "dispatch cells to a racedsvc at this address instead of running them locally")
+	remote := flag.String("remote", "", "dispatch cells to racedsvc nodes (comma-separated addresses) instead of running locally; failed nodes fail over")
+	tenant := flag.String("tenant", "", "tenant identity stamped on remote sessions (quota accounting)")
 	flag.Parse()
 
 	plan, err := buildPlan(*planFile, axisFlags{
@@ -96,7 +96,7 @@ func main() {
 	defer stop()
 	var summary *sweep.Summary
 	if *remote != "" {
-		summary, err = runRemote(ctx, s, plan, *remote, *workers)
+		summary, err = runRemote(ctx, s, plan, cli.Strings(*remote), *tenant, *workers)
 	} else {
 		summary, err = s.Run(ctx)
 	}
@@ -126,62 +126,33 @@ func main() {
 	}
 }
 
-// runRemote dispatches every pending cell to a detection service as a
-// session and merges the returned results through sweep.Record — the same
-// results map and checkpoint files a local run uses, so the summary,
-// metrics document, and resume behavior are identical to running locally.
-func runRemote(ctx context.Context, s *sweep.Sweep, plan *sweep.Plan, addr string, workers int) (*sweep.Summary, error) {
-	client := service.NewClient(addr)
-	if err := client.Health(ctx); err != nil {
-		return s.Summary(), fmt.Errorf("remote %s: %w", addr, err)
+// runRemote dispatches every pending cell across the detection-service
+// nodes as sessions and merges the returned results through sweep.Record
+// — the same results map and checkpoint files a local run uses, so the
+// summary, metrics document, and resume behavior are identical to
+// running locally. With several nodes, cells go to the least-loaded live
+// node and fail over to survivors when a node dies mid-run.
+func runRemote(ctx context.Context, s *sweep.Sweep, plan *sweep.Plan, addrs []string, tenant string, workers int) (*sweep.Summary, error) {
+	if len(addrs) == 0 {
+		return s.Summary(), fmt.Errorf("remote dispatch: no node addresses")
 	}
+	d := service.NewDispatcher(addrs, service.DispatchConfig{
+		Workers: workers,
+		Logf: func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}).Tenant(tenant)
 	pending := s.Pending()
-	fmt.Printf("remote dispatch: %d pending cells -> %s\n", len(pending), client.Base)
-
-	jobs := make(chan sweep.Cell)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
+	fmt.Printf("remote dispatch: %d pending cells -> %d node(s)\n", len(pending), len(addrs))
+	err := d.Run(ctx, pending, plan.Faults, plan.RealMsgDelayUS, s.Record)
+	for _, ns := range d.Stats() {
+		fmt.Printf("node %s: %d cells, %d failures, %d breaker trips\n",
+			ns.Addr, ns.Dispatched, ns.Failures, ns.BreakerTrips)
 	}
-	if workers < 1 {
-		workers = 1
+	if n := d.Redispatches(); n > 0 {
+		fmt.Printf("failover re-dispatches: %d\n", n)
 	}
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range jobs {
-				res, err := client.RunCell(ctx, c, plan.Faults, plan.RealMsgDelayUS)
-				if err != nil {
-					fail(fmt.Errorf("cell %s: %w", c.ID, err))
-					continue
-				}
-				if err := s.Record(res); err != nil {
-					fail(err)
-				}
-			}
-		}()
-	}
-feed:
-	for _, c := range pending {
-		select {
-		case jobs <- c:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr == nil {
-		firstErr = ctx.Err()
-	}
-	return s.Summary(), firstErr
+	return s.Summary(), err
 }
 
 type axisFlags struct {

@@ -1,0 +1,258 @@
+package castore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// openCollect opens the log in dir and collects every replayed payload.
+func openCollect(t *testing.T, dir string, opts SegLogOptions) (*SegLog, [][]byte, *Truncation) {
+	t.Helper()
+	var got [][]byte
+	l, trunc, err := OpenSegLog(dir, opts, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, got, trunc
+}
+
+func TestSegLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, got, trunc := openCollect(t, dir, SegLogOptions{})
+	if len(got) != 0 || trunc != nil {
+		t.Fatalf("fresh log replayed %d entries, trunc %v", len(got), trunc)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf(`{"seq":%d,"detail":"entry %d"}`, i+1, i))
+		want = append(want, p)
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, trunc := openCollect(t, dir, SegLogOptions{})
+	defer l2.Close()
+	if trunc != nil {
+		t.Fatalf("clean log truncated: %v", trunc)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("entry %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+	if st := l2.Stats(); st.Replayed != 100 {
+		t.Fatalf("stats replayed %d, want 100", st.Replayed)
+	}
+}
+
+func TestSegLogRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, dir, SegLogOptions{MaxSegmentBytes: 128, SyncEvery: -1})
+	for i := 0; i < 50; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	l.Close()
+
+	l2, got, trunc := openCollect(t, dir, SegLogOptions{MaxSegmentBytes: 128})
+	defer l2.Close()
+	if trunc != nil {
+		t.Fatalf("rotated log truncated: %v", trunc)
+	}
+	if len(got) != 50 {
+		t.Fatalf("replayed %d entries across segments, want 50", len(got))
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("payload-%03d", i); string(p) != want {
+			t.Fatalf("entry %d = %q, want %q", i, p, want)
+		}
+	}
+	// Appends continue in the highest segment after reopen.
+	if _, err := l2.Append([]byte("after-reopen")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lastSegment returns the path of the highest-indexed segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	idxs, err := segIndexes(dir)
+	if err != nil || len(idxs) == 0 {
+		t.Fatalf("no segments in %s: %v", dir, err)
+	}
+	return filepath.Join(dir, segName(idxs[len(idxs)-1]))
+}
+
+func TestSegLogTamperedTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, dir, SegLogOptions{})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("entry-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip a payload bit inside the final entry.
+	path := lastSegment(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-2] ^= 0x40
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got, trunc := openCollect(t, dir, SegLogOptions{})
+	if trunc == nil {
+		t.Fatal("tampered tail replayed without a truncation report")
+	}
+	if len(got) != 9 {
+		t.Fatalf("replayed %d entries after tamper, want 9 (the verifiable prefix)", len(got))
+	}
+	if !strings.Contains(trunc.Reason, "corrupt") {
+		t.Errorf("truncation reason %q does not name the corruption", trunc.Reason)
+	}
+	if trunc.DroppedBytes <= 0 {
+		t.Errorf("truncation dropped %d bytes, want > 0", trunc.DroppedBytes)
+	}
+	// The log stays usable: append lands after the verified prefix and a
+	// clean reopen sees 9 + 1 entries.
+	if _, err := l2.Append([]byte("after-truncation")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, got, trunc := openCollect(t, dir, SegLogOptions{})
+	defer l3.Close()
+	if trunc != nil {
+		t.Fatalf("log still truncating after heal: %v", trunc)
+	}
+	if len(got) != 10 || string(got[9]) != "after-truncation" {
+		t.Fatalf("post-heal replay = %d entries (last %q), want 10 ending in the new append", len(got), got[len(got)-1])
+	}
+}
+
+func TestSegLogTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, dir, SegLogOptions{})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("entry-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Cut the file mid-entry, as a crash mid-write would.
+	path := lastSegment(t, dir)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, trunc := openCollect(t, dir, SegLogOptions{})
+	defer l2.Close()
+	if trunc == nil || len(got) != 4 {
+		t.Fatalf("torn tail: %d entries, trunc %v; want 4 entries and a truncation", len(got), trunc)
+	}
+}
+
+func TestSegLogRejectedEntryTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, dir, SegLogOptions{})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("entry-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// A consumer that cannot decode an otherwise well-hashed entry cuts
+	// the log there, exactly like corruption.
+	n := 0
+	_, trunc, err := OpenSegLog(dir, SegLogOptions{}, func(p []byte) error {
+		n++
+		if n == 3 {
+			return fmt.Errorf("undecodable")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc == nil || !strings.Contains(trunc.Reason, "undecodable") {
+		t.Fatalf("rejected entry produced truncation %v, want reason naming the rejection", trunc)
+	}
+}
+
+func TestSegLogSegmentGapTruncates(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, dir, SegLogOptions{MaxSegmentBytes: 64, SyncEvery: -1})
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	idxs, _ := segIndexes(dir)
+	if len(idxs) < 3 {
+		t.Fatalf("need >= 3 segments for a gap, have %d", len(idxs))
+	}
+	if err := os.Remove(filepath.Join(dir, segName(idxs[1]))); err != nil {
+		t.Fatal(err)
+	}
+	l2, got, trunc := openCollect(t, dir, SegLogOptions{MaxSegmentBytes: 64})
+	defer l2.Close()
+	if trunc == nil || !strings.Contains(trunc.Reason, "segment gap") {
+		t.Fatalf("gap replay returned truncation %v, want a segment-gap reason", trunc)
+	}
+	// Only the first segment's entries survive.
+	for i, p := range got {
+		if want := fmt.Sprintf("payload-%03d", i); string(p) != want {
+			t.Fatalf("entry %d = %q, want %q", i, p, want)
+		}
+	}
+}
+
+func TestSegLogSyncCadence(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _ := openCollect(t, dir, SegLogOptions{SyncEvery: 5})
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Fsyncs != 2 {
+		t.Fatalf("12 appends at SyncEvery=5 issued %d fsyncs, want 2", st.Fsyncs)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Fsyncs != 3 {
+		t.Fatalf("manual Sync did not flush the remainder: %d fsyncs", st.Fsyncs)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Fsyncs != 3 {
+		t.Fatalf("no-op Sync still fsynced: %d", st.Fsyncs)
+	}
+	l.Close()
+}

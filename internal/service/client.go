@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,6 +26,12 @@ type Client struct {
 	// HTTP is the underlying client; nil → a client with a 90s timeout
 	// (long-polls are capped at 60s server-side).
 	HTTP *http.Client
+	// Tenant, when non-empty, is stamped on every submitted request so the
+	// service accounts the sessions (and enforces quotas) against it.
+	Tenant string
+	// Rand supplies backoff jitter in [0,1); nil → math/rand. Tests pin it
+	// for determinism.
+	Rand func() float64
 }
 
 // NewClient builds a client for addr ("host:port" or a full http URL).
@@ -42,20 +50,61 @@ func (c *Client) http() *http.Client {
 }
 
 // apiErrorOf decodes a non-2xx response into the matching typed error.
-func apiErrorOf(status int, body []byte) error {
+// Malformed and empty bodies still yield useful errors: a 503 or 429
+// degrades to the typed retryable error (so dispatch backoff keeps
+// working even through a proxy that rewrote the body) with the raw
+// message as Detail, everything else to a descriptive untyped error. The
+// Retry-After header, when parseable, is surfaced on the typed error.
+func apiErrorOf(status int, header http.Header, body []byte) error {
+	retryAfter := parseRetryAfter(header)
 	var ae apiError
 	if json.Unmarshal(body, &ae) == nil && ae.Code != "" {
 		switch ae.Code {
 		case codeInvalidRequest:
 			return &RequestError{Reason: ae.Error}
+		case codeQuota:
+			return &QuotaError{RetryAfter: retryAfter, Detail: ae.Error}
 		case codeOverloaded:
-			return &OverloadError{}
+			return &OverloadError{RetryAfter: retryAfter, Detail: ae.Error}
 		case codeShuttingDown:
 			return ErrClosed
 		}
 		return fmt.Errorf("service: http %d: %s", status, ae.Error)
 	}
-	return fmt.Errorf("service: http %d: %s", status, bytes.TrimSpace(body))
+	detail := string(bytes.TrimSpace(body))
+	if len(detail) > 200 {
+		detail = detail[:200] + "..."
+	}
+	switch status {
+	case http.StatusServiceUnavailable:
+		return &OverloadError{RetryAfter: retryAfter, Detail: nonEmpty(detail, "503 with unreadable body")}
+	case http.StatusTooManyRequests:
+		return &QuotaError{RetryAfter: retryAfter, Detail: nonEmpty(detail, "429 with unreadable body")}
+	}
+	if detail == "" {
+		return fmt.Errorf("service: http %d (empty error body)", status)
+	}
+	return fmt.Errorf("service: http %d: %s", status, detail)
+}
+
+func nonEmpty(s, fallback string) string {
+	if s == "" {
+		return fallback
+	}
+	return s
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After header; 0 when
+// absent or in the (unsupported) HTTP-date form.
+func parseRetryAfter(h http.Header) time.Duration {
+	if h == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out interface{}) error {
@@ -73,7 +122,7 @@ func (c *Client) getJSON(ctx context.Context, path string, out interface{}) erro
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		return apiErrorOf(resp.StatusCode, body)
+		return apiErrorOf(resp.StatusCode, resp.Header, body)
 	}
 	return json.Unmarshal(body, out)
 }
@@ -100,6 +149,9 @@ func (c *Client) Health(ctx context.Context) error {
 // *RequestError (never retryable), *OverloadError and ErrClosed
 // (retryable after backoff).
 func (c *Client) Submit(ctx context.Context, r RunRequest) (SessionInfo, error) {
+	if r.Tenant == "" {
+		r.Tenant = c.Tenant
+	}
 	b, err := json.Marshal(r)
 	if err != nil {
 		return SessionInfo{}, err
@@ -119,7 +171,7 @@ func (c *Client) Submit(ctx context.Context, r RunRequest) (SessionInfo, error) 
 		return SessionInfo{}, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return SessionInfo{}, apiErrorOf(resp.StatusCode, body)
+		return SessionInfo{}, apiErrorOf(resp.StatusCode, resp.Header, body)
 	}
 	var info SessionInfo
 	if err := json.Unmarshal(body, &info); err != nil {
@@ -157,10 +209,11 @@ func (c *Client) Reports(ctx context.Context, session string, since uint64, max 
 	return batch, err
 }
 
-// RunCell runs one sweep cell remotely: submit (retrying overload with
-// backoff), wait, and return the cell's result — interchangeable with
-// running the cell in a local sweep pool. faults and realMsgDelayUS carry
-// the plan-level template the cell's grid was expanded under.
+// RunCell runs one sweep cell remotely: submit (retrying overload and
+// tenant-quota rejections with jittered backoff), wait, and return the
+// cell's result — interchangeable with running the cell in a local sweep
+// pool. faults and realMsgDelayUS carry the plan-level template the
+// cell's grid was expanded under.
 func (c *Client) RunCell(ctx context.Context, cell sweep.Cell, faults *sweep.FaultAxis, realMsgDelayUS int64) (*sweep.CellResult, error) {
 	req := RequestFor(cell, faults, realMsgDelayUS)
 	backoff := 50 * time.Millisecond
@@ -171,12 +224,20 @@ func (c *Client) RunCell(ctx context.Context, cell sweep.Cell, faults *sweep.Fau
 		if err == nil {
 			break
 		}
-		var ovl *OverloadError
-		if !errors.As(err, &ovl) {
+		retryAfter, retryable := retryableAfter(err)
+		if !retryable {
 			return nil, err
 		}
+		// The server's Retry-After wins over our own schedule; either way
+		// the wait is jittered so a fleet of rejected cells does not retry
+		// in lockstep and re-overload the node in one synchronized wave.
+		wait := backoff
+		if retryAfter > 0 {
+			wait = retryAfter
+		}
+		wait += time.Duration(float64(wait) * c.rand())
 		select {
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -192,4 +253,26 @@ func (c *Client) RunCell(ctx context.Context, cell sweep.Cell, faults *sweep.Fau
 		return nil, fmt.Errorf("service: session %s ended %s without a result", info.ID, final.State)
 	}
 	return final.Result, nil
+}
+
+// retryableAfter classifies a Submit error: overload and tenant-quota
+// rejections clear on their own (sessions finish), so they are worth
+// retrying, with the server's Retry-After when it sent one.
+func retryableAfter(err error) (time.Duration, bool) {
+	var ovl *OverloadError
+	if errors.As(err, &ovl) {
+		return ovl.RetryAfter, true
+	}
+	var quo *QuotaError
+	if errors.As(err, &quo) {
+		return quo.RetryAfter, true
+	}
+	return 0, false
+}
+
+func (c *Client) rand() float64 {
+	if c.Rand != nil {
+		return c.Rand()
+	}
+	return mrand.Float64()
 }
