@@ -30,8 +30,11 @@ func main() {
 	races := flag.Bool("races", false, "print only the race findings")
 	enhance := flag.Bool("enhancements", false, "print only the §6.5 enhancement predictions")
 	shardCmp := flag.Bool("shardcompare", false, "print only the serial-vs-sharded barrier check comparison")
+	treeCmp := flag.Bool("treecompare", false, "print only the flat-vs-combining-tree barrier comparison")
 	figProcs := flag.String("figprocs", "2,4,8", "processor counts for figure 4")
 	shardProcs := flag.String("shardprocs", "4,8", "processor counts for -shardcompare")
+	treeProcs := flag.String("treeprocs", "8,16,32,64", "processor counts for -treecompare")
+	treeArity := flag.Int("treearity", 2, "combining-tree arity for -treecompare")
 	metricsOut := flag.String("metrics-out", "", "also write machine-readable metrics JSON (per-app baseline/detect snapshots) to this file")
 	canonical := flag.Bool("canonical", false, "strip wall-clock-dependent series from -metrics-out (byte-deterministic for deterministic apps)")
 	prefill := flag.Int("prefill", 0, "run up to N application pairs concurrently before printing (0 = sequential)")
@@ -44,7 +47,7 @@ func main() {
 			log.Fatalf("prefill: %v", err)
 		}
 	}
-	all := *table == 0 && *figure == 0 && !*races && !*enhance && !*shardCmp
+	all := *table == 0 && *figure == 0 && !*races && !*enhance && !*shardCmp && !*treeCmp
 
 	out := os.Stdout
 	run := func(name string, f func() error) {
@@ -86,6 +89,13 @@ func main() {
 			log.Fatalf("-shardprocs: %v", err)
 		}
 		run("shardcompare", func() error { return suite.ShardCompareTable(out, counts) })
+	}
+	if *treeCmp {
+		counts, err := cli.Ints(*treeProcs, 2)
+		if err != nil {
+			log.Fatalf("-treeprocs: %v", err)
+		}
+		run("treecompare", func() error { return suite.TreeCompareTable(out, counts, *treeArity) })
 	}
 	if *metricsOut != "" {
 		if err := cli.WriteFile(*metricsOut, suite.WriteMetricsJSON); err != nil {

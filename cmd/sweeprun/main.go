@@ -9,6 +9,7 @@
 //
 //	sweeprun -apps TSP,Water -procs 2,4 -workers 4
 //	sweeprun -apps SOR -protocols sw,mw -sharded 0,1 -metrics-out m.json
+//	sweeprun -apps Water -procs 8,16,32 -barrier-tree 0,2 # flat vs tree barrier
 //	sweeprun -plan plan.json -dir sweep.ckpt        # resumable
 //	sweeprun -apps Water -metrics-addr :9090        # live /metrics, /sweep
 //	sweeprun -apps TSP -drop 0.05 -seeds 0,1,2      # wire-fault sweep
@@ -39,6 +40,7 @@ func main() {
 	protocols := flag.String("protocols", "", "protocol axis: sw,mw (default sw)")
 	detect := flag.String("detect", "", "detection axis: true,false (default true)")
 	sharded := flag.String("sharded", "", "sharded-check axis: true,false (default false)")
+	barrierTree := flag.String("barrier-tree", "", "combining-tree barrier arity axis: 0 = flat, else arity >= 2 (default 0)")
 	checkpoint := flag.String("checkpoint", "", "checkpointing axis: true,false (default true)")
 	crash := flag.String("crash", "", "crash-mode axis for chaos apps: none,single,double,recovery (default none)")
 	corrupt := flag.String("corrupt", "", "checkpoint-corruption axis: none,chunk,delete (default none; needs -crash)")
@@ -62,7 +64,7 @@ func main() {
 
 	plan, err := buildPlan(*planFile, axisFlags{
 		apps: *apps, scales: *scales, procs: *procs, protocols: *protocols,
-		detect: *detect, sharded: *sharded, checkpoint: *checkpoint,
+		detect: *detect, sharded: *sharded, barrierTree: *barrierTree, checkpoint: *checkpoint,
 		crash: *crash, corrupt: *corrupt, seeds: *seeds,
 		drop: *drop, dup: *dup, reorder: *reorder, jitterUS: *jitterUS, msgDelayUS: *msgDelayUS,
 	})
@@ -156,10 +158,10 @@ func runRemote(ctx context.Context, s *sweep.Sweep, plan *sweep.Plan, addrs []st
 }
 
 type axisFlags struct {
-	apps, scales, procs, protocols, detect, sharded, checkpoint string
-	crash, corrupt, seeds                                       string
-	drop, dup, reorder                                          float64
-	jitterUS, msgDelayUS                                        int64
+	apps, scales, procs, protocols, detect, sharded string
+	barrierTree, checkpoint, crash, corrupt, seeds  string
+	drop, dup, reorder                              float64
+	jitterUS, msgDelayUS                            int64
 }
 
 func buildPlan(planFile string, a axisFlags) (*sweep.Plan, error) {
@@ -191,6 +193,9 @@ func buildPlan(planFile string, a axisFlags) (*sweep.Plan, error) {
 	}
 	if p.Sharded, err = cli.Bools(a.sharded); err != nil {
 		return nil, fmt.Errorf("-sharded: %w", err)
+	}
+	if p.BarrierTrees, err = cli.Ints(a.barrierTree, 0); err != nil {
+		return nil, fmt.Errorf("-barrier-tree: %w", err)
 	}
 	if p.Checkpoint, err = cli.Bools(a.checkpoint); err != nil {
 		return nil, fmt.Errorf("-checkpoint: %w", err)

@@ -1,0 +1,100 @@
+package lrcrace
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinksResolve audits every relative markdown link in README.md and
+// docs/*.md: the target file must exist, and a #fragment must match a
+// heading in the target (GitHub's slug rules). Docs grow by cross-linking
+// — README → docs/SCALING.md → DETECTOR/PROTOCOL/ROBUSTNESS and back —
+// and a renamed file or heading silently strands every link into it.
+func TestDocLinksResolve(t *testing.T) {
+	files := []string{"README.md"}
+	docs, err := filepath.Glob(filepath.Join("docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, docs...)
+	if len(docs) == 0 {
+		t.Fatal("no docs/*.md files found")
+	}
+
+	anchors := map[string]map[string]bool{} // file -> set of heading slugs
+	headingRe := regexp.MustCompile(`(?m)^#{1,6}\s+(.+)$`)
+	loadAnchors := func(path string) (map[string]bool, error) {
+		if got, ok := anchors[path]; ok {
+			return got, nil
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		set := map[string]bool{}
+		for _, m := range headingRe.FindAllStringSubmatch(string(b), -1) {
+			set[githubSlug(m[1])] = true
+		}
+		anchors[path] = set
+		return set, nil
+	}
+
+	linkRe := regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	for _, src := range files {
+		b, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(b), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := src
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(src), path)
+				if st, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s links to %q: %v", src, target, err)
+					continue
+				} else if st.IsDir() {
+					continue // directory links have no anchors to check
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				continue // only markdown targets get heading-slug anchors
+			}
+			set, err := loadAnchors(resolved)
+			if err != nil {
+				t.Errorf("%s links to %q: %v", src, target, err)
+				continue
+			}
+			if !set[frag] {
+				t.Errorf("%s links to %q: no heading in %s slugs to #%s", src, target, resolved, frag)
+			}
+		}
+	}
+}
+
+// githubSlug reduces a markdown heading to GitHub's anchor slug: inline
+// markup stripped, lowercased, punctuation dropped, spaces to hyphens.
+func githubSlug(heading string) string {
+	// [text](url) -> text, then drop `, *, _ markup characters.
+	heading = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).ReplaceAllString(heading, "$1")
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteRune('-')
+		}
+	}
+	return b.String()
+}

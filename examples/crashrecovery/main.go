@@ -23,9 +23,9 @@ func main() {
 		Point:  lrcrace.CrashHoldingLock, // ...while holding a lock
 	}
 	sys, err := lrcrace.New(lrcrace.Config{
-		NumProcs:           4,
-		SharedSize:         16 * 1024,
-		Detect:             true,
+		NumProcs:   4,
+		SharedSize: 16 * 1024,
+		Detect:     true,
 		// Checkpointing is on by default: every barrier departure deposits
 		// a chunk-deduplicated manifest the rollback below restores from.
 		Reliable:           true,            // link death detects the crash

@@ -516,14 +516,32 @@ func (p *Proc) Barrier() {
 	p.tel.Emit(p.id, telemetry.KBarrierArrive, v, int64(p.epoch), 0, 0)
 	p.mu.Unlock()
 
-	nbytes := p.send(0, arr, v)
+	dest := 0
+	var am msg.Message = arr
+	if t := p.tree; t != nil {
+		// Combining tree: the arrival goes to the tree parent; interior
+		// nodes (and the root) self-address it so their own contribution
+		// enters the reduction through the same service-thread path.
+		am = &msg.TreeArrive{BarrierArrive: *arr}
+		if t.expect > 0 {
+			dest = p.id
+		} else {
+			dest = treeParent(p.id, t.arity)
+		}
+	}
+	nbytes := p.send(dest, am, v)
 	p.mu.Lock()
 	p.recordSyncSend(recs, nbytes)
 	p.mu.Unlock()
 
 	d := p.waitReplyTimeout("barrier release")
-	rel, ok := d.Msg.(*msg.BarrierRelease)
-	if !ok {
+	var rel *msg.BarrierRelease
+	switch m := d.Msg.(type) {
+	case *msg.BarrierRelease:
+		rel = m
+	case *msg.TreeRelease:
+		rel = &m.BarrierRelease
+	default:
 		p.protocolBug("barrier arrive answered with %T", d.Msg)
 	}
 

@@ -91,6 +91,17 @@ type Config struct {
 	// Requires Detect.
 	ShardedCheck bool
 
+	// BarrierTree selects the combining-tree barrier with the given arity
+	// (≥ 2): arrivals reduce up a k-ary tree rooted at process 0 — each
+	// interior node merging its subtree's interval metadata and building
+	// the check-list slice for the pairs that first meet there — and the
+	// release cascades back down it (see tree.go). 0 selects the flat
+	// centralized barrier, which remains the cross-validation oracle;
+	// reported races and detector state are identical under both. Composes
+	// with ShardedCheck (the tree handles arrivals and the build, the
+	// shards handle the bitmap comparison).
+	BarrierTree int
+
 	// Model is the virtual-time cost model; zero value → costmodel.Default.
 	Model costmodel.Model
 
@@ -269,6 +280,9 @@ func (c *Config) fill() error {
 	if c.ShardedCheck && !c.Detect {
 		return fmt.Errorf("dsm: ShardedCheck distributes the race check and so requires Detect")
 	}
+	if c.BarrierTree == 1 || c.BarrierTree < 0 {
+		return fmt.Errorf("dsm: BarrierTree = %d: the combining tree needs arity ≥ 2 (0 = flat barrier)", c.BarrierTree)
+	}
 	if c.Detect && c.Protocol == EagerRC {
 		return fmt.Errorf("dsm: race detection requires LRC metadata (intervals, version vectors, notices) that the eager protocol does not maintain — use SingleWriter or MultiWriter")
 	}
@@ -357,6 +371,7 @@ type System struct {
 	symbols   []Symbol
 
 	detector *race.Detector // lives at the barrier master (proc 0)
+	raceOpts race.Options   // detector options, reused by the distributed build
 
 	// Crash recovery (see checkpoint.go / recovery.go). crashes is the
 	// merged plan list (Config.Crash + Config.Crashes).
@@ -367,9 +382,10 @@ type System struct {
 	stop      chan struct{} // closed when an attempt's app threads have all exited
 
 	recMu      sync.Mutex
-	suspect    int    // proc suspected dead this attempt; -1 unknown
-	suspectVia string // "link-death" | "barrier-timeout" | ""
-	crashSeen  bool   // an injected crashPanic unwound this attempt
+	suspect    int          // proc suspected dead this attempt; -1 unknown
+	suspectVia string       // "link-death" | "barrier-timeout" | ""
+	crashSeen  bool         // an injected crashPanic unwound this attempt
+	aliveProcs map[int]bool // procs that proved themselves alive by accusing
 
 	runErr  error
 	runOnce sync.Once
@@ -387,11 +403,12 @@ func New(cfg Config) (*System, error) {
 	}
 	s := &System{cfg: cfg, layout: l, tel: telemetry.To(cfg.Recorder), crashes: cfg.crashPlans()}
 	if cfg.Detect {
-		s.detector = race.NewDetector(l, race.Options{
+		s.raceOpts = race.Options{
 			FirstOnly:         cfg.FirstOnly,
 			PageBitmapOverlap: cfg.PageBitmapOverlap,
 			NumPages:          l.NumPages,
-		})
+		}
+		s.detector = race.NewDetector(l, s.raceOpts)
 	}
 	return s, nil
 }

@@ -140,6 +140,10 @@ type Proc struct {
 	// Barrier-master state (proc 0 only).
 	bar *barrierState
 
+	// Combining-tree barrier state (Config.BarrierTree ≥ 2, every
+	// process; see tree.go).
+	tree *treeState
+
 	// Sharded-check round state (Config.ShardedCheck, every process);
 	// shardPend parks round messages arriving before our release. See
 	// shard.go.
@@ -249,6 +253,9 @@ func newProc(s *System, id int) *Proc {
 			bmFrom:      make([]bool, n),
 		}
 	}
+	if k := s.cfg.BarrierTree; k >= 2 {
+		p.tree = newTreeState(id, k, n)
+	}
 	return p
 }
 
@@ -334,7 +341,7 @@ func (p *Proc) waitReplyTimeout(op string) simnet.Delivery {
 	}
 }
 
-// barrierBlame derives a crash suspect from the barrier master's arrival
+// barrierBlame derives a crash suspect from the barrier round's
 // bookkeeping after a reply wait timed out on op. Only a barrier wait may
 // name suspects: there, a missing process has demonstrably gone silent.
 // During any other wait (a lock grant wedged by a dead holder, say) the
@@ -346,10 +353,49 @@ func (p *Proc) waitReplyTimeout(op string) simnet.Delivery {
 // chain through the victim stalls every process queued after it), and
 // guessing wrongly would roll the blame onto a healthy process. Leave it
 // to the link-death detector or the crash plan's ground truth to sharpen.
+//
+// Under the combining-tree barrier every interior node holds its own
+// coverage ledger, so blame is multi-hop: a node missing exactly one
+// DIRECT contribution names that child (or itself) — which may itself be
+// a healthy interior node wedged behind a deeper victim; the verdicts
+// from every hop are then reconciled by noteTimeoutVerdict, where a
+// process that accused someone has proven itself alive and so cannot
+// remain the suspect.
 func (p *Proc) barrierBlame(op string) (suspect int, detail string) {
 	suspect = -1
 	barrierWait := op == "barrier release" || op == "barrier bitmap round"
-	if p.bar == nil || !barrierWait {
+	if !barrierWait {
+		return suspect, ""
+	}
+	if t := p.tree; t != nil {
+		p.mu.Lock()
+		if t.got > 0 && !t.sent {
+			// Mid-reduction: the subtree never completed. Name the one
+			// missing direct contributor; report the whole uncovered slice
+			// of the subtree for the trip message.
+			var missDirect, uncovered []int
+			for _, c := range append(treeChildren(p.id, t.arity, p.n), p.id) {
+				if !t.from[c] {
+					missDirect = append(missDirect, c)
+				}
+			}
+			for _, q := range treeSubtree(p.id, t.arity, p.n) {
+				if !t.from[q] {
+					uncovered = append(uncovered, q)
+				}
+			}
+			p.mu.Unlock()
+			if len(missDirect) == 1 {
+				suspect = missDirect[0]
+			}
+			if len(uncovered) > 0 && len(uncovered) < p.n {
+				detail = fmt.Sprintf(" (no word from %v)", uncovered)
+			}
+			return suspect, detail
+		}
+		p.mu.Unlock()
+	}
+	if p.bar == nil {
 		return suspect, ""
 	}
 	p.mu.Lock()

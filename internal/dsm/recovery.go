@@ -164,6 +164,7 @@ func (s *System) resetSuspectLocked() {
 	s.suspect = -1
 	s.suspectVia = ""
 	s.crashSeen = false
+	s.aliveProcs = nil
 	s.recMu.Unlock()
 }
 
@@ -183,6 +184,31 @@ func (s *System) noteSuspect(proc int, via string) {
 		s.suspect = proc
 	}
 	s.recMu.Unlock()
+}
+
+// noteTimeoutVerdict reconciles one process's barrier-timeout blame before
+// recording it. The accuser has demonstrably not died — it just raised a
+// timeout — which sharpens multi-hop verdicts from the combining-tree
+// barrier, where an interior node wedged behind a deeper victim is blamed
+// by its parent while itself correctly blaming the victim below: an
+// accuser displaces any earlier circumstantial verdict naming IT, and a
+// verdict naming a proven-alive process is discarded (kept only as an
+// unidentified detection). The final suspect is therefore the same
+// whichever order the survivors' timeouts fire in.
+func (s *System) noteTimeoutVerdict(accuser, suspect int) {
+	s.recMu.Lock()
+	if s.aliveProcs == nil {
+		s.aliveProcs = make(map[int]bool)
+	}
+	s.aliveProcs[accuser] = true
+	if s.suspectVia == "barrier-timeout" && s.suspect == accuser {
+		s.suspect = -1
+	}
+	if suspect >= 0 && s.aliveProcs[suspect] {
+		suspect = -1
+	}
+	s.recMu.Unlock()
+	s.noteSuspect(suspect, "barrier-timeout")
 }
 
 func (s *System) noteCrash() {
@@ -296,7 +322,7 @@ func (s *System) attempt(body func(p *Proc), plan *rollbackPlan) error {
 					return
 				case timeoutPanic:
 					ranks[i] = errTimeout
-					s.noteSuspect(pv.suspect, "barrier-timeout")
+					s.noteTimeoutVerdict(i, pv.suspect)
 					s.tel.Trip(telemetry.TripBarrierTimeout,
 						fmt.Sprintf("proc %d: %v", i, pv))
 					s.tel.Emit(i, telemetry.KCrashDetected, 0, int64(pv.suspect), 0, 0)
@@ -467,6 +493,17 @@ func (s *System) reconcileRestored() error {
 		}
 		master.bar.gvc = g
 		master.bar.epoch = master.epoch
+	}
+
+	// Combining-tree barrier: every node's per-epoch reduction state was
+	// clean at its checkpoint (the release resets it before the departure
+	// cut), so a restored node just realigns its tree epoch with its
+	// process epoch.
+	for _, q := range s.procs {
+		if t := q.tree; t != nil {
+			t.epoch = q.epoch
+			t.clear(n)
+		}
 	}
 
 	// Lock reclamation: a manager whose lastHolder has no tenure and no

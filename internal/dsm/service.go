@@ -50,6 +50,12 @@ func (p *Proc) serviceLoop() {
 			}
 		case *msg.ShardResult:
 			p.handleShardResult(d, m)
+		case *msg.TreeArrive:
+			p.handleTreeArrive(d, m)
+		case *msg.TreeReduce:
+			p.handleTreeReduce(d, m)
+		case *msg.TreeRelease:
+			p.handleTreeRelease(d, m)
 		case *msg.AcquireGrant:
 			// Consume the previous tenure's grant obligation *now*, in
 			// message order: any forward processed after this grant targets

@@ -1,0 +1,328 @@
+package dsm
+
+import (
+	"sort"
+
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/msg"
+	"lrcrace/internal/race"
+	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
+	"lrcrace/internal/vc"
+)
+
+// Combining-tree barrier (Config.BarrierTree).
+//
+// The flat barrier funnels all N arrivals — and the whole check-list build
+// — through process 0. With BarrierTree: k (arity k ≥ 2; children of p are
+// kp+1…kp+k, parent ⌊(p−1)/k⌋, root 0), arrivals instead reduce up a
+// combining tree: each interior node waits for its own arrival plus one
+// fully-reduced contribution per child, merges their interval records and
+// vectors, runs the partial check-list build over the pairs that first
+// meet at this node (race.BuildPartialCheckList — every cross-process pair
+// spans two contributions at exactly one node, the LCA of the two
+// processes), and forwards one TreeReduce to its parent. The root folds
+// the partial lists (race.FoldCheckLists) into the same barrierState the
+// flat master uses, so the release payload, the bitmap rounds (serial or
+// sharded), checkpoints, and recovery all run unchanged — and the reported
+// races and detector state are byte-identical to the flat oracle's.
+//
+// The release cascades down the same tree: the root sends one TreeRelease
+// to itself; every node forwards a copy to its children before departing,
+// so the release reaches depth d in d hops instead of one N-way broadcast.
+// Forwarding is cut-through, not store-and-forward: a node re-stamps the
+// copy one header latency after its parent's send time, so the payload's
+// transmission delay is charged once per receiver (in arrival()) rather
+// than once per hop — the same accounting the flat master's broadcast
+// gets, where every receiver is charged independently off one send time.
+// Each extra tree level therefore costs one MsgLatency, not a full
+// re-serialization of the records and check list.
+//
+// Epoch safety needs no buffering: a node forwards the release to a child
+// before resetting its own per-epoch state, and the child cannot reach the
+// next barrier — let alone contribute to it — before receiving that
+// release, so per-link FIFO guarantees a contribution never arrives at a
+// parent still holding the previous epoch.
+
+// treeParent returns the combining-tree parent of proc id under arity k.
+func treeParent(id, k int) int { return (id - 1) / k }
+
+// treeChildren returns the tree children of proc id under arity k with n
+// processes, in ascending order.
+func treeChildren(id, k, n int) []int {
+	var kids []int
+	for c := k*id + 1; c <= k*id+k && c < n; c++ {
+		kids = append(kids, c)
+	}
+	return kids
+}
+
+// treeSubtree returns every process in the subtree rooted at id (id
+// included), in ascending order.
+func treeSubtree(id, k, n int) []int {
+	out := []int{id}
+	for i := 0; i < len(out); i++ {
+		out = append(out, treeChildren(out[i], k, n)...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// treeState is one process's per-epoch combining-tree bookkeeping. Leaves
+// have expect == 0 and contribute nothing locally; interior nodes (and the
+// root) collect expect = len(children)+1 contributions — their own arrival
+// travels through the network as a self-addressed TreeArrive so every
+// contribution takes the same path.
+type treeState struct {
+	arity  int
+	expect int
+
+	epoch int32
+	got   int
+	sent  bool // this epoch's reduction (or root release) has been emitted
+
+	// from marks which processes the collected contributions cover — a
+	// TreeArrive covers its sender, a TreeReduce covers the sender's whole
+	// subtree. Only this node's own subtree positions are ever set; the
+	// coverage ledger is what multi-hop crash blame reads.
+	from []bool
+
+	records []*interval.Record
+	groups  [][]*interval.Record // one group per contribution, for the partial build
+	gvc     vc.VC
+	maxArr  int64
+	minArr  int64 // earliest arrival in the subtree; -1 = none yet
+
+	entries []race.CheckEntry // partial check lists merged from children
+	merged  race.BuildStats
+}
+
+func newTreeState(id, k, n int) *treeState {
+	t := &treeState{
+		arity:  k,
+		gvc:    vc.New(n),
+		minArr: -1,
+		from:   make([]bool, n),
+	}
+	if kids := treeChildren(id, k, n); len(kids) > 0 || id == 0 {
+		t.expect = len(kids) + 1
+	}
+	return t
+}
+
+// clear resets the per-epoch fields (everything but arity/expect/epoch).
+func (t *treeState) clear(n int) {
+	t.got = 0
+	t.sent = false
+	t.records = nil
+	t.groups = nil
+	t.entries = nil
+	t.merged = race.BuildStats{}
+	t.gvc = vc.New(n)
+	t.maxArr = 0
+	t.minArr = -1
+	for i := range t.from {
+		t.from[i] = false
+	}
+}
+
+// handleTreeArrive merges one process's own barrier arrival into this
+// node's reduction (service thread; interior nodes and the root only —
+// including the node's own self-addressed arrival).
+func (p *Proc) handleTreeArrive(d simnet.Delivery, m *msg.TreeArrive) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.tree
+	if t == nil || t.expect == 0 {
+		p.protocolBug("TreeArrive at a tree leaf (or tree barrier off)")
+	}
+	if m.Epoch != t.epoch {
+		p.protocolBug("TreeArrive for epoch %d during epoch %d", m.Epoch, t.epoch)
+	}
+	arrV := p.arrival(d)
+	p.treeContributeLocked(d.From, []int{d.From}, m.Intervals, vcFromWire(m.VC), arrV, arrV, nil, race.BuildStats{})
+}
+
+// handleTreeReduce merges a child's fully-reduced subtree into this node's
+// reduction (service thread).
+func (p *Proc) handleTreeReduce(d simnet.Delivery, m *msg.TreeReduce) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t := p.tree
+	if t == nil || t.expect == 0 {
+		p.protocolBug("TreeReduce at a tree leaf (or tree barrier off)")
+	}
+	if m.Epoch != t.epoch {
+		p.protocolBug("TreeReduce for epoch %d during epoch %d", m.Epoch, t.epoch)
+	}
+	bst := race.BuildStats{
+		PairComparisons:  m.PairComparisons,
+		ConcurrentPairs:  m.ConcurrentPairs,
+		OverlappingPairs: m.OverlappingPairs,
+		NoticesScanned:   m.NoticesScanned,
+	}
+	p.treeContributeLocked(d.From, treeSubtree(d.From, t.arity, p.n),
+		m.Intervals, vcFromWire(m.VC), p.arrival(d), m.MinArr, m.Entries, bst)
+}
+
+// treeContributeLocked records one contribution (an arrival or a subtree
+// reduction) covering the given processes, and completes the node once
+// every expected contribution is in.
+func (p *Proc) treeContributeLocked(from int, covers []int, recs []*interval.Record,
+	v vc.VC, arrV, minArr int64, entries []race.CheckEntry, bst race.BuildStats) {
+	t := p.tree
+	for _, q := range covers {
+		if t.from[q] {
+			p.protocolBug("duplicate tree contribution covering p%d (from p%d, epoch %d)", q, from, t.epoch)
+		}
+		t.from[q] = true
+	}
+	t.records = append(t.records, recs...)
+	t.groups = append(t.groups, recs)
+	t.gvc.Merge(v)
+	if arrV > t.maxArr {
+		t.maxArr = arrV
+	}
+	if minArr >= 0 && (t.minArr < 0 || minArr < t.minArr) {
+		t.minArr = minArr
+	}
+	t.entries = append(t.entries, entries...)
+	t.merged.Add(bst)
+	t.got++
+	if t.got == t.expect {
+		p.treeCompleteLocked()
+	}
+}
+
+// treeCompleteLocked runs when the node's subtree is fully reduced: the
+// partial check-list build over this node's cross-contribution pairs, then
+// either one TreeReduce up (interior node) or the fold and release (root).
+func (p *Proc) treeCompleteLocked() {
+	t := p.tree
+	if t.sent {
+		p.protocolBug("tree reduction for epoch %d already sent", t.epoch)
+	}
+	model := p.sys.cfg.Model
+	var work int64
+	if p.sys.cfg.Detect {
+		entries, bst := race.BuildPartialCheckList(p.sys.raceOpts, t.groups)
+		work = bst.PairComparisons*model.IntervalCompare + bst.NoticesScanned*model.PageOverlap
+		p.st.TIntervalCmp += work
+		t.entries = append(t.entries, entries...)
+		t.merged.Add(bst)
+	}
+	doneV := t.maxArr + model.Handler + work
+	t.sent = true
+
+	if p.id != 0 {
+		p.tel.Emit(p.id, telemetry.KTreeReduce, doneV, int64(t.epoch), int64(len(t.records)), work)
+		red := &msg.TreeReduce{
+			Epoch:            t.epoch,
+			VC:               vcToWire(t.gvc),
+			Intervals:        t.records,
+			MinArr:           t.minArr,
+			Entries:          t.entries,
+			PairComparisons:  t.merged.PairComparisons,
+			ConcurrentPairs:  t.merged.ConcurrentPairs,
+			OverlappingPairs: t.merged.OverlappingPairs,
+			NoticesScanned:   t.merged.NoticesScanned,
+		}
+		nbytes := p.send(treeParent(p.id, t.arity), red, doneV)
+		p.recordSyncSend(t.records, nbytes)
+		return
+	}
+
+	// Root: fold the distributed build into the flat master's barrierState,
+	// so everything downstream of the release — bitmap rounds, checkpoint
+	// extras, recovery reconciliation — runs exactly as under the flat
+	// barrier.
+	b := p.bar
+	if b == nil || t.epoch != b.epoch {
+		p.protocolBug("tree reduction complete for epoch %d at barrier epoch %d", t.epoch, b.epoch)
+	}
+	b.records = t.records
+	b.gvc.Merge(t.gvc)
+	b.maxArr = t.maxArr
+	b.minArr = t.minArr
+	b.check = nil
+	if p.sys.cfg.Detect {
+		b.check = p.sys.detector.FoldCheckLists(len(t.records), t.entries, t.merged)
+	}
+
+	p.tel.Emit(p.id, telemetry.KBarrierRelease, doneV,
+		int64(b.epoch), int64(len(b.records)), b.maxArr-b.minArr)
+	rel := &msg.TreeRelease{BarrierRelease: msg.BarrierRelease{
+		Epoch:       b.epoch,
+		GlobalVC:    vcToWire(b.gvc),
+		Intervals:   b.records,
+		Check:       b.check,
+		NeedBitmaps: len(b.check) > 0,
+	}}
+	if p.sys.cfg.ShardedCheck && len(b.check) > 0 {
+		rel.ShardOwner = race.PartitionCheckList(b.check, p.n)
+	}
+	// One self-send starts the cascade; handleTreeRelease forwards to the
+	// children — sending copies here too would deliver the release twice.
+	nbytes := p.send(p.id, rel, doneV)
+	p.recordSyncSend(b.records, nbytes)
+	switch {
+	case len(b.check) == 0:
+		p.resetBarrierLocked()
+	case p.sys.cfg.ShardedCheck:
+		// Kept for the sharded round's fold (finishShardedCheckLocked).
+	default:
+		b.bmWait = true
+		b.bmCount = 0
+		b.bmMaxArr = 0
+		b.bmSource = make(map[bmKey]mem.Bitmap)
+	}
+}
+
+// handleTreeRelease runs at every process when its copy of the release
+// arrives (service thread): forward the cascade to the tree children FIRST
+// — before resetting, so per-link FIFO keeps next-epoch contributions
+// behind this epoch's release — then reset the per-epoch tree state and
+// hand the release to the application thread.
+func (p *Proc) handleTreeRelease(d simnet.Delivery, m *msg.TreeRelease) {
+	p.mu.Lock()
+	t := p.tree
+	if t == nil {
+		p.mu.Unlock()
+		p.protocolBug("TreeRelease with the tree barrier off")
+	}
+	arr := p.arrival(d) + p.sys.cfg.Model.Handler
+	// Cut-through forwarding: the copy leaves one header latency after the
+	// parent's send time, while the payload is still streaming in, so a
+	// child's arrival() charges the transmission delay once end-to-end
+	// instead of once per hop. The node's own processing still waits for
+	// the full payload (arr above).
+	fwdV := d.VTime + p.sys.cfg.Model.MsgLatency
+	kids := treeChildren(p.id, t.arity, p.n)
+	for _, c := range kids {
+		fwd := &msg.TreeRelease{BarrierRelease: m.BarrierRelease}
+		nbytes := p.send(c, fwd, fwdV)
+		p.recordSyncSend(m.Intervals, nbytes)
+	}
+	p.tel.Emit(p.id, telemetry.KTreeRelease, arr, int64(m.Epoch), int64(len(kids)), 0)
+	p.resetTreeLocked(m.Epoch)
+	p.mu.Unlock()
+	if m.NeedBitmaps && p.sys.cfg.ShardedCheck && len(m.ShardOwner) > 0 {
+		p.initShardState(d, &m.BarrierRelease)
+	}
+	p.replyCh <- d
+	if !m.NeedBitmaps {
+		p.awaitCheckpoint()
+	}
+}
+
+// resetTreeLocked advances the tree state past the released epoch.
+// Idempotent: a stale call for an already-reset epoch is a no-op.
+func (p *Proc) resetTreeLocked(epoch int32) {
+	t := p.tree
+	if t == nil || t.epoch != epoch {
+		return
+	}
+	t.epoch++
+	t.clear(p.n)
+}

@@ -227,6 +227,7 @@ func runChaos(cfg RunConfig) (*Result, error) {
 		Protocol:           cfg.Protocol,
 		Detect:             cfg.Detect,
 		ShardedCheck:       cfg.ShardedCheck,
+		BarrierTree:        cfg.BarrierTree,
 		FirstOnly:          cfg.FirstOnly,
 		PageBitmapOverlap:  cfg.PageBitmapOverlap,
 		WritesFromDiffs:    cfg.WritesFromDiffs,

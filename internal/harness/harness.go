@@ -39,6 +39,11 @@ type RunConfig struct {
 	// processes (check-list partition by page, binary-tree result
 	// reduction) instead of serializing it at the master. Requires Detect.
 	ShardedCheck bool
+	// BarrierTree replaces the flat all-to-master barrier with a combining
+	// tree of this arity (dsm.Config.BarrierTree): arrivals reduce up the
+	// tree with per-hop partial check-list builds, releases broadcast down.
+	// 0 → flat barrier; arity ≥ 2 otherwise. Composes with ShardedCheck.
+	BarrierTree int
 	// RealMsgDelay couples real scheduling to wire latency; needed by the
 	// lock-queue application (TSP) at small scales. 0 → per-app default.
 	RealMsgDelay time.Duration
@@ -163,6 +168,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		Protocol:           cfg.Protocol,
 		Detect:             cfg.Detect,
 		ShardedCheck:       cfg.ShardedCheck,
+		BarrierTree:        cfg.BarrierTree,
 		FirstOnly:          cfg.FirstOnly,
 		PageBitmapOverlap:  cfg.PageBitmapOverlap,
 		WritesFromDiffs:    cfg.WritesFromDiffs,

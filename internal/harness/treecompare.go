@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/race"
+	"lrcrace/internal/telemetry"
+)
+
+// This file measures the combining-tree barrier (dsm.Config.BarrierTree)
+// against the flat all-to-master barrier. The quantity compared is the
+// same dsm_barrier_wait_ns series the sharded-check comparison uses —
+// virtual time from a process's barrier arrival to its departure, one
+// sample per process per epoch, exact percentiles from the recorder's raw
+// events. Under the flat barrier every arrival serializes at the master
+// and the whole check list is built there inside the wait; under the tree
+// arrivals reduce up ⌈log_k N⌉ hops and each interior node pre-builds the
+// check-list slice for the interval pairs whose contributions meet at it,
+// so the master only folds.
+//
+// Every comparison doubles as a correctness gate: the two topologies must
+// report identical races and leave the detector in identical persistent
+// state, or TreeCompare returns an error instead of a table. The flat
+// barrier stays in the tree as the oracle keeping the topology honest.
+
+// TreeCompareRow is one process-count measurement of the flat-versus-tree
+// barrier on the synthetic workload.
+type TreeCompareRow struct {
+	Procs int
+	Arity int
+	// Entries is the check-list entry total the detector built over the
+	// flat run — identical in the tree run (verified, not assumed).
+	Entries int64
+	// Nearest-rank percentiles of dsm_barrier_wait_ns, in virtual ns.
+	FlatP50, FlatP99 int64
+	TreeP50, TreeP99 int64
+}
+
+// SpeedupP50 is the flat/tree ratio of median barrier waits.
+func (r TreeCompareRow) SpeedupP50() float64 { return waitRatio(r.FlatP50, r.TreeP50) }
+
+// SpeedupP99 is the flat/tree ratio of tail barrier waits.
+func (r TreeCompareRow) SpeedupP99() float64 { return waitRatio(r.FlatP99, r.TreeP99) }
+
+// treeSyntheticOutcome carries one run's latency samples plus everything
+// the byte-identity gate compares.
+type treeSyntheticOutcome struct {
+	waits   []int64
+	entries int64
+	races   []race.Report
+	det     race.State
+}
+
+// runTreeSynthetic drives the MultiWriter protocol through a workload
+// whose barrier wait is dominated by the check-list *build* — the work the
+// combining tree actually distributes — rather than by payload bytes,
+// which no topology can shrink (every process must receive every record
+// either way). Each process runs cycles lock/unlock pairs per epoch on a
+// private lock, splitting the epoch into 2·cycles concurrent intervals;
+// pair-comparison work at the master grows with (intervals·procs)² while
+// the record payload grows only linearly, so the serialized build is the
+// dominant term at wide process counts. Every interval writes a private
+// chunk of pages homed at the writer (pg ≡ p mod procs: diffs and faults
+// are loopback, and no cross-process page sharing means a near-empty
+// check list), plus one deliberate write-write overlap on a shared page
+// so the race sets being diffed are non-empty.
+func runTreeSynthetic(procs, arity int) (treeSyntheticOutcome, error) {
+	const (
+		pageSize = 256 // 32 words
+		epochs   = 3
+		cycles   = 4  // lock/unlock pairs per epoch -> 2·cycles intervals
+		chunk    = 32 // private pages written per interval
+	)
+	var out treeSyntheticOutcome
+	if procs < 2 || procs > 128 {
+		return out, fmt.Errorf("harness: %d procs outside the synthetic's 2..128 range", procs)
+	}
+	// Page 0 is the shared race page; process p's private page j lives at
+	// (1+j)·procs + p, so its home (pg mod procs) is p itself.
+	perProc := 2 * cycles * chunk
+	pages := (1 + perProc) * procs
+	rec := telemetry.New(telemetry.Config{Procs: procs, Cap: -1})
+	s, err := dsm.New(dsm.Config{
+		NumProcs:    procs,
+		SharedSize:  pages * pageSize,
+		PageSize:    pageSize,
+		Protocol:    dsm.MultiWriter,
+		Detect:      true,
+		BarrierTree: arity,
+		Recorder:    rec,
+	})
+	if err != nil {
+		return out, err
+	}
+	base, err := s.AllocWords("grid", pages*pageSize/8)
+	if err != nil {
+		return out, err
+	}
+	err = s.Run(func(p *dsm.Proc) {
+		private := func(j int) mem.Addr {
+			return base + mem.Addr((1+j)*procs+p.ID())*pageSize
+		}
+		for e := 0; e < epochs; e++ {
+			slot := 0
+			for c := 0; c < cycles; c++ {
+				p.Lock(p.ID())
+				for i := 0; i < chunk; i++ {
+					p.Write(private(slot), uint64(slot))
+					slot++
+				}
+				p.Unlock(p.ID())
+				for i := 0; i < chunk; i++ {
+					p.Write(private(slot), uint64(slot))
+					slot++
+				}
+			}
+			if e == 0 && p.ID() < 2 {
+				// The deliberate race: procs 0 and 1 overlap on one word
+				// of the shared page.
+				p.Write(base+8, uint64(p.ID()))
+			}
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		return out, err
+	}
+	out.waits = barrierWaitNS(rec)
+	out.entries = int64(s.DetectorStats().CheckEntries)
+	out.races = s.Races()
+	out.det = s.DetectorState()
+	return out, nil
+}
+
+// TreeCompare measures the flat-versus-tree barrier wait on the synthetic
+// workload at each process count (nil → 8, 16, 32, 64; arity 0 → 2),
+// verifying at every point that the tree run reproduced the flat run's
+// races and detector state byte-for-byte.
+func (s *Suite) TreeCompare(procCounts []int, arity int) ([]TreeCompareRow, error) {
+	if len(procCounts) == 0 {
+		procCounts = []int{8, 16, 32, 64}
+	}
+	if arity == 0 {
+		arity = 2
+	}
+	var rows []TreeCompareRow
+	for _, pc := range procCounts {
+		flat, err := runTreeSynthetic(pc, 0)
+		if err != nil {
+			return nil, fmt.Errorf("harness: synthetic flat barrier at %d procs: %w", pc, err)
+		}
+		tree, err := runTreeSynthetic(pc, arity)
+		if err != nil {
+			return nil, fmt.Errorf("harness: synthetic tree barrier at %d procs: %w", pc, err)
+		}
+		if !reflect.DeepEqual(flat.races, tree.races) {
+			return nil, fmt.Errorf("harness: tree barrier at %d procs arity %d diverged from the flat oracle's races:\nflat: %v\ntree: %v",
+				pc, arity, flat.races, tree.races)
+		}
+		if !reflect.DeepEqual(flat.det, tree.det) {
+			return nil, fmt.Errorf("harness: tree barrier at %d procs arity %d diverged from the flat oracle's detector state", pc, arity)
+		}
+		if len(flat.races) == 0 {
+			return nil, fmt.Errorf("harness: synthetic workload at %d procs found no races; the identity gate proves nothing", pc)
+		}
+		rows = append(rows, TreeCompareRow{
+			Procs: pc, Arity: arity, Entries: flat.entries,
+			FlatP50: pctNS(flat.waits, 0.50), FlatP99: pctNS(flat.waits, 0.99),
+			TreeP50: pctNS(tree.waits, 0.50), TreeP99: pctNS(tree.waits, 0.99),
+		})
+	}
+	return rows, nil
+}
+
+// TreeCompareTable prints the flat-versus-tree barrier wait comparison
+// (EXPERIMENTS.md's combining-tree section and docs/SCALING.md's table).
+func (s *Suite) TreeCompareTable(w io.Writer, procCounts []int, arity int) error {
+	rows, err := s.TreeCompare(procCounts, arity)
+	if err != nil {
+		return err
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	fmt.Fprintln(w, "Flat vs. combining-tree barrier (dsm_barrier_wait_ns, exact percentiles, virtual µs)")
+	fmt.Fprintf(w, "%5s %5s %9s %12s %12s %12s %12s %8s %8s\n",
+		"Procs", "Arity", "Entries",
+		"flat p50", "flat p99", "tree p50", "tree p99", "p50", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5d %5d %9d %12.0f %12.0f %12.0f %12.0f %7.2fx %7.2fx\n",
+			r.Procs, r.Arity, r.Entries,
+			us(r.FlatP50), us(r.FlatP99), us(r.TreeP50), us(r.TreeP99),
+			r.SpeedupP50(), r.SpeedupP99())
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestTreeSyntheticIdentity is the measurement path's own honesty check:
+// the tree run must reproduce the flat run's races and detector state
+// byte-for-byte, over an identical check list, with the deliberate race
+// present so the diff proves something.
+func TestTreeSyntheticIdentity(t *testing.T) {
+	flat, err := runTreeSynthetic(8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := runTreeSynthetic(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.entries == 0 || flat.entries != tree.entries {
+		t.Fatalf("check-list entries: flat %d, tree %d; want equal and nonzero", flat.entries, tree.entries)
+	}
+	if len(flat.races) == 0 {
+		t.Fatal("synthetic workload found no races; the identity gate proves nothing")
+	}
+	if !reflect.DeepEqual(flat.races, tree.races) {
+		t.Errorf("races differ:\nflat: %v\ntree: %v", flat.races, tree.races)
+	}
+	if !reflect.DeepEqual(flat.det, tree.det) {
+		t.Errorf("detector state differs:\nflat: %+v\ntree: %+v", flat.det, tree.det)
+	}
+	if len(flat.waits) == 0 || len(flat.waits) != len(tree.waits) {
+		t.Fatalf("barrier wait samples: flat %d, tree %d", len(flat.waits), len(tree.waits))
+	}
+}
+
+// TestTreeCompareSmoke runs the CI smoke cell — N=16, arity 2 — through
+// the full TreeCompare path, which includes the byte-identity gate, and
+// checks the table renders.
+func TestTreeCompareSmoke(t *testing.T) {
+	s := NewSuite(0.1, 4)
+	rows, err := s.TreeCompare([]int{16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Procs != 16 || rows[0].Entries == 0 {
+		t.Fatalf("unexpected rows: %+v", rows)
+	}
+	if rows[0].TreeP50 == 0 || rows[0].FlatP50 == 0 {
+		t.Fatalf("zero-valued percentiles: %+v", rows[0])
+	}
+
+	var buf bytes.Buffer
+	if err := s.TreeCompareTable(&buf, []int{16}, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "combining-tree barrier") || !strings.Contains(out, "16") {
+		t.Errorf("table output missing expected content:\n%s", out)
+	}
+}
+
+// TestRunConfigBarrierTree: the harness-level gate mirrors the DSM's.
+func TestRunConfigBarrierTree(t *testing.T) {
+	bad := RunConfig{App: "TSP", Procs: 2, BarrierTree: 1}
+	if err := ValidateRunConfig(bad); err == nil {
+		t.Error("BarrierTree=1 accepted")
+	}
+	bad.BarrierTree = -3
+	if err := ValidateRunConfig(bad); err == nil {
+		t.Error("BarrierTree=-3 accepted")
+	}
+	good := RunConfig{App: "TSP", Procs: 2, BarrierTree: 2}
+	if err := ValidateRunConfig(good); err != nil {
+		t.Errorf("BarrierTree=2 rejected: %v", err)
+	}
+}

@@ -27,6 +27,9 @@ func ValidateRunConfig(cfg RunConfig) error {
 	if cfg.ShardedCheck && !cfg.Detect {
 		return fmt.Errorf("harness: ShardedCheck distributes the race check and so requires Detect")
 	}
+	if cfg.BarrierTree == 1 || cfg.BarrierTree < 0 {
+		return fmt.Errorf("harness: BarrierTree = %d: the combining tree needs arity >= 2 (0 = flat barrier)", cfg.BarrierTree)
+	}
 	if cfg.Faults != nil && !cfg.Reliable &&
 		(cfg.Faults.Drop > 0 || cfg.Faults.Dup > 0 || cfg.Faults.Reorder > 0) {
 		return fmt.Errorf("harness: lossy fault plan requires the Reliable sublayer")

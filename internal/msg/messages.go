@@ -50,6 +50,13 @@ const (
 	// interior reduction-tree node's — merged race candidates and
 	// comparison-work counters, sent to its tree parent.
 	TShardResult
+
+	// Combining-tree barrier (Config.BarrierTree): a leaf's arrival at its
+	// tree parent, an interior node's merged subtree reduction to its
+	// parent, and the root's release cascading back down hop by hop.
+	TTreeArrive
+	TTreeReduce
+	TTreeRelease
 )
 
 var typeNames = map[Type]string{
@@ -61,6 +68,7 @@ var typeNames = map[Type]string{
 	TBitmapReply: "BitmapReply", TBarrierDone: "BarrierDone",
 	TRelData: "RelData", TRelAck: "RelAck",
 	TShardResult: "ShardResult",
+	TTreeArrive:  "TreeArrive", TTreeReduce: "TreeReduce", TTreeRelease: "TreeRelease",
 }
 
 func (t Type) String() string {
@@ -71,7 +79,7 @@ func (t Type) String() string {
 }
 
 // NumTypes bounds Type values for stats arrays.
-const NumTypes = int(TShardResult) + 1
+const NumTypes = int(TTreeRelease) + 1
 
 // Message is a wire message.
 type Message interface {
@@ -127,6 +135,12 @@ func Unmarshal(b []byte) (Message, error) {
 		m = &RelAck{Ack: d.U32()}
 	case TShardResult:
 		m = decodeShardResult(d)
+	case TTreeArrive:
+		m = &TreeArrive{BarrierArrive: *decodeBarrierArrive(d)}
+	case TTreeReduce:
+		m = decodeTreeReduce(d)
+	case TTreeRelease:
+		m = &TreeRelease{BarrierRelease: *decodeBarrierRelease(d)}
 	default:
 		return nil, fmt.Errorf("msg: unknown type %d: %w", uint8(t), ErrCorrupt)
 	}
@@ -663,6 +677,102 @@ func decodeShardResult(d *Decoder) *ShardResult {
 	m.WordOverlaps = int64(d.U64())
 	return m
 }
+
+// --- combining-tree barrier messages ---
+
+// TreeArrive is a process's barrier arrival under the combining-tree
+// barrier (Config.BarrierTree): the same payload as BarrierArrive — epoch,
+// current vector, and the epoch's interval records with their notices —
+// but addressed to the process's tree parent rather than the master, where
+// it is merged into the subtree reduction instead of a flat count.
+type TreeArrive struct {
+	BarrierArrive
+}
+
+// Type implements Message.
+func (*TreeArrive) Type() Type { return TTreeArrive }
+
+// TreeReduce carries a fully-reduced subtree up one hop of the combining
+// tree: the merged interval records and vector of every process in the
+// sender's subtree, the subtree's earliest arrival (for the skew gauge),
+// the partial check list the sender built over its cross-contribution
+// pairs (race.BuildPartialCheckList), and that build's work counters so
+// the root's race.Stats stay byte-identical to the serial master's.
+type TreeReduce struct {
+	Epoch     int32
+	VC        []uint32
+	Intervals []*interval.Record
+	MinArr    int64
+	Entries   []race.CheckEntry
+
+	PairComparisons  int64
+	ConcurrentPairs  int64
+	OverlappingPairs int64
+	NoticesScanned   int64
+}
+
+// Type implements Message.
+func (*TreeReduce) Type() Type { return TTreeReduce }
+func (m *TreeReduce) encode(e *Encoder) {
+	e.I32(m.Epoch)
+	e.U16(uint16(len(m.VC)))
+	for _, x := range m.VC {
+		e.U32(x)
+	}
+	encodeRecords(e, m.Intervals)
+	e.I64(m.MinArr)
+	e.U32(uint32(len(m.Entries)))
+	for _, c := range m.Entries {
+		e.IntervalID(c.A)
+		e.IntervalID(c.B)
+		e.I32(int32(c.Page))
+	}
+	e.I64(m.PairComparisons)
+	e.I64(m.ConcurrentPairs)
+	e.I64(m.OverlappingPairs)
+	e.I64(m.NoticesScanned)
+}
+func decodeTreeReduce(d *Decoder) *TreeReduce {
+	m := &TreeReduce{Epoch: d.I32()}
+	n := int(d.U16())
+	if d.err2(4 * n) {
+		return m
+	}
+	m.VC = make([]uint32, n)
+	for i := range m.VC {
+		m.VC[i] = d.U32()
+	}
+	m.Intervals = decodeRecords(d)
+	m.MinArr = d.I64()
+	nc := int(d.U32())
+	if d.err2(nc) {
+		return m
+	}
+	m.Entries = make([]race.CheckEntry, 0, nc)
+	for i := 0; i < nc; i++ {
+		var c race.CheckEntry
+		c.A = d.IntervalID()
+		c.B = d.IntervalID()
+		c.Page = mem.PageID(d.I32())
+		m.Entries = append(m.Entries, c)
+	}
+	m.PairComparisons = d.I64()
+	m.ConcurrentPairs = d.I64()
+	m.OverlappingPairs = d.I64()
+	m.NoticesScanned = d.I64()
+	return m
+}
+
+// TreeRelease is the root's release cascading down the combining tree:
+// the same payload as BarrierRelease, but each interior node forwards a
+// copy to its children before departing, so the release reaches every
+// process in tree-depth hops instead of one N-way broadcast.
+type TreeRelease struct {
+	BarrierRelease
+}
+
+// Type implements Message.
+func (*TreeRelease) Type() Type { return TTreeRelease }
 
 // EncodeReport writes one race report through e — the BarrierDone encoding,
 // exported for the checkpoint codec.

@@ -219,6 +219,15 @@ func (d *Detector) BuildCheckList(records []*interval.Record) []CheckEntry {
 	}
 	d.stats.IntervalsInvolved += len(involved)
 	d.stats.CheckEntries += len(entries)
+	sortCheckEntries(entries)
+	return entries
+}
+
+// sortCheckEntries establishes the canonical check-list order — interval
+// pair (A then B), then page. BuildCheckList emits it directly; the
+// distributed build (FoldCheckLists) restores it after merging per-node
+// partial lists, which is what keeps the two paths byte-identical.
+func sortCheckEntries(entries []CheckEntry) {
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
 		if a.A != b.A {
@@ -229,7 +238,6 @@ func (d *Detector) BuildCheckList(records []*interval.Record) []CheckEntry {
 		}
 		return a.Page < b.Page
 	})
-	return entries
 }
 
 // prunedScan enumerates exactly the concurrent cross-process pairs using
@@ -249,22 +257,34 @@ func (d *Detector) prunedScan(records []*interval.Record, examine func(a, b *int
 	sort.Ints(procs)
 	for pi := 0; pi < len(procs); pi++ {
 		for qi := pi + 1; qi < len(procs); qi++ {
-			as, bs := byProc[procs[pi]], byProc[procs[qi]]
-			for _, b := range bs {
-				// Skip the prefix of p-intervals b has already seen.
-				seen := b.VC[procs[pi]]
-				start := sort.Search(len(as), func(i int) bool { return as[i].ID.Index > seen })
-				for _, a := range as[start:] {
-					// a ⊀ b by construction; b ≺ a iff a saw b's index.
-					d.stats.PairComparisons++
-					if a.VC[procs[qi]] >= b.ID.Index {
-						continue
-					}
-					examine(a, b)
-				}
-			}
+			d.stats.PairComparisons += prunedProcPair(
+				byProc[procs[pi]], byProc[procs[qi]], procs[pi], procs[qi], examine)
 		}
 	}
+}
+
+// prunedProcPair runs the index-ordered pruned scan over one process pair:
+// as are pLow's intervals and bs are pHigh's (pLow < pHigh), each ascending
+// by index. It returns the number of candidate pairs actually compared and
+// calls examine for each concurrent one. Shared by the serial prunedScan
+// and the distributed build (BuildPartialCheckList), whose per-proc-pair
+// decomposition must count and examine exactly the same pairs.
+func prunedProcPair(as, bs []*interval.Record, pLow, pHigh int, examine func(a, b *interval.Record)) int {
+	compared := 0
+	for _, b := range bs {
+		// Skip the prefix of pLow-intervals b has already seen.
+		seen := b.VC[pLow]
+		start := sort.Search(len(as), func(i int) bool { return as[i].ID.Index > seen })
+		for _, a := range as[start:] {
+			// a ⊀ b by construction; b ≺ a iff a saw b's index.
+			compared++
+			if a.VC[pHigh] >= b.ID.Index {
+				continue
+			}
+			examine(a, b)
+		}
+	}
+	return compared
 }
 
 func lessID(a, b vc.IntervalID) bool {
@@ -280,8 +300,14 @@ func (d *Detector) overlap(a, b *interval.Record) []mem.PageID {
 	d.stats.NoticesScanned += len(a.WriteNotices) + len(a.ReadNotices) +
 		len(b.WriteNotices) + len(b.ReadNotices)
 	if d.opts.PageBitmapOverlap {
-		return d.overlapViaBitmaps(a, b)
+		return overlapViaBitmaps(d.scratchA, d.scratchB, a, b)
 	}
+	return overlapViaMerge(a, b)
+}
+
+// overlapViaMerge is the sorted-list-merge page-overlap implementation. The
+// result is a sorted page set, symmetric in (a, b).
+func overlapViaMerge(a, b *interval.Record) []mem.PageID {
 	var pages []mem.PageID
 	pages = interval.OverlapPages(a.WriteNotices, b.WriteNotices, pages)
 	pages = interval.OverlapPages(a.WriteNotices, b.ReadNotices, pages)
@@ -289,8 +315,9 @@ func (d *Detector) overlap(a, b *interval.Record) []mem.PageID {
 	return dedupPages(pages)
 }
 
-// overlapViaBitmaps is the §6.2 linear-in-system-pages variant.
-func (d *Detector) overlapViaBitmaps(a, b *interval.Record) []mem.PageID {
+// overlapViaBitmaps is the §6.2 linear-in-system-pages variant. scratchA
+// and scratchB must be sized to the system's page count.
+func overlapViaBitmaps(scratchA, scratchB mem.Bitmap, a, b *interval.Record) []mem.PageID {
 	setBits := func(bm mem.Bitmap, lists ...[]mem.PageID) {
 		bm.Reset()
 		for _, l := range lists {
@@ -306,13 +333,13 @@ func (d *Detector) overlapViaBitmaps(a, b *interval.Record) []mem.PageID {
 		}
 	}
 	// W_a ∩ (W_b ∪ R_b)
-	setBits(d.scratchA, a.WriteNotices)
-	setBits(d.scratchB, b.WriteNotices, b.ReadNotices)
-	collect(d.scratchA.Overlap(d.scratchB, nil))
+	setBits(scratchA, a.WriteNotices)
+	setBits(scratchB, b.WriteNotices, b.ReadNotices)
+	collect(scratchA.Overlap(scratchB, nil))
 	// R_a ∩ W_b
-	setBits(d.scratchA, a.ReadNotices)
-	setBits(d.scratchB, b.WriteNotices)
-	collect(d.scratchA.Overlap(d.scratchB, nil))
+	setBits(scratchA, a.ReadNotices)
+	setBits(scratchB, b.WriteNotices)
+	collect(scratchA.Overlap(scratchB, nil))
 	return dedupPages(out)
 }
 

@@ -1,0 +1,179 @@
+package race
+
+import (
+	"sort"
+
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/vc"
+)
+
+// Distributed check-list build (Config.BarrierTree).
+//
+// Under the combining-tree barrier, steps 2–3 of the detection procedure —
+// the concurrent-interval search and page-notice intersection that the
+// serial path runs entirely at the barrier master — are partitioned across
+// the interior tree nodes. Each node merges the interval records of its
+// direct contributions (its own arrival plus one pre-merged subtree per
+// child) and examines exactly the pairs that SPAN two contributions: a
+// cross-process pair is cross-contribution at precisely one node, the
+// lowest common ancestor of the two processes' leaves, so summed over the
+// whole tree the examined pairs are exactly the cross-process pairs the
+// serial BuildCheckList examines, each once. The per-node partial check
+// lists and work counters ride up the tree on TreeReduce messages; the
+// root folds them (Detector.FoldCheckLists) into the detector, restoring
+// the canonical order — leaving the check list and race.Stats
+// byte-identical to the serial oracle's.
+
+// BuildStats counts the interval-pair search work of one partial
+// check-list build — the per-node slice of the Stats counters the serial
+// BuildCheckList accumulates directly. The remaining epoch-level
+// aggregates (intervals involved, check entries) depend on the merged
+// result and are derived at the root by FoldCheckLists.
+type BuildStats struct {
+	PairComparisons  int64
+	ConcurrentPairs  int64
+	OverlappingPairs int64
+	NoticesScanned   int64
+}
+
+// Add accumulates o into s.
+func (s *BuildStats) Add(o BuildStats) {
+	s.PairComparisons += o.PairComparisons
+	s.ConcurrentPairs += o.ConcurrentPairs
+	s.OverlappingPairs += o.OverlappingPairs
+	s.NoticesScanned += o.NoticesScanned
+}
+
+// BuildPartialCheckList runs steps 2–3 of §5 over the cross-group interval
+// pairs of one combining-tree node. groups are the node's direct
+// contributions; pairs within a single group are never examined here (they
+// were already examined at a descendant, or — for same-process pairs — are
+// ordered by program order and never examined at all). All the records of
+// one process must arrive in the same group, which the barrier guarantees:
+// a process's epoch records travel together and subtree merges keep them
+// together.
+//
+// The function is stateless — callable at any process, not just one
+// holding a Detector — and allocates its own scratch bitmaps when
+// opts.PageBitmapOverlap is set (opts.NumPages must then be positive).
+// Entry orientation matches the serial build: A is the interval that sorts
+// first by (process, index).
+func BuildPartialCheckList(opts Options, groups [][]*interval.Record) ([]CheckEntry, BuildStats) {
+	var st BuildStats
+	var entries []CheckEntry
+	var scratchA, scratchB mem.Bitmap
+	if opts.PageBitmapOverlap {
+		if opts.NumPages <= 0 {
+			panic("race: BuildPartialCheckList: PageBitmapOverlap requires NumPages")
+		}
+		scratchA = mem.NewBitmap(opts.NumPages)
+		scratchB = mem.NewBitmap(opts.NumPages)
+	}
+	examine := func(a, b *interval.Record) {
+		if lessID(b.ID, a.ID) {
+			a, b = b, a
+		}
+		st.ConcurrentPairs++
+		st.NoticesScanned += int64(len(a.WriteNotices) + len(a.ReadNotices) +
+			len(b.WriteNotices) + len(b.ReadNotices))
+		var pages []mem.PageID
+		if opts.PageBitmapOverlap {
+			pages = overlapViaBitmaps(scratchA, scratchB, a, b)
+		} else {
+			pages = overlapViaMerge(a, b)
+		}
+		if len(pages) == 0 {
+			return
+		}
+		st.OverlappingPairs++
+		for _, p := range pages {
+			entries = append(entries, CheckEntry{A: a.ID, B: b.ID, Page: p})
+		}
+	}
+	if opts.PrunedPairs {
+		st.PairComparisons = prunedCrossGroups(groups, examine)
+	} else {
+		allPairsCrossGroups(groups, &st, examine)
+	}
+	return entries, st
+}
+
+// allPairsCrossGroups is the "very simple" all-pairs scan restricted to
+// cross-group pairs: every cross-process pair spanning two groups is
+// version-vector-compared (and counted) exactly once.
+func allPairsCrossGroups(groups [][]*interval.Record, st *BuildStats, examine func(a, b *interval.Record)) {
+	for gi := 0; gi < len(groups); gi++ {
+		for gj := gi + 1; gj < len(groups); gj++ {
+			for _, a := range groups[gi] {
+				for _, b := range groups[gj] {
+					if a.ID.Proc == b.ID.Proc {
+						continue // totally ordered by program order
+					}
+					st.PairComparisons++
+					if !vc.Concurrent(a.ID, a.VC, b.ID, b.VC) {
+						continue
+					}
+					examine(a, b)
+				}
+			}
+		}
+	}
+}
+
+// prunedCrossGroups is the PrunedPairs variant: the serial pruned scan
+// decomposes into independent per-process-pair scans, so running the same
+// scan for exactly the process pairs that span two groups compares (and
+// counts) the same candidates the serial scan does for those pairs.
+func prunedCrossGroups(groups [][]*interval.Record, examine func(a, b *interval.Record)) int64 {
+	byProc := map[int][]*interval.Record{}
+	groupOf := map[int]int{}
+	for gi, g := range groups {
+		for _, r := range g {
+			byProc[r.ID.Proc] = append(byProc[r.ID.Proc], r)
+			groupOf[r.ID.Proc] = gi
+		}
+	}
+	var procs []int
+	for p := range byProc {
+		sort.Slice(byProc[p], func(i, j int) bool { return byProc[p][i].ID.Index < byProc[p][j].ID.Index })
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	var compared int64
+	for pi := 0; pi < len(procs); pi++ {
+		for qi := pi + 1; qi < len(procs); qi++ {
+			p, q := procs[pi], procs[qi]
+			if groupOf[p] == groupOf[q] {
+				continue
+			}
+			compared += int64(prunedProcPair(byProc[p], byProc[q], p, q, examine))
+		}
+	}
+	return compared
+}
+
+// FoldCheckLists folds a combining tree's merged build output into the
+// detector at the root: it accumulates the distributed build's work
+// counters into Stats, derives the epoch-level aggregates (intervals
+// involved, check entries) from the merged entries, and restores the
+// canonical serial order — leaving the detector's Stats and the returned
+// check list byte-identical to a serial BuildCheckList over the epoch's
+// full record set. nrecords is that full record count.
+func (d *Detector) FoldCheckLists(nrecords int, entries []CheckEntry, bst BuildStats) []CheckEntry {
+	d.stats.Epochs++
+	d.stats.IntervalsTotal += nrecords
+	d.stats.PairComparisons += int(bst.PairComparisons)
+	d.stats.ConcurrentPairs += int(bst.ConcurrentPairs)
+	d.stats.OverlappingPairs += int(bst.OverlappingPairs)
+	d.stats.NoticesScanned += int(bst.NoticesScanned)
+	involved := make(map[vc.IntervalID]bool)
+	for _, e := range entries {
+		involved[e.A] = true
+		involved[e.B] = true
+	}
+	d.stats.IntervalsInvolved += len(involved)
+	d.stats.CheckEntries += len(entries)
+	sortCheckEntries(entries)
+	return entries
+}

@@ -45,6 +45,10 @@ type Plan struct {
 	// Sharded are sharded-check settings; empty → [false]. A true value is
 	// skipped for cells whose Detect is false (the DSM rejects it).
 	Sharded []bool `json:"sharded,omitempty"`
+	// BarrierTrees are combining-tree barrier arities
+	// (harness.RunConfig.BarrierTree): 0 is the flat barrier, k ≥ 2 a
+	// k-ary combining tree; empty → [0].
+	BarrierTrees []int `json:"barrier_trees,omitempty"`
 	// Checkpoint are barrier-epoch-checkpointing settings; empty → [true]
 	// (checkpointing is on by default; a false value measures the DSM
 	// without the recovery layer).
@@ -97,6 +101,7 @@ type Cell struct {
 	Protocol    string  `json:"protocol"`
 	Detect      bool    `json:"detect"`
 	Sharded     bool    `json:"sharded"`
+	BarrierTree int     `json:"barrier_tree,omitempty"`
 	Checkpoint  bool    `json:"checkpoint"`
 	CrashMode   string  `json:"crash_mode,omitempty"`
 	CorruptMode string  `json:"corrupt_mode,omitempty"`
@@ -114,8 +119,11 @@ func cellID(c Cell) string {
 	id := fmt.Sprintf("%s-s%g-p%d-%s-d%d-sh%d-ck%d",
 		c.App, c.Scale, c.Procs, c.Protocol,
 		boolBit(c.Detect), boolBit(c.Sharded), boolBit(c.Checkpoint))
-	// Chaos modes suffix only when active, so pre-existing sweep
-	// checkpoints keep their cell names.
+	// Tree-barrier and chaos suffixes only when active, so pre-existing
+	// sweep checkpoints keep their cell names.
+	if c.BarrierTree != 0 {
+		id += fmt.Sprintf("-bt%d", c.BarrierTree)
+	}
 	if c.CrashMode != "" && c.CrashMode != "none" {
 		id += "-cr" + c.CrashMode
 	}
@@ -151,6 +159,9 @@ func defaults(p *Plan) Plan {
 	}
 	if len(d.Sharded) == 0 {
 		d.Sharded = []bool{false}
+	}
+	if len(d.BarrierTrees) == 0 {
+		d.BarrierTrees = []int{0}
 	}
 	if len(d.Checkpoint) == 0 {
 		d.Checkpoint = []bool{true}
@@ -213,6 +224,11 @@ func (p *Plan) Expand() ([]Cell, error) {
 			return nil, fmt.Errorf("sweep: invalid process count %d", pc)
 		}
 	}
+	for _, bt := range d.BarrierTrees {
+		if bt == 1 || bt < 0 {
+			return nil, fmt.Errorf("sweep: invalid barrier-tree arity %d (0 = flat, else >= 2)", bt)
+		}
+	}
 	for _, m := range d.CrashModes {
 		if !validMode(m, harness.CrashModes) {
 			return nil, fmt.Errorf("sweep: unknown crash mode %q (want %v)", m, harness.CrashModes)
@@ -234,37 +250,39 @@ func (p *Plan) Expand() ([]Cell, error) {
 							if sh && !det {
 								continue // dsm: sharded check requires detection
 							}
-							for _, ck := range d.Checkpoint {
-								for _, cr := range d.CrashModes {
-									crash := cr != "" && cr != "none"
-									if crash && !harness.IsChaosApp(app) {
-										continue // whole-program apps cannot recover
-									}
-									if crash && !ck {
-										continue // dsm: crash plans require checkpointing
-									}
-									if crash && pc < 2 {
-										continue // no valid victim
-									}
-									if cr == "double" && pc < 3 {
-										continue // two distinct victims need three procs
-									}
-									for _, cx := range d.CorruptModes {
-										if cx != "" && cx != "none" && !crash {
-											continue // corruption is only read back under rollback
+							for _, bt := range d.BarrierTrees {
+								for _, ck := range d.Checkpoint {
+									for _, cr := range d.CrashModes {
+										crash := cr != "" && cr != "none"
+										if crash && !harness.IsChaosApp(app) {
+											continue // whole-program apps cannot recover
 										}
-										for _, seed := range d.Seeds {
-											c := Cell{
-												App: app, Scale: sc, Procs: pc, Protocol: proto,
-												Detect: det, Sharded: sh, Checkpoint: ck,
-												CrashMode: cr, CorruptMode: cx, Seed: seed,
+										if crash && !ck {
+											continue // dsm: crash plans require checkpointing
+										}
+										if crash && pc < 2 {
+											continue // no valid victim
+										}
+										if cr == "double" && pc < 3 {
+											continue // two distinct victims need three procs
+										}
+										for _, cx := range d.CorruptModes {
+											if cx != "" && cx != "none" && !crash {
+												continue // corruption is only read back under rollback
 											}
-											c.ID = cellID(c)
-											if seen[c.ID] {
-												return nil, fmt.Errorf("sweep: duplicate cell %s (repeated axis value?)", c.ID)
+											for _, seed := range d.Seeds {
+												c := Cell{
+													App: app, Scale: sc, Procs: pc, Protocol: proto,
+													Detect: det, Sharded: sh, BarrierTree: bt, Checkpoint: ck,
+													CrashMode: cr, CorruptMode: cx, Seed: seed,
+												}
+												c.ID = cellID(c)
+												if seen[c.ID] {
+													return nil, fmt.Errorf("sweep: duplicate cell %s (repeated axis value?)", c.ID)
+												}
+												seen[c.ID] = true
+												cells = append(cells, c)
 											}
-											seen[c.ID] = true
-											cells = append(cells, c)
 										}
 									}
 								}
@@ -291,6 +309,7 @@ func (p *Plan) RunConfig(c Cell) (harness.RunConfig, error) {
 		Protocol:     proto,
 		Detect:       c.Detect,
 		ShardedCheck: c.Sharded,
+		BarrierTree:  c.BarrierTree,
 		NoCheckpoint: !c.Checkpoint,
 		CrashMode:    c.CrashMode,
 		CorruptMode:  c.CorruptMode,

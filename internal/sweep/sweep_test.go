@@ -5,6 +5,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -55,6 +56,55 @@ func TestExpand(t *testing.T) {
 	}
 	if _, err := (&Plan{Apps: []string{"X", "X"}}).Expand(); err == nil {
 		t.Error("repeated axis value expanded without error")
+	}
+}
+
+func TestExpandBarrierTreeAxis(t *testing.T) {
+	p := &Plan{
+		Apps:         []string{"Water"},
+		Procs:        []int{4, 8},
+		BarrierTrees: []int{0, 2, 4},
+	}
+	cells, err := p.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 3; len(cells) != want {
+		t.Fatalf("expanded to %d cells, want %d", len(cells), want)
+	}
+	var flat, bt2 bool
+	for _, c := range cells {
+		rc, err := p.RunConfig(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc.BarrierTree != c.BarrierTree {
+			t.Fatalf("cell %s: RunConfig.BarrierTree = %d, want %d", c.ID, rc.BarrierTree, c.BarrierTree)
+		}
+		switch c.BarrierTree {
+		case 0:
+			// Flat cells keep their pre-axis names so existing sweep
+			// checkpoints stay resumable.
+			if strings.Contains(c.ID, "-bt") {
+				t.Fatalf("flat cell ID %s carries a tree suffix", c.ID)
+			}
+			flat = true
+		case 2:
+			if !strings.Contains(c.ID, "-bt2") {
+				t.Fatalf("tree cell ID %s missing -bt2 suffix", c.ID)
+			}
+			bt2 = true
+		}
+	}
+	if !flat || !bt2 {
+		t.Fatal("axis values missing from the expansion")
+	}
+
+	if _, err := (&Plan{Apps: []string{"Water"}, BarrierTrees: []int{1}}).Expand(); err == nil {
+		t.Error("arity-1 tree expanded without error")
+	}
+	if _, err := (&Plan{Apps: []string{"Water"}, BarrierTrees: []int{-2}}).Expand(); err == nil {
+		t.Error("negative arity expanded without error")
 	}
 }
 

@@ -143,6 +143,13 @@ const (
 	// KCkptCorrupt: the corruption plan damaged stored checkpoint chunks.
 	// A=target epoch, B=chunks attacked, C=mode (dsm.CorruptMode).
 	KCkptCorrupt
+	// KTreeReduce: a combining-tree barrier node finished its subtree
+	// reduction and forwarded it to its tree parent. A=epoch, B=interval
+	// records merged, C=partial check-list build work (virtual ns).
+	KTreeReduce
+	// KTreeRelease: a process received the combining-tree release (one hop
+	// of the downward cascade). A=epoch, B=tree children it was forwarded to.
+	KTreeRelease
 
 	numKinds
 )
@@ -181,6 +188,8 @@ var kindNames = [numKinds]string{
 	KCkptGC:         "CkptGC",
 	KCkptVerifyFail: "CkptVerifyFail",
 	KCkptCorrupt:    "CkptCorrupt",
+	KTreeReduce:     "TreeReduce",
+	KTreeRelease:    "TreeRelease",
 }
 
 func (k Kind) String() string {
@@ -354,14 +363,17 @@ type Recorder struct {
 
 	// Pre-resolved event-derived metrics (avoids registry lookups on the
 	// emit path).
-	evCount    [numKinds]*Counter
-	tripCount  [numTripReasons]*Counter
-	fetchHist  *Histogram
-	barHist    *Histogram
-	skewHist   *Histogram
-	lockHist   *Histogram
-	shardEnt   *Histogram
-	shardCmp   *Histogram
+	evCount     [numKinds]*Counter
+	tripCount   [numTripReasons]*Counter
+	fetchHist   *Histogram
+	barHist     *Histogram
+	skewHist    *Histogram
+	lockHist    *Histogram
+	shardEnt    *Histogram
+	shardCmp    *Histogram
+	treeBuild   *Histogram
+	treeReduces *Counter
+	treeHops    *Counter
 	ckptTotal   *Counter
 	ckptBytes   *Counter
 	ckptLogical *Counter
@@ -434,6 +446,12 @@ func New(cfg Config) *Recorder {
 		"Check-list entries per shard comparison (sharded race check).", ShardSizeBuckets)
 	r.shardCmp = m.Histogram("dsm_check_shard_compare_ns",
 		"Virtual-time cost of one shard's bitmap comparison.", LatencyBuckets)
+	r.treeBuild = m.Histogram("dsm_barrier_tree_reduce_build_ns",
+		"Virtual-time cost of one tree node's partial check-list build.", LatencyBuckets)
+	r.treeReduces = m.Counter("dsm_barrier_tree_reduces_total",
+		"Subtree reductions forwarded up the combining-tree barrier.")
+	r.treeHops = m.Counter("dsm_barrier_tree_hops_total",
+		"Release-cascade hops delivered down the combining-tree barrier.")
 	for t := TripReason(0); t < numTripReasons; t++ {
 		r.tripCount[t] = m.Counter("telemetry_trips_total",
 			"Flight-recorder trips, by reason.", Label{"reason", t.String()})
@@ -628,6 +646,11 @@ func (r *Recorder) emit(proc int, k Kind, vt int64, a, b, c int64, msg string) {
 	case KShardCompare:
 		r.shardEnt.Observe(float64(a))
 		r.shardCmp.Observe(float64(c))
+	case KTreeReduce:
+		r.treeBuild.Observe(float64(c))
+		r.treeReduces.Add(1)
+	case KTreeRelease:
+		r.treeHops.Add(1)
 	}
 	if r.cfg.Observer != nil {
 		r.cfg.Observer(e)
