@@ -7,6 +7,8 @@
 //
 //	racefind -app TSP -procs 8
 //	racefind -app Water -procs 4 -protocol mw
+//	racefind -frontend go -app KV -racy        # Go-native frontend (docs/GOFRONT.md)
+//	racefind -frontend go -app Sessions -hot-skew 0.8
 //	racefind -app SOR -first
 //	racefind -app Water -trace water.trc     # also write a post-mortem log
 //	racefind -analyze water.trc              # offline analysis of a log
@@ -31,8 +33,13 @@ import (
 )
 
 func main() {
-	app := flag.String("app", "TSP", "application: FFT, SOR, TSP, Water")
-	procs := flag.Int("procs", 8, "number of DSM processes")
+	app := flag.String("app", "TSP", "application: FFT, SOR, TSP, Water; with -frontend go: KV, Sessions")
+	frontend := flag.String("frontend", "", "execution frontend: dsm (default) or go (Go-native happens-before frontend)")
+	racy := flag.Bool("racy", false, "go frontend: plant the workload's racy fast path")
+	hotSkew := flag.Float64("hot-skew", 0, "go frontend: fraction of reads hitting the hot keys (0 = uniform)")
+	ops := flag.Int("ops", 0, "go frontend: operations per client goroutine (0 = workload default)")
+	seed := flag.Int64("seed", 0, "go frontend: workload traffic seed")
+	procs := flag.Int("procs", 8, "number of DSM processes (go frontend: client goroutines)")
 	scale := flag.Float64("scale", 1, "problem scale (1 = laptop default)")
 	protocol := flag.String("protocol", "sw", "coherence protocol: sw (single-writer) or mw (multi-writer)")
 	first := flag.Bool("first", false, "report only first races (§6.4)")
@@ -65,12 +72,21 @@ func main() {
 	}
 
 	cfg := lrcrace.ExperimentConfig{
-		App:                canonical(*app),
+		App:                canonical(*app, *frontend),
+		Frontend:           *frontend,
 		Scale:              *scale,
 		Procs:              *procs,
 		Detect:             true,
 		FirstOnly:          *first,
 		BarrierWallTimeout: *barrierTimeout,
+	}
+	if *frontend == "go" {
+		cfg.Racy = *racy
+		cfg.HotKeySkew = *hotSkew
+		cfg.OpsPerClient = *ops
+		cfg.Seed = *seed
+		cfg.FirstOnly = false
+		cfg.BarrierWallTimeout = 0
 	}
 	if *protocol == "mw" || *diffs {
 		cfg.Protocol = lrcrace.MultiWriter
@@ -111,6 +127,10 @@ func main() {
 		cfg.Tracer = tw
 	}
 
+	if *frontend == "go" && (*traceOut != "" || *diffs || *protocol == "mw" || *first) {
+		log.Fatal("racefind: -trace, -diff-writes, -first, and -protocol mw apply to the dsm frontend only")
+	}
+
 	res, err := lrcrace.RunExperiment(cfg)
 	if err != nil {
 		// If the flight recorder was armed, its dump already went to stderr
@@ -132,6 +152,38 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("trace log: %s (%d events, %d bytes)\n", *traceOut, tw.Events(), tw.Bytes())
+	}
+
+	if gf := res.GoFront; gf != nil {
+		fmt.Printf("%s on %d goroutines, go frontend (seed %d, hot-skew %g, racy %v)\n",
+			cfg.App, gf.NumGs, cfg.Seed, cfg.HotKeySkew, cfg.Racy)
+		fmt.Printf("virtual runtime %.1f ms\n\n", float64(res.VirtualNS)/1e6)
+		distinct := lrcrace.DedupRaces(res.Races)
+		if len(distinct) == 0 {
+			fmt.Println("no data races detected")
+		} else {
+			fmt.Printf("%d dynamic race reports, %d distinct:\n", len(res.Races), len(distinct))
+			for _, r := range distinct {
+				name := fmt.Sprintf("0x%x", uint64(r.Addr))
+				if sym, ok := gf.SymbolAt(r.Addr); ok {
+					name = sym
+				}
+				kind := "read-write"
+				if r.WriteWrite() {
+					kind = "write-write"
+				}
+				fmt.Printf("  %-11s race on %-14q (addr 0x%x, epoch %d)\n",
+					kind, name, uint64(r.Addr), r.Epoch)
+			}
+		}
+		s := gf.Stats
+		fmt.Printf("\nfrontend: %d goroutines, %d loads, %d stores, %d sync ops\n",
+			s.Goroutines, s.Loads, s.Stores, s.Syncs)
+		fmt.Printf("detector: %d intervals, %d pairs examined, %d concurrent,\n",
+			s.Intervals, s.PairsExamined, s.ConcurrentPairs)
+		fmt.Printf("          %d bitmaps compared, %d word overlaps, %d records GCed\n",
+			s.BitmapsCompared, s.WordOverlaps, s.RecordsGCed)
+		return
 	}
 
 	fmt.Printf("%s (%s, %s) on %d processes, %s protocol\n",
@@ -188,13 +240,17 @@ func indent(text, prefix string) string {
 	return strings.Join(lines, "\n")
 }
 
-func canonical(app string) string {
-	for _, a := range lrcrace.Apps() {
+func canonical(app, frontend string) string {
+	names := lrcrace.Apps()
+	if frontend == "go" {
+		names = lrcrace.GoWorkloads()
+	}
+	for _, a := range names {
 		if strings.EqualFold(a, app) {
 			return a
 		}
 	}
-	fmt.Fprintf(os.Stderr, "unknown app %q (have %v)\n", app, lrcrace.Apps())
+	fmt.Fprintf(os.Stderr, "unknown app %q for frontend %q (have %v)\n", app, frontend, names)
 	os.Exit(2)
 	return ""
 }

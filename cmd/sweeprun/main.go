@@ -15,6 +15,7 @@
 //	sweeprun -apps TSP -drop 0.05 -seeds 0,1,2      # wire-fault sweep
 //	sweeprun -apps ChaosTSP -crash single,double -corrupt none,chunk -seeds 0,1
 //	sweeprun -apps TSP,Water -remote host:8321      # dispatch cells to racedsvc
+//	sweeprun -apps KV,Sessions -frontends go -hot-skews 0,0.8 -racy 0,1 -seeds 0,1
 package main
 
 import (
@@ -44,7 +45,10 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpointing axis: true,false (default true)")
 	crash := flag.String("crash", "", "crash-mode axis for chaos apps: none,single,double,recovery (default none)")
 	corrupt := flag.String("corrupt", "", "checkpoint-corruption axis: none,chunk,delete (default none; needs -crash)")
-	seeds := flag.String("seeds", "", "fault-seed axis (default 0; needs a fault or chaos flag)")
+	seeds := flag.String("seeds", "", "fault-seed axis (default 0; needs a fault, chaos, or go-frontend flag)")
+	frontends := flag.String("frontends", "", "frontend axis: dsm,go (default dsm; go pairs with gofront workloads, see docs/GOFRONT.md)")
+	hotSkews := flag.String("hot-skews", "", "go-frontend hot-key-skew axis in [0,1) (default 0)")
+	racy := flag.String("racy", "", "go-frontend racy-fast-path axis: true,false (default false)")
 	drop := flag.Float64("drop", 0, "fault template: per-message drop probability")
 	dup := flag.Float64("dup", 0, "fault template: per-message duplication probability")
 	reorder := flag.Float64("reorder", 0, "fault template: per-message reorder probability")
@@ -66,6 +70,7 @@ func main() {
 		apps: *apps, scales: *scales, procs: *procs, protocols: *protocols,
 		detect: *detect, sharded: *sharded, barrierTree: *barrierTree, checkpoint: *checkpoint,
 		crash: *crash, corrupt: *corrupt, seeds: *seeds,
+		frontends: *frontends, hotSkews: *hotSkews, racy: *racy,
 		drop: *drop, dup: *dup, reorder: *reorder, jitterUS: *jitterUS, msgDelayUS: *msgDelayUS,
 	})
 	if err != nil {
@@ -160,6 +165,7 @@ func runRemote(ctx context.Context, s *sweep.Sweep, plan *sweep.Plan, addrs []st
 type axisFlags struct {
 	apps, scales, procs, protocols, detect, sharded string
 	barrierTree, checkpoint, crash, corrupt, seeds  string
+	frontends, hotSkews, racy                       string
 	drop, dup, reorder                              float64
 	jitterUS, msgDelayUS                            int64
 }
@@ -204,6 +210,13 @@ func buildPlan(planFile string, a axisFlags) (*sweep.Plan, error) {
 	p.CorruptModes = cli.Strings(a.corrupt)
 	if p.Seeds, err = cli.Int64s(a.seeds); err != nil {
 		return nil, fmt.Errorf("-seeds: %w", err)
+	}
+	p.Frontends = cli.Strings(a.frontends)
+	if p.HotSkews, err = cli.Floats(a.hotSkews); err != nil {
+		return nil, fmt.Errorf("-hot-skews: %w", err)
+	}
+	if p.Racy, err = cli.Bools(a.racy); err != nil {
+		return nil, fmt.Errorf("-racy: %w", err)
 	}
 	if a.drop > 0 || a.dup > 0 || a.reorder > 0 || a.jitterUS > 0 {
 		p.Faults = &sweep.FaultAxis{Drop: a.drop, Dup: a.dup, Reorder: a.reorder, JitterUS: a.jitterUS}

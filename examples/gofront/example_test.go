@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRacyVariantFindsHotKeyRaces pins the example's contract: the planted
+// lock-skipping read path races on hot keys of kv.val, and fixing it (the
+// same traffic, shard-locked) leaves nothing to report.
+func TestRacyVariantFindsHotKeyRaces(t *testing.T) {
+	races := findRaces(true)
+	if len(races) == 0 {
+		t.Fatal("racy KV variant found no races")
+	}
+	for _, r := range races {
+		if !strings.Contains(r, "race on kv.val[") {
+			t.Fatalf("race %q not on a kv.val hot key", r)
+		}
+	}
+	if clean := findRaces(false); len(clean) != 0 {
+		t.Fatalf("fixed KV variant raced: %v", clean)
+	}
+}
+
+// TestDeterministic: the example prints the same races every run — the
+// whole frontend is seed-deterministic, scheduler included.
+func TestDeterministic(t *testing.T) {
+	first := strings.Join(findRaces(true), "\n")
+	for i := 0; i < 3; i++ {
+		if again := strings.Join(findRaces(true), "\n"); again != first {
+			t.Fatalf("run %d diverged:\n%s\nvs\n%s", i, again, first)
+		}
+	}
+}

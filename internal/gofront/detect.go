@@ -1,0 +1,245 @@
+package gofront
+
+import (
+	"lrcrace/internal/interval"
+	"lrcrace/internal/mem"
+	"lrcrace/internal/race"
+	"lrcrace/internal/telemetry"
+	"lrcrace/internal/vc"
+)
+
+// vcClock is the version-vector type the frontend threads through sync
+// objects as release clocks.
+type vcClock = vc.VC
+
+// gcEvery is how many interval closes pass between knowledge-horizon GC
+// sweeps over the retained record history.
+const gcEvery = 64
+
+// detector is the gofront incarnation of the paper's detection procedure.
+// Instead of batching the concurrency check at barriers, it checks each
+// interval as it closes against every retained record that is concurrent
+// with it: the version-vector comparison is the same constant-time check,
+// the page-notice intersection the same pre-filter, and the word-bitmap
+// comparison the same race.CompareShard kernel the DSM barrier master
+// runs. Records ordered before every live goroutine's current knowledge
+// (the pointwise-minimum horizon) can never be concurrent with a future
+// interval and are retired, bounding the history — the Go-frontend
+// analogue of "our system only discards trace information when it has
+// been checked for races" (§6.4).
+type detector struct {
+	p       *Program
+	n       int
+	enabled bool
+
+	started []bool
+	idx     []vc.Index
+	vcs     []vc.VC
+	bld     []*interval.Builder
+	store   *interval.BitmapStore
+	records []*interval.Record
+	reports []race.Report
+
+	closes          int
+	intervals       int
+	pairsExamined   int
+	concurrentPairs int
+	checkEntries    int
+	bitmapsCompared int
+	wordOverlaps    int
+	recordsGCed     int
+
+	pageScratch []mem.PageID
+}
+
+func newDetector(p *Program) *detector {
+	n := p.cfg.MaxGs
+	d := &detector{
+		p:       p,
+		n:       n,
+		enabled: p.cfg.Detect,
+		started: make([]bool, n),
+		idx:     make([]vc.Index, n),
+		vcs:     make([]vc.VC, n),
+		bld:     make([]*interval.Builder, n),
+	}
+	if d.enabled {
+		d.store = interval.NewBitmapStore()
+	}
+	return d
+}
+
+// startG opens goroutine g's first interval with the spawning parent's
+// release clock (nil for the root).
+func (d *detector) startG(g int, parentRel vc.VC) {
+	d.started[g] = true
+	d.idx[g] = 1
+	d.vcs[g] = vc.New(d.n)
+	if parentRel != nil {
+		d.vcs[g].Merge(parentRel)
+	}
+	d.vcs[g][g] = 1
+	if d.enabled {
+		d.bld[g] = interval.NewBuilder(d.p.layout)
+	}
+}
+
+func (d *detector) noteRead(g int, a mem.Addr) {
+	if d.enabled {
+		d.bld[g].NoteRead(a)
+	}
+}
+
+func (d *detector) noteWrite(g int, a mem.Addr) {
+	if d.enabled {
+		d.bld[g].NoteWrite(a)
+	}
+}
+
+// closeInterval ends goroutine g's current interval and opens the next.
+// The returned release clock snapshots g's knowledge up to and including
+// the closed interval — but never the newly opened one, so joining it
+// elsewhere cannot falsely order accesses that follow this sync op. If
+// the interval recorded accesses, it is materialized and immediately
+// checked against the retained concurrent history.
+func (d *detector) closeInterval(g int) vc.VC {
+	rel := d.vcs[g].Copy()
+	if d.enabled && !d.bld[g].Empty() {
+		id := vc.IntervalID{Proc: g, Index: d.idx[g]}
+		r := d.bld[g].Finish(id, d.vcs[g], 0, d.store)
+		d.intervals++
+		d.p.scope.Emit(g, telemetry.KIntervalClose, d.p.vt,
+			int64(d.idx[g]), int64(len(r.WriteNotices)), int64(len(r.ReadNotices)))
+		d.check(r)
+		d.records = append(d.records, r)
+	}
+	d.idx[g]++
+	d.vcs[g][g] = d.idx[g]
+	d.closes++
+	if d.enabled && d.closes%gcEvery == 0 {
+		d.gc()
+	}
+	return rel
+}
+
+// join merges a release clock into goroutine g's current knowledge — the
+// acquire half of every happens-before edge.
+func (d *detector) join(g int, rel vc.VC) {
+	if rel != nil {
+		d.vcs[g].Merge(rel)
+	}
+}
+
+// check compares the newly closed record r against every retained record
+// of another goroutine that is concurrent with it: page-notice overlap
+// pre-filter, then the word-bitmap comparison kernel.
+func (d *detector) check(r *interval.Record) {
+	pairs, bitmaps, found := 0, 0, 0
+	var entries []race.CheckEntry
+	for _, s := range d.records {
+		if s.ID.Proc == r.ID.Proc {
+			continue
+		}
+		pairs++
+		if !vc.Concurrent(s.ID, s.VC, r.ID, r.VC) {
+			continue
+		}
+		d.concurrentPairs++
+		pages := d.pageScratch[:0]
+		pages = interval.OverlapPages(s.WriteNotices, r.WriteNotices, pages)
+		pages = interval.OverlapPages(s.WriteNotices, r.ReadNotices, pages)
+		pages = interval.OverlapPages(s.ReadNotices, r.WriteNotices, pages)
+		d.pageScratch = pages
+		if len(pages) == 0 {
+			continue
+		}
+		interval.SortPages(pages)
+		last := mem.PageID(-1)
+		for _, pg := range pages {
+			if pg == last {
+				continue
+			}
+			last = pg
+			entries = append(entries, race.CheckEntry{A: s.ID, B: r.ID, Page: pg})
+		}
+	}
+	d.pairsExamined += pairs
+	if len(entries) > 0 {
+		reports, st := race.CompareShard(d.p.layout, entries, race.StoreSource{Store: d.store}, 0)
+		d.checkEntries += len(entries)
+		d.bitmapsCompared += st.BitmapsCompared
+		d.wordOverlaps += st.WordOverlaps
+		bitmaps = st.BitmapsCompared
+		found = len(reports)
+		d.reports = append(d.reports, reports...)
+	}
+	d.p.scope.Emit(r.ID.Proc, telemetry.KGoCheck, d.p.vt, int64(pairs), int64(bitmaps), int64(found))
+}
+
+// gc retires records at or below the knowledge horizon: the pointwise
+// minimum of every live goroutine's version vector. Such a record precedes
+// every interval any live goroutine can still open (vectors only grow), so
+// it can never again appear in a concurrent pair.
+//
+// A blocked goroutine contributes not its stale current clock but that
+// clock merged with its resume lower bound (futureLB): the clock it is
+// guaranteed to join before it runs again — the join target's current
+// clock, the lock holder's, the WaitGroup's accumulated Dones. Without
+// this, a root goroutine parked in Join for the whole run would pin the
+// horizon at its spawn-time knowledge and nothing could ever be retired.
+func (d *detector) gc() {
+	var horizon vc.VC
+	for _, g := range d.p.gs {
+		if g.state == gDone || !d.started[g.id] {
+			continue
+		}
+		eff := d.vcs[g.id]
+		if g.state == gBlocked && g.futureLB != nil {
+			if lb := g.futureLB(); lb != nil {
+				eff = eff.Copy()
+				eff.Merge(lb)
+			}
+		}
+		if horizon == nil {
+			horizon = eff.Copy()
+			continue
+		}
+		for i, x := range eff {
+			if x < horizon[i] {
+				horizon[i] = x
+			}
+		}
+	}
+	if horizon == nil {
+		return
+	}
+	// A goroutine slot that may still be spawned into has seen nothing
+	// yet from the horizon's perspective only via its future parent's
+	// clock — but the spawn edge will carry the parent's knowledge, which
+	// is already bounded below by the horizon, so unspawned slots need no
+	// adjustment.
+	kept := d.records[:0]
+	for _, r := range d.records {
+		if r.ID.Index > horizon[r.ID.Proc] {
+			kept = append(kept, r)
+		} else {
+			d.recordsGCed++
+		}
+	}
+	clear(d.records[len(kept):])
+	d.records = kept
+	for proc := 0; proc < d.n; proc++ {
+		d.store.DiscardUpTo(proc, horizon[proc])
+	}
+}
+
+// finishAll closes the current interval of every goroutine that has not
+// exited (blocked or abandoned by a deadlock), so accesses up to the block
+// point still enter the check.
+func (d *detector) finishAll() {
+	for _, g := range d.p.gs {
+		if g.state != gDone && d.started[g.id] {
+			d.closeInterval(g.id)
+		}
+	}
+}

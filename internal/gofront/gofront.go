@@ -1,0 +1,453 @@
+// Package gofront is a Go-native happens-before frontend for the paper's
+// interval/vector-clock race detector. Where the DSM frontend derives
+// intervals from lock tenures and barrier epochs over page traffic, this
+// frontend models Go-memory-model programs directly: goroutines
+// (spawn/join), channels (unbuffered rendezvous and buffered FIFO edges),
+// Mutex/RWMutex, and WaitGroup. Every synchronization operation closes the
+// running goroutine's current interval and opens a new one — the paper's
+// "new interval at every acquire, release, or barrier" rule generalized to
+// Go sync edges — and the per-location access bitmaps of each closed
+// interval are checked against the retained concurrent history exactly as
+// the DSM detector checks at barriers.
+//
+// Programs execute under a deterministic cooperative scheduler: exactly one
+// modeled goroutine runs at a time, control is handed off through a baton
+// channel pair, and a seeded PRNG picks the next runnable goroutine at each
+// yield point. The same seed therefore produces the same linearization, the
+// same trace, and the same race set — which is what makes the package's
+// cross-validation contract testable: the linearized trace replays through
+// the classic per-access detector (internal/hbdet) via ReplayHB, and the
+// two detectors must flag identical racy-address sets.
+package gofront
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lrcrace/internal/mem"
+	"lrcrace/internal/race"
+	"lrcrace/internal/telemetry"
+)
+
+// Virtual-time costs per modeled operation, in nanoseconds. They are
+// arbitrary but fixed: virtual time orders nothing (the scheduler does) and
+// exists so gofront runs report a deterministic VirtualNS alongside the DSM
+// frontend's.
+const (
+	costAccess = 2
+	costSync   = 40
+	costSpawn  = 100
+	costSched  = 8
+)
+
+// Config sizes one modeled program.
+type Config struct {
+	// MaxGs bounds the goroutine count and fixes the version-vector width.
+	// 0 → 16.
+	MaxGs int
+	// MemBytes is the modeled shared segment size. 0 → 64 KiB.
+	MemBytes int
+	// PageBytes is the detector page size (the page-granularity race-check
+	// pre-filter). 0 → 512.
+	PageBytes int
+	// Seed drives the scheduler's runnable-goroutine choice.
+	Seed int64
+	// Detect enables the interval detector. The trace is recorded either
+	// way, so hbdet replay works on detection-off runs too.
+	Detect bool
+	// Recorder optionally receives scoped telemetry (KGoSync, KGoCheck,
+	// KIntervalClose, KRaceFound).
+	Recorder *telemetry.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxGs <= 0 {
+		c.MaxGs = 16
+	}
+	if c.MemBytes <= 0 {
+		c.MemBytes = 1 << 16
+	}
+	if c.PageBytes <= 0 {
+		c.PageBytes = 512
+	}
+	return c
+}
+
+// Symbol names a modeled shared variable: Alloc'd address range plus name.
+type Symbol struct {
+	Name  string
+	Addr  mem.Addr
+	Words int
+}
+
+type gstate uint8
+
+const (
+	gRunnable gstate = iota
+	gRunning
+	gBlocked
+	gDone
+)
+
+// G is one modeled goroutine. All its methods must be called from inside
+// the goroutine's own body function (they assume the caller holds the
+// scheduler baton).
+type G struct {
+	p      *Program
+	id     int
+	state  gstate
+	resume chan struct{}
+	reason string // why blocked, for deadlock diagnostics
+
+	// Completion slots for blocking ops, filled by the waking peer.
+	recvVal uint64
+	recvOK  bool
+	sendVal uint64
+	rel     vcClock // pending release clock while blocked on a channel/join
+
+	joiners []*G
+	final   vcClock // release clock at exit, joined by Join
+
+	// futureLB, set while blocked, returns a clock the goroutine is
+	// guaranteed to merge before it runs again (the join target's or lock
+	// holder's current clock). The horizon GC uses it so a parked waiter
+	// — the ubiquitous root-waits-for-workers shape — does not pin the
+	// whole record history at its stale knowledge.
+	futureLB func() vcClock
+}
+
+// ID returns the goroutine's index (0 is the root).
+func (g *G) ID() int { return g.id }
+
+// Program is one modeled Go program: shared memory, goroutines, sync
+// objects, the interval detector, and the linearized event trace.
+type Program struct {
+	cfg    Config
+	layout mem.Layout
+	seg    *mem.Segment
+	rng    *rand.Rand
+	scope  telemetry.Scope
+
+	gs     []*G
+	parked chan struct{}
+
+	det   *detector
+	trace []Event
+	vt    int64
+
+	syms     []Symbol
+	nextAddr mem.Addr
+
+	nextChan, nextMutex, nextRW, nextWG int
+
+	stats      Stats
+	deadlocked bool
+	ran        bool
+}
+
+// New returns a Program for cfg.
+func New(cfg Config) *Program {
+	cfg = cfg.withDefaults()
+	layout, err := mem.NewLayout(cfg.MemBytes, cfg.PageBytes)
+	if err != nil {
+		panic(fmt.Sprintf("gofront: bad layout: %v", err))
+	}
+	p := &Program{
+		cfg:    cfg,
+		layout: layout,
+		seg:    mem.NewSegment(layout),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		scope:  telemetry.To(cfg.Recorder),
+		parked: make(chan struct{}),
+	}
+	p.det = newDetector(p)
+	return p
+}
+
+// Alloc reserves words consecutive shared words under name and returns the
+// base address. Callable during setup or from a running goroutine (both
+// hold the baton).
+func (p *Program) Alloc(name string, words int) mem.Addr {
+	if words <= 0 {
+		panic("gofront: Alloc of <= 0 words")
+	}
+	a := p.nextAddr
+	end := a + mem.Addr(words*mem.WordSize)
+	if !p.layout.Contains(end - 1) {
+		panic(fmt.Sprintf("gofront: out of modeled memory allocating %q (%d words)", name, words))
+	}
+	p.nextAddr = end
+	p.syms = append(p.syms, Symbol{Name: name, Addr: a, Words: words})
+	return a
+}
+
+// Layout returns the modeled segment layout.
+func (p *Program) Layout() mem.Layout { return p.layout }
+
+func (p *Program) newG() *G {
+	if len(p.gs) >= p.cfg.MaxGs {
+		panic(fmt.Sprintf("gofront: goroutine limit MaxGs=%d exceeded", p.cfg.MaxGs))
+	}
+	g := &G{p: p, id: len(p.gs), state: gRunnable, resume: make(chan struct{})}
+	p.gs = append(p.gs, g)
+	p.stats.Goroutines++
+	return g
+}
+
+// Run executes root as goroutine 0 and schedules until every goroutine has
+// exited or the remainder are deadlocked (a deadlock is recorded, not
+// fatal: the trace prefix and all closed intervals are still checked, so
+// cross-validation covers deadlocking programs too). Run may be called
+// once.
+func (p *Program) Run(root func(*G)) *Result {
+	if p.ran {
+		panic("gofront: Run called twice")
+	}
+	p.ran = true
+	p.startG(p.newG(), nil, root)
+
+	runnable := make([]*G, 0, p.cfg.MaxGs)
+	for {
+		runnable = runnable[:0]
+		blocked := false
+		for _, g := range p.gs {
+			switch g.state {
+			case gRunnable:
+				runnable = append(runnable, g)
+			case gBlocked:
+				blocked = true
+			}
+		}
+		if len(runnable) == 0 {
+			p.deadlocked = blocked
+			break
+		}
+		g := runnable[p.rng.Intn(len(runnable))]
+		g.state = gRunning
+		p.vt += costSched
+		p.stats.SchedSteps++
+		g.resume <- struct{}{}
+		<-p.parked
+	}
+	return p.finish()
+}
+
+// startG begins goroutine g with the parent's release clock (nil for the
+// root) and launches its OS goroutine, which waits for its first schedule.
+func (p *Program) startG(g *G, parentRel vcClock, fn func(*G)) {
+	p.det.startG(g.id, parentRel)
+	go func() {
+		<-g.resume
+		fn(g)
+		g.exit()
+	}()
+}
+
+// exit closes the goroutine's final interval, publishes its release clock
+// to joiners, and parks for good.
+func (g *G) exit() {
+	p := g.p
+	p.vt += costSync
+	g.final = p.det.closeInterval(g.id)
+	p.emit(OpExit, g.id, g.id, 0, 0, 0)
+	for _, j := range g.joiners {
+		p.det.join(j.id, g.final)
+		p.emit(OpJoin, j.id, g.id, 0, 0, 0)
+		j.state = gRunnable
+	}
+	g.joiners = nil
+	g.state = gDone
+	p.parked <- struct{}{}
+}
+
+// yield hands the baton back to the scheduler. If the state is still
+// gRunning the goroutine stays runnable (a preemption point); ops that
+// block set gBlocked first.
+func (g *G) yield() {
+	if g.state == gRunning {
+		g.state = gRunnable
+	}
+	g.p.parked <- struct{}{}
+	<-g.resume
+}
+
+// block parks the goroutine until a peer completes its pending op.
+func (g *G) block(reason string) {
+	g.state = gBlocked
+	g.reason = reason
+	g.yield()
+	g.reason = ""
+}
+
+// wake marks a blocked goroutine runnable (its pending op was completed by
+// the caller).
+func (g *G) wake() {
+	g.state = gRunnable
+	g.futureLB = nil
+}
+
+// Go spawns fn as a new goroutine. The spawn is a release edge: the
+// parent's current interval closes and the child's first interval starts
+// with the parent's knowledge.
+func (g *G) Go(fn func(*G)) *G {
+	p := g.p
+	p.vt += costSpawn
+	p.stats.Syncs++
+	p.stats.SpawnOps++
+	child := p.newG()
+	rel := p.det.closeInterval(g.id)
+	p.emit(OpSpawn, g.id, child.id, 0, 0, 0)
+	p.startG(child, rel, fn)
+	g.yield()
+	return child
+}
+
+// Join blocks until t exits, then joins t's final release clock (the Go
+// memory model's "goroutine exit is not ordered" caveat does not apply:
+// Join models the usual channel/WaitGroup-based join idiom as a direct
+// edge).
+func (g *G) Join(t *G) {
+	p := g.p
+	p.vt += costSync
+	p.stats.Syncs++
+	p.stats.SpawnOps++
+	p.det.closeInterval(g.id)
+	if t.state == gDone {
+		p.det.join(g.id, t.final)
+		p.emit(OpJoin, g.id, t.id, 0, 0, 0)
+		g.yield()
+		return
+	}
+	t.joiners = append(t.joiners, g)
+	g.futureLB = func() vcClock { return p.det.vcs[t.id] }
+	g.block(fmt.Sprintf("join g%d", t.id))
+}
+
+// Load reads the shared word at a.
+func (g *G) Load(a mem.Addr) uint64 {
+	p := g.p
+	p.vt += costAccess
+	p.stats.Loads++
+	p.det.noteRead(g.id, a)
+	p.emit(OpLoad, g.id, 0, 0, 0, a)
+	return p.seg.Word(a)
+}
+
+// Store writes the shared word at a.
+func (g *G) Store(a mem.Addr, v uint64) {
+	p := g.p
+	p.vt += costAccess
+	p.stats.Stores++
+	p.det.noteWrite(g.id, a)
+	p.emit(OpStore, g.id, 0, 0, 0, a)
+	p.seg.SetWord(a, v)
+}
+
+func (p *Program) emit(op Op, g, obj, seq, seq2 int, a mem.Addr) {
+	p.trace = append(p.trace, Event{Op: op, G: g, Obj: obj, Seq: seq, Seq2: seq2, Addr: a})
+	if op > OpStore { // sync ops only; loads/stores would flood the rings
+		p.scope.Emit(g, telemetry.KGoSync, p.vt, int64(op), int64(obj), int64(p.det.idx[g]))
+	}
+}
+
+// Stats counts the work a program run performed.
+type Stats struct {
+	Goroutines int
+	Loads      int
+	Stores     int
+	Syncs      int // sync operations (chan + lock + wg + spawn/join)
+	ChanOps    int
+	LockOps    int // Mutex + RWMutex
+	WGOps      int
+	SpawnOps   int // Go + Join
+
+	Intervals       int // interval records materialized
+	PairsExamined   int // closed-record pairs version-vector-compared
+	ConcurrentPairs int
+	CheckEntries    int // (pair, page) bitmap-comparison entries
+	BitmapsCompared int
+	WordOverlaps    int // racing words found (before dedup)
+	RecordsGCed     int // records retired by the knowledge-horizon GC
+
+	SchedSteps int64
+}
+
+// Result is everything one program run produced.
+type Result struct {
+	// Races is the deduplicated race set (one representative per address
+	// and endpoint-kind pair), in deterministic discovery order.
+	Races []race.Report
+	// RacyAddrs is the sorted distinct address set — the cross-validation
+	// currency against hbdet.
+	RacyAddrs []mem.Addr
+	// Trace is the linearized event stream; ReplayHB drives the reference
+	// detector from it.
+	Trace []Event
+	Stats Stats
+	// NumGs is the goroutine count (the clock width ReplayHB needs).
+	NumGs      int
+	VirtualNS  int64
+	Deadlocked bool
+	Symbols    []Symbol
+
+	layout mem.Layout
+}
+
+// SymbolAt resolves a modeled address to "name[i]" via the Alloc table.
+func (r *Result) SymbolAt(a mem.Addr) (string, bool) {
+	for _, s := range r.Symbols {
+		if a >= s.Addr && a < s.Addr+mem.Addr(s.Words*mem.WordSize) {
+			if s.Words == 1 {
+				return s.Name, true
+			}
+			return fmt.Sprintf("%s[%d]", s.Name, int(a-s.Addr)/mem.WordSize), true
+		}
+	}
+	return "", false
+}
+
+func (p *Program) finish() *Result {
+	p.det.finishAll()
+	p.stats.Intervals = p.det.intervals
+	p.stats.PairsExamined = p.det.pairsExamined
+	p.stats.ConcurrentPairs = p.det.concurrentPairs
+	p.stats.CheckEntries = p.det.checkEntries
+	p.stats.BitmapsCompared = p.det.bitmapsCompared
+	p.stats.WordOverlaps = p.det.wordOverlaps
+	p.stats.RecordsGCed = p.det.recordsGCed
+
+	deduped := race.DedupByAddr(p.det.reports)
+	for _, rep := range deduped {
+		p.scope.Emit(rep.A.Interval.Proc, telemetry.KRaceFound, p.vt,
+			int64(rep.Addr), 0, b2i(rep.WriteWrite()))
+	}
+	addrSet := make(map[mem.Addr]bool)
+	for _, rep := range deduped {
+		addrSet[rep.Addr] = true
+	}
+	addrs := make([]mem.Addr, 0, len(addrSet))
+	for a := range addrSet {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	return &Result{
+		Races:      deduped,
+		RacyAddrs:  addrs,
+		Trace:      p.trace,
+		Stats:      p.stats,
+		NumGs:      len(p.gs),
+		VirtualNS:  p.vt,
+		Deadlocked: p.deadlocked,
+		Symbols:    p.syms,
+		layout:     p.layout,
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

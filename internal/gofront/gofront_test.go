@@ -1,0 +1,434 @@
+package gofront
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lrcrace/internal/mem"
+)
+
+// runProg runs body under a fresh program and cross-validates the gofront
+// race set against the hbdet replay of the same trace, returning the
+// agreed racy-address set.
+func runProg(t *testing.T, seed int64, setup func(p *Program) func(*G)) *Result {
+	t.Helper()
+	p := New(Config{Seed: seed, Detect: true, MaxGs: 16})
+	root := setup(p)
+	res := p.Run(root)
+	hb := RacyAddrsHB(res.Trace, res.NumGs)
+	if !addrsEqual(res.RacyAddrs, hb) {
+		t.Fatalf("cross-validation mismatch:\n  gofront: %v\n  hbdet:   %v", res.RacyAddrs, hb)
+	}
+	return res
+}
+
+func addrsEqual(a, b []mem.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func wantRacy(t *testing.T, res *Result, want ...mem.Addr) {
+	t.Helper()
+	if !addrsEqual(res.RacyAddrs, want) {
+		t.Fatalf("racy addrs = %v, want %v", res.RacyAddrs, want)
+	}
+}
+
+// Two goroutines write the same word with no synchronization: the canonical
+// racy program. The spawn edges order each child after the root, but not
+// the children against each other.
+func TestUnsyncedWritesRace(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		var x mem.Addr
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			x = p.Alloc("x", 1)
+			return func(g *G) {
+				a := g.Go(func(g *G) { g.Store(x, 1) })
+				b := g.Go(func(g *G) { g.Store(x, 2) })
+				g.Join(a)
+				g.Join(b)
+			}
+		})
+		wantRacy(t, res, x)
+		if len(res.Races) == 0 || !res.Races[0].WriteWrite() {
+			t.Fatalf("want a write-write report, got %v", res.Races)
+		}
+	}
+}
+
+// The same program with the accesses under one mutex is clean.
+func TestMutexOrdersWrites(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			x := p.Alloc("x", 1)
+			mu := p.NewMutex()
+			worker := func(g *G) {
+				mu.Lock(g)
+				g.Store(x, g.Load(x)+1)
+				mu.Unlock(g)
+			}
+			return func(g *G) {
+				a := g.Go(worker)
+				b := g.Go(worker)
+				g.Join(a)
+				g.Join(b)
+			}
+		})
+		wantRacy(t, res)
+	}
+}
+
+// Unbuffered channel rendezvous orders the producer's write before the
+// consumer's read — and the consumer's pre-send accesses before the
+// producer's post-send accesses (the back edge).
+func TestRendezvousOrdersBothWays(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			x := p.Alloc("x", 1)
+			y := p.Alloc("y", 1)
+			ch := p.NewChan(0)
+			return func(g *G) {
+				c := g.Go(func(g *G) {
+					g.Store(y, 7) // before the recv: ordered before sender's post-send code
+					if v, ok := ch.Recv(g); !ok || v != 42 {
+						panic("bad recv")
+					}
+					_ = g.Load(x)
+				})
+				g.Store(x, 1)
+				ch.Send(g, 42)
+				_ = g.Load(y) // after the send completes: sees the consumer's y store
+				g.Join(c)
+			}
+		})
+		wantRacy(t, res)
+	}
+}
+
+// Without the channel, the same accesses race.
+func TestNoChannelRaces(t *testing.T) {
+	var x mem.Addr
+	res := runProg(t, 3, func(p *Program) func(*G) {
+		x = p.Alloc("x", 1)
+		return func(g *G) {
+			c := g.Go(func(g *G) { _ = g.Load(x) })
+			g.Store(x, 1)
+			g.Join(c)
+		}
+	})
+	wantRacy(t, res, x)
+}
+
+// Buffered channel backpressure: on a capacity-1 channel, receive k
+// happens before send k+1 completes. The consumer's store is therefore
+// ordered before the producer's post-second-send load — but only when the
+// second send exists.
+func TestBufferedBackpressure(t *testing.T) {
+	build := func(secondSend bool) func(p *Program) (func(*G), mem.Addr) {
+		return func(p *Program) (func(*G), mem.Addr) {
+			y := p.Alloc("y", 1)
+			ch := p.NewChan(1)
+			root := func(g *G) {
+				c := g.Go(func(g *G) {
+					g.Store(y, 9)
+					if _, ok := ch.Recv(g); !ok {
+						panic("bad recv")
+					}
+					if secondSend {
+						if _, ok := ch.Recv(g); !ok {
+							panic("bad recv2")
+						}
+					}
+				})
+				ch.Send(g, 1)
+				if secondSend {
+					ch.Send(g, 2)
+				}
+				_ = g.Load(y)
+				g.Join(c)
+			}
+			return root, y
+		}
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		var y mem.Addr
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			root, addr := build(true)(p)
+			y = addr
+			return root
+		})
+		_ = y
+		wantRacy(t, res) // second send ordered after the first recv: clean
+	}
+	// With a single send the store y (before recv) and load y (after send 1)
+	// are unordered: send 1 needs no backpressure edge on a cap-1 channel.
+	sawRace := false
+	for seed := int64(0); seed < 8; seed++ {
+		var y mem.Addr
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			root, addr := build(false)(p)
+			y = addr
+			return root
+		})
+		if len(res.RacyAddrs) > 0 {
+			wantRacy(t, res, y)
+			sawRace = true
+		}
+	}
+	if !sawRace {
+		t.Fatal("single-send variant never raced across seeds")
+	}
+}
+
+// Channel close edge: a store before close is visible to the receive of
+// the zero value.
+func TestCloseOrdersReceiveOfZero(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			x := p.Alloc("x", 1)
+			ch := p.NewChan(0)
+			return func(g *G) {
+				c := g.Go(func(g *G) {
+					if _, ok := ch.Recv(g); ok {
+						panic("want closed")
+					}
+					_ = g.Load(x)
+				})
+				g.Store(x, 5)
+				ch.Close(g)
+				g.Join(c)
+			}
+		})
+		wantRacy(t, res)
+	}
+}
+
+// WaitGroup: worker stores are ordered before the Wait-ing root's loads.
+func TestWaitGroupOrdersWorkers(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			xs := p.Alloc("xs", 4)
+			wg := p.NewWaitGroup()
+			return func(g *G) {
+				wg.Add(g, 4)
+				for i := 0; i < 4; i++ {
+					i := i
+					g.Go(func(g *G) {
+						g.Store(xs+mem.Addr(i*mem.WordSize), uint64(i))
+						wg.Done(g)
+					})
+				}
+				wg.Wait(g)
+				for i := 0; i < 4; i++ {
+					_ = g.Load(xs + mem.Addr(i*mem.WordSize))
+				}
+			}
+		})
+		wantRacy(t, res)
+	}
+}
+
+// RWMutex: reader/reader sharing is clean, and the writer is ordered
+// against both directions. Removing the reader lock makes it race.
+func TestRWMutex(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			x := p.Alloc("x", 1)
+			rw := p.NewRWMutex()
+			reader := func(g *G) {
+				rw.RLock(g)
+				_ = g.Load(x)
+				rw.RUnlock(g)
+			}
+			return func(g *G) {
+				r1 := g.Go(reader)
+				r2 := g.Go(reader)
+				w := g.Go(func(g *G) {
+					rw.Lock(g)
+					g.Store(x, 1)
+					rw.Unlock(g)
+				})
+				g.Join(r1)
+				g.Join(r2)
+				g.Join(w)
+			}
+		})
+		wantRacy(t, res)
+	}
+
+	// Unlocked reader: racy.
+	sawRace := false
+	for seed := int64(0); seed < 8; seed++ {
+		var x mem.Addr
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			x = p.Alloc("x", 1)
+			rw := p.NewRWMutex()
+			return func(g *G) {
+				r := g.Go(func(g *G) { _ = g.Load(x) })
+				w := g.Go(func(g *G) {
+					rw.Lock(g)
+					g.Store(x, 1)
+					rw.Unlock(g)
+				})
+				g.Join(r)
+				g.Join(w)
+			}
+		})
+		if len(res.RacyAddrs) > 0 {
+			wantRacy(t, res, x)
+			sawRace = true
+		}
+	}
+	if !sawRace {
+		t.Fatal("unlocked-reader variant never raced across seeds")
+	}
+}
+
+// Transitive ordering across three goroutines through two channels.
+func TestTransitiveChannelChain(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		res := runProg(t, seed, func(p *Program) func(*G) {
+			x := p.Alloc("x", 1)
+			ab := p.NewChan(0)
+			bc := p.NewChan(0)
+			return func(g *G) {
+				b := g.Go(func(g *G) {
+					if _, ok := ab.Recv(g); !ok {
+						panic("recv ab")
+					}
+					bc.Send(g, 1)
+				})
+				c := g.Go(func(g *G) {
+					if _, ok := bc.Recv(g); !ok {
+						panic("recv bc")
+					}
+					_ = g.Load(x)
+				})
+				g.Store(x, 1)
+				ab.Send(g, 1)
+				g.Join(b)
+				g.Join(c)
+			}
+		})
+		wantRacy(t, res)
+	}
+}
+
+// A deadlocked program still reports the races of its executed prefix and
+// still cross-validates.
+func TestDeadlockedProgramStillChecks(t *testing.T) {
+	var x mem.Addr
+	res := runProg(t, 1, func(p *Program) func(*G) {
+		x = p.Alloc("x", 1)
+		ch := p.NewChan(0)
+		return func(g *G) {
+			c := g.Go(func(g *G) {
+				g.Store(x, 1)
+				ch.Recv(g) // never paired: deadlocks
+			})
+			g.Store(x, 2)
+			g.Join(c) // c never exits
+		}
+	})
+	if !res.Deadlocked {
+		t.Fatal("want Deadlocked")
+	}
+	wantRacy(t, res, x)
+}
+
+// Same seed, same program: byte-identical trace and race set. Different
+// seeds may schedule differently but must stay internally consistent.
+func TestDeterministicPerSeed(t *testing.T) {
+	build := func(seed int64) *Result {
+		p := New(Config{Seed: seed, Detect: true, MaxGs: 8})
+		x := p.Alloc("x", 1)
+		mu := p.NewMutex()
+		return p.Run(func(g *G) {
+			a := g.Go(func(g *G) { g.Store(x, 1) })
+			b := g.Go(func(g *G) {
+				mu.Lock(g)
+				g.Store(x, 2)
+				mu.Unlock(g)
+			})
+			g.Join(a)
+			g.Join(b)
+		})
+	}
+	r1, r2 := build(7), build(7)
+	if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+		t.Fatal("same seed produced different traces")
+	}
+	if fmt.Sprint(r1.Races) != fmt.Sprint(r2.Races) {
+		t.Fatalf("same seed produced different races:\n%v\n%v", r1.Races, r2.Races)
+	}
+}
+
+// The knowledge-horizon GC retires checked records on a long well-locked
+// run without losing the planted race at the end.
+func TestHorizonGC(t *testing.T) {
+	p := New(Config{Seed: 1, Detect: true, MaxGs: 8})
+	x := p.Alloc("x", 1)
+	y := p.Alloc("y", 1)
+	mu := p.NewMutex()
+	res := p.Run(func(g *G) {
+		worker := func(g *G) {
+			for i := 0; i < 200; i++ {
+				mu.Lock(g)
+				g.Store(x, g.Load(x)+1)
+				mu.Unlock(g)
+			}
+			g.Store(y, 1) // unsynchronized: the planted race
+		}
+		a := g.Go(worker)
+		b := g.Go(worker)
+		g.Join(a)
+		g.Join(b)
+	})
+	if res.Stats.RecordsGCed == 0 {
+		t.Fatal("horizon GC never retired a record")
+	}
+	wantRacy(t, res, y)
+	hb := RacyAddrsHB(res.Trace, res.NumGs)
+	if !addrsEqual(res.RacyAddrs, hb) {
+		t.Fatalf("cross-validation mismatch after GC: %v vs %v", res.RacyAddrs, hb)
+	}
+}
+
+// Symbol resolution maps racy addresses back to Alloc names.
+func TestSymbolAt(t *testing.T) {
+	p := New(Config{Seed: 0, Detect: true})
+	_ = p.Alloc("a", 1)
+	arr := p.Alloc("arr", 4)
+	res := p.Run(func(g *G) {})
+	if name, ok := res.SymbolAt(arr + 2*mem.WordSize); !ok || name != "arr[2]" {
+		t.Fatalf("SymbolAt = %q, %v", name, ok)
+	}
+	if _, ok := res.SymbolAt(arr + 100*mem.WordSize); ok {
+		t.Fatal("out-of-range address resolved")
+	}
+}
+
+// Detection off still records the trace (for replay) but no intervals.
+func TestDetectOff(t *testing.T) {
+	p := New(Config{Seed: 0, Detect: false})
+	x := p.Alloc("x", 1)
+	res := p.Run(func(g *G) {
+		c := g.Go(func(g *G) { g.Store(x, 1) })
+		g.Store(x, 2)
+		g.Join(c)
+	})
+	if len(res.Races) != 0 || res.Stats.Intervals != 0 {
+		t.Fatalf("detect-off run produced races/intervals: %+v", res.Stats)
+	}
+	if hb := RacyAddrsHB(res.Trace, res.NumGs); len(hb) != 1 || hb[0] != x {
+		t.Fatalf("replay on detect-off trace = %v, want [%v]", hb, x)
+	}
+}

@@ -1,0 +1,194 @@
+package gofront
+
+import (
+	"lrcrace/internal/hbdet"
+	"lrcrace/internal/mem"
+)
+
+// Op is the kind of one linearized trace event.
+type Op uint8
+
+// Trace event kinds. OpLoad and OpStore are data accesses; everything
+// above OpStore is a synchronization operation (the emit path relies on
+// that ordering).
+const (
+	OpLoad Op = iota
+	OpStore
+	OpSpawn          // G=parent, Obj=child goroutine
+	OpExit           // G exiting (release of its exit edge)
+	OpJoin           // G joiner, Obj=target goroutine
+	OpChanMake       // Obj=channel, Seq=capacity
+	OpChanSend       // Obj=channel, Seq=send sequence (1-based)
+	OpChanRecv       // Obj=channel, Seq=receive sequence (1-based)
+	OpChanRecvClosed // Obj=channel: receive of the zero value after close
+	OpChanClose      // Obj=channel
+	OpMuLock         // Obj=mutex
+	OpMuUnlock       // Obj=mutex
+	OpRWRLock        // Obj=rwmutex
+	OpRWRUnlock      // Obj=rwmutex, Seq=runlock sequence (1-based)
+	OpRWLock         // Obj=rwmutex (writer)
+	OpRWUnlock       // Obj=rwmutex (writer)
+	OpWgDone         // Obj=waitgroup, Seq=done sequence (1-based)
+	OpWgWait         // Obj=waitgroup, joins dones Seq..Seq2 (0,0 = none)
+)
+
+var opNames = [...]string{
+	OpLoad: "Load", OpStore: "Store", OpSpawn: "Spawn", OpExit: "Exit",
+	OpJoin: "Join", OpChanMake: "ChanMake", OpChanSend: "ChanSend",
+	OpChanRecv: "ChanRecv", OpChanRecvClosed: "ChanRecvClosed",
+	OpChanClose: "ChanClose", OpMuLock: "MuLock", OpMuUnlock: "MuUnlock",
+	OpRWRLock: "RWRLock", OpRWRUnlock: "RWRUnlock", OpRWLock: "RWLock",
+	OpRWUnlock: "RWUnlock", OpWgDone: "WgDone", OpWgWait: "WgWait",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "Op?"
+}
+
+// Event is one entry of the linearized trace. Events are appended at the
+// point an operation takes effect: a blocked operation's event carries the
+// blocked goroutine's id but appears at the position its completing peer
+// committed it, which is exactly its happens-before linearization point.
+type Event struct {
+	Op   Op
+	G    int
+	Obj  int
+	Seq  int
+	Seq2 int
+	Addr mem.Addr
+}
+
+// Edge-key kinds for the synthetic hbdet lock ids ReplayHB mints. Each
+// distinct happens-before edge of the trace becomes a release/acquire pair
+// on its own synthetic lock; mutexes and rwmutex writer tenures reuse one
+// id per object like real locks do.
+const (
+	eSpawn = iota
+	eExit
+	eChanSend
+	eChanRecv
+	eChanClose
+	eMutex
+	eRWWriter
+	eRWReader
+	eWgDone
+)
+
+type edgeKey struct{ kind, obj, seq int }
+
+// ReplayHB feeds a recorded trace through the classic per-access
+// happens-before detector, mapping every Go-memory-model edge onto
+// synthetic release/acquire pairs:
+//
+//   - spawn: parent releases, child acquires, one edge per child
+//   - exit/join: the exiting goroutine releases its exit edge, joiners
+//     acquire it
+//   - channel send k: release of the send-k edge; on a buffered channel
+//     of capacity C, send k > C also acquires the receive-(k-C) edge (the
+//     backpressure edge: "the k-th receive happens before the k+C-th send
+//     completes")
+//   - channel receive k: acquire of the send-k edge, then release of the
+//     receive-k edge; on an unbuffered channel the sender additionally
+//     acquires the receive-k edge at this point — the rendezvous back-join
+//     ("a receive from an unbuffered channel happens before the send
+//     completes"); performing it at the receive's trace position is sound
+//     because the sender is blocked until the rendezvous, so its next
+//     trace event follows
+//   - close / receive-of-zero: release / acquire of the channel's close
+//     edge
+//   - Mutex: acquire/release of one lock id per mutex
+//   - RWMutex: writer Lock/Unlock use the writer id; each RUnlock
+//     releases a fresh reader edge that the next writer Lock acquires
+//     (readers don't order each other)
+//   - WaitGroup: each Done releases its own edge; a Wait acquires every
+//     Done edge of the counter cycle it observed
+//
+// n is the goroutine-slot count (Result.NumGs).
+func ReplayHB(trace []Event, n int) *hbdet.Detector {
+	d := hbdet.New(n)
+	edges := make(map[edgeKey]int)
+	next := -1 // negative ids cannot collide with modeled object ids
+	edge := func(kind, obj, seq int) int {
+		k := edgeKey{kind, obj, seq}
+		if id, ok := edges[k]; ok {
+			return id
+		}
+		id := next
+		next--
+		edges[k] = id
+		return id
+	}
+	caps := make(map[int]int)
+	sender := make(map[edgeKey]int) // (chan, send seq) -> sending goroutine
+	rwPending := make(map[int][]int)
+
+	for _, e := range trace {
+		switch e.Op {
+		case OpLoad:
+			d.Read(e.G, e.Addr)
+		case OpStore:
+			d.Write(e.G, e.Addr)
+		case OpSpawn:
+			id := edge(eSpawn, e.Obj, 0)
+			d.Release(e.G, id)
+			d.Acquire(e.Obj, id)
+		case OpExit:
+			d.Release(e.G, edge(eExit, e.G, 0))
+		case OpJoin:
+			d.Acquire(e.G, edge(eExit, e.Obj, 0))
+		case OpChanMake:
+			caps[e.Obj] = e.Seq
+		case OpChanSend:
+			sender[edgeKey{0, e.Obj, e.Seq}] = e.G
+			d.Release(e.G, edge(eChanSend, e.Obj, e.Seq))
+			if c := caps[e.Obj]; c > 0 && e.Seq > c {
+				d.Acquire(e.G, edge(eChanRecv, e.Obj, e.Seq-c))
+			}
+		case OpChanRecv:
+			d.Acquire(e.G, edge(eChanSend, e.Obj, e.Seq))
+			id := edge(eChanRecv, e.Obj, e.Seq)
+			d.Release(e.G, id)
+			if caps[e.Obj] == 0 {
+				d.Acquire(sender[edgeKey{0, e.Obj, e.Seq}], id)
+			}
+		case OpChanClose:
+			d.Release(e.G, edge(eChanClose, e.Obj, 0))
+		case OpChanRecvClosed:
+			d.Acquire(e.G, edge(eChanClose, e.Obj, 0))
+		case OpMuLock:
+			d.Acquire(e.G, edge(eMutex, e.Obj, 0))
+		case OpMuUnlock:
+			d.Release(e.G, edge(eMutex, e.Obj, 0))
+		case OpRWRLock:
+			d.Acquire(e.G, edge(eRWWriter, e.Obj, 0))
+		case OpRWRUnlock:
+			id := edge(eRWReader, e.Obj, e.Seq)
+			d.Release(e.G, id)
+			rwPending[e.Obj] = append(rwPending[e.Obj], id)
+		case OpRWLock:
+			d.Acquire(e.G, edge(eRWWriter, e.Obj, 0))
+			for _, id := range rwPending[e.Obj] {
+				d.Acquire(e.G, id)
+			}
+			delete(rwPending, e.Obj)
+		case OpRWUnlock:
+			d.Release(e.G, edge(eRWWriter, e.Obj, 0))
+		case OpWgDone:
+			d.Release(e.G, edge(eWgDone, e.Obj, e.Seq))
+		case OpWgWait:
+			for i := e.Seq; i >= 1 && i <= e.Seq2; i++ {
+				d.Acquire(e.G, edge(eWgDone, e.Obj, i))
+			}
+		}
+	}
+	return d
+}
+
+// RacyAddrsHB replays the trace through hbdet and returns its sorted racy
+// address set — the comparison side of the cross-validation contract.
+func RacyAddrsHB(trace []Event, n int) []mem.Addr {
+	return ReplayHB(trace, n).RacyAddrs()
+}

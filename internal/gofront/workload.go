@@ -1,0 +1,97 @@
+package gofront
+
+import (
+	"fmt"
+	"sort"
+
+	"lrcrace/internal/telemetry"
+)
+
+// WorkloadConfig parameterizes a registered gofront workload — the
+// Go-frontend analogue of the harness RunConfig knobs.
+type WorkloadConfig struct {
+	// Clients is the traffic-driving goroutine count. 0 → 4.
+	Clients int
+	// Ops is the operation count per client. 0 → the workload default
+	// scaled by Scale.
+	Ops int
+	// Scale scales the default op count when Ops is 0. 0 → 1.
+	Scale float64
+	// HotKeySkew in [0,1) is the probability a client op targets the hot
+	// key set instead of the uniform keyspace.
+	HotKeySkew float64
+	// Racy plants the workload's racy fast path.
+	Racy bool
+	// Seed drives both the scheduler and the simulated traffic.
+	Seed int64
+	// Detect enables the interval detector.
+	Detect bool
+	// Recorder optionally receives scoped telemetry.
+	Recorder *telemetry.Recorder
+}
+
+func (c WorkloadConfig) withDefaults() WorkloadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// OpsOrDefault resolves the per-client op count against the workload's
+// scaled default.
+func (c WorkloadConfig) OpsOrDefault(def int) int {
+	if c.Ops > 0 {
+		return c.Ops
+	}
+	n := int(float64(def) * c.Scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Workload is a registered gofront program family.
+type Workload struct {
+	Name string
+	Desc string
+	Run  func(WorkloadConfig) (*Result, error)
+}
+
+var workloads = map[string]Workload{}
+
+// RegisterWorkload adds a workload to the registry (called from app
+// package init functions, like the DSM app registry).
+func RegisterWorkload(name, desc string, run func(WorkloadConfig) (*Result, error)) {
+	if _, dup := workloads[name]; dup {
+		panic(fmt.Sprintf("gofront: duplicate workload %q", name))
+	}
+	workloads[name] = Workload{Name: name, Desc: desc, Run: run}
+}
+
+// Workloads returns the registered workload names, sorted.
+func Workloads() []string {
+	names := make([]string, 0, len(workloads))
+	for n := range workloads {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsWorkload reports whether name is a registered gofront workload.
+func IsWorkload(name string) bool {
+	_, ok := workloads[name]
+	return ok
+}
+
+// RunWorkload runs the named workload under cfg.
+func RunWorkload(name string, cfg WorkloadConfig) (*Result, error) {
+	w, ok := workloads[name]
+	if !ok {
+		return nil, fmt.Errorf("gofront: unknown workload %q (have %v)", name, Workloads())
+	}
+	return w.Run(cfg.withDefaults())
+}

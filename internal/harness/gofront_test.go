@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/simnet"
+	"lrcrace/internal/telemetry"
+)
+
+func TestGoFrontRun(t *testing.T) {
+	res, err := Run(RunConfig{
+		App: "KV", Frontend: "go", Procs: 4, Detect: true,
+		Racy: true, HotKeySkew: 0.7, Seed: 3,
+		Telemetry: &telemetry.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GoFront == nil {
+		t.Fatal("GoFront result missing")
+	}
+	if res.Sys != nil {
+		t.Fatal("go-frontend run built a DSM system")
+	}
+	if len(res.Races) == 0 {
+		t.Fatal("racy KV run found no races")
+	}
+	vars := res.RacyVariables()
+	if len(vars) == 0 || !strings.HasPrefix(vars[0], "kv.val[") {
+		t.Fatalf("RacyVariables = %v, want kv.val[...] names", vars)
+	}
+
+	snap := res.MetricsSnapshot()
+	for _, series := range []string{
+		"gofront_intervals_total", "gofront_sync_ops_total",
+		"gofront_pairs_examined_total", "races_found_total",
+	} {
+		if snap.CounterTotal(series) == 0 {
+			b, _ := snap.MarshalJSON()
+			t.Fatalf("metrics missing %s:\n%s", series, b)
+		}
+	}
+	// The scoped recorder saw the run's sync/check events too.
+	kinds := map[telemetry.Kind]bool{}
+	for _, e := range res.Telemetry.Events() {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []telemetry.Kind{telemetry.KGoSync, telemetry.KGoCheck, telemetry.KRaceFound} {
+		if !kinds[k] {
+			t.Fatalf("recorder missing %v events (have %v)", k, kinds)
+		}
+	}
+}
+
+func TestGoFrontCleanRun(t *testing.T) {
+	res, err := Run(RunConfig{App: "Sessions", Frontend: "go", Procs: 3, Detect: true, HotKeySkew: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) != 0 {
+		t.Fatalf("clean Sessions run raced: %v", res.RacyVariables())
+	}
+}
+
+func TestGoFrontValidation(t *testing.T) {
+	ok := RunConfig{App: "KV", Frontend: "go", Procs: 2, Detect: true}
+	if err := ValidateRunConfig(ok); err != nil {
+		t.Fatalf("valid go-frontend config rejected: %v", err)
+	}
+	bad := []RunConfig{
+		{App: "KV", Frontend: "rust", Procs: 2},
+		{App: "FFT", Frontend: "go", Procs: 2},
+		{App: "KV", Frontend: "go", Procs: 2, HotKeySkew: 1.5},
+		{App: "KV", Frontend: "go", Procs: 2, OpsPerClient: -1},
+		{App: "KV", Frontend: "go", Procs: 2, Protocol: dsm.MultiWriter},
+		{App: "KV", Frontend: "go", Procs: 2, Detect: true, ShardedCheck: true},
+		{App: "KV", Frontend: "go", Procs: 2, BarrierTree: 2},
+		{App: "KV", Frontend: "go", Procs: 2, Reliable: true},
+		{App: "KV", Frontend: "go", Procs: 2, Faults: &simnet.FaultPlan{Drop: 0.1}},
+		{App: "KV", Frontend: "go", Procs: 2, CrashMode: "single"},
+		{App: "FFT", Procs: 2, Racy: true},
+		{App: "FFT", Procs: 2, HotKeySkew: 0.5},
+		{App: "FFT", Procs: 2, OpsPerClient: 10},
+	}
+	for i, cfg := range bad {
+		if err := ValidateRunConfig(cfg); err == nil {
+			t.Fatalf("case %d (%+v): invalid config accepted", i, cfg)
+		}
+	}
+}

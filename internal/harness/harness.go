@@ -12,14 +12,17 @@ import (
 	"lrcrace/internal/apps"
 	"lrcrace/internal/costmodel"
 	"lrcrace/internal/dsm"
+	"lrcrace/internal/gofront"
 	"lrcrace/internal/msg"
 	"lrcrace/internal/race"
 	"lrcrace/internal/reliable"
 	"lrcrace/internal/simnet"
 	"lrcrace/internal/telemetry"
 
-	// Register the four benchmark applications.
+	// Register the four benchmark applications and the go-frontend
+	// workload family.
 	_ "lrcrace/internal/apps/fft"
+	_ "lrcrace/internal/apps/kv"
 	_ "lrcrace/internal/apps/sor"
 	_ "lrcrace/internal/apps/tsp"
 	_ "lrcrace/internal/apps/water"
@@ -27,9 +30,24 @@ import (
 
 // RunConfig describes one experiment run.
 type RunConfig struct {
-	App               string  // "FFT", "SOR", "TSP", "Water"
-	Scale             float64 // problem scale; 0 → 1 (laptop default)
-	Procs             int
+	App   string  // "FFT", "SOR", "TSP", "Water" — or a gofront workload
+	Scale float64 // problem scale; 0 → 1 (laptop default)
+	Procs int
+	// Frontend selects the execution engine: "" or "dsm" runs App on the
+	// simulated DSM; "go" runs App as a Go-native workload under the
+	// gofront happens-before frontend (goroutines, channels, and locks
+	// translated to interval-based detection), with Procs as the client
+	// count. See docs/GOFRONT.md.
+	Frontend string
+	// HotKeySkew is the go-frontend hot-key probability in [0,1).
+	HotKeySkew float64
+	// Racy plants the go-frontend workload's racy fast path.
+	Racy bool
+	// OpsPerClient overrides the go-frontend per-client op count (0 → the
+	// workload default scaled by Scale).
+	OpsPerClient int
+	// Seed drives the go-frontend scheduler and traffic PRNGs.
+	Seed              int64
 	Protocol          dsm.ProtocolKind
 	Detect            bool
 	FirstOnly         bool
@@ -125,6 +143,10 @@ type Result struct {
 	// Telemetry is the run's stopped recorder when RunConfig.Telemetry was
 	// set (its metrics registry already includes the run's raw counters).
 	Telemetry *telemetry.Recorder
+
+	// GoFront is the go-frontend result when RunConfig.Frontend was "go";
+	// Sys, Model, Det, Net, and Procs stay zero-valued for such runs.
+	GoFront *gofront.Result
 }
 
 // appDefaultDelay gives TSP its real-latency coupling by default.
@@ -142,6 +164,9 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	if err := ValidateRunConfig(cfg); err != nil {
 		return nil, err
+	}
+	if IsGoFrontend(cfg.Frontend) {
+		return runGoFront(cfg)
 	}
 	if IsChaosApp(cfg.App) {
 		return runChaos(cfg)
@@ -369,7 +394,11 @@ func (r *Result) RacyVariables() []string {
 	var out []string
 	for _, rep := range race.DedupByAddr(r.Races) {
 		name := fmt.Sprintf("0x%x", uint64(rep.Addr))
-		if sym, ok := r.Sys.SymbolAt(rep.Addr); ok {
+		if r.GoFront != nil {
+			if sym, ok := r.GoFront.SymbolAt(rep.Addr); ok {
+				name = sym
+			}
+		} else if sym, ok := r.Sys.SymbolAt(rep.Addr); ok {
 			name = sym.Name
 		}
 		if !seen[name] {

@@ -17,6 +17,10 @@ import (
 // recorder was configured; call it directly to export a run that recorded
 // no events.
 func (r *Result) FillMetrics(reg *telemetry.Registry) {
+	if r.GoFront != nil {
+		r.fillGoFrontMetrics(reg)
+		return
+	}
 	for i, st := range r.Procs {
 		p := telemetry.Label{Key: "proc", Value: strconv.Itoa(i)}
 		for _, c := range []struct {

@@ -126,7 +126,12 @@ func barrierOnlyTrace(t *testing.T) []byte {
 	t.Helper()
 	const procs = 4
 	ps := mem.DefaultPageSize
-	sys, err := dsm.New(dsm.Config{NumProcs: procs, SharedSize: procs * ps, Detect: true})
+	// Checkpointing off: the content-addressed chunk store dedups across
+	// processes, so whether a chunk write is a put or a dedup hit — and when
+	// retention GC fires — depends on which process serializes first, which
+	// is real scheduling. Those events are honestly nondeterministic; this
+	// test is about the exporter's virtual-time determinism.
+	sys, err := dsm.New(dsm.Config{NumProcs: procs, SharedSize: procs * ps, Detect: true, NoCheckpoint: true})
 	if err != nil {
 		t.Fatal(err)
 	}

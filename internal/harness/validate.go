@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"lrcrace/internal/apps"
+	"lrcrace/internal/dsm"
+	"lrcrace/internal/gofront"
 )
 
 // ValidateRunConfig checks a configuration without running it: every
@@ -23,6 +25,15 @@ func ValidateRunConfig(cfg RunConfig) error {
 	}
 	if cfg.Scale < 0 {
 		return fmt.Errorf("harness: negative Scale %g", cfg.Scale)
+	}
+	if !KnownFrontend(cfg.Frontend) {
+		return fmt.Errorf("harness: unknown frontend %q (have %s)", cfg.Frontend, strings.Join(Frontends, ", "))
+	}
+	if IsGoFrontend(cfg.Frontend) {
+		return validateGoFront(cfg)
+	}
+	if cfg.HotKeySkew != 0 || cfg.Racy || cfg.OpsPerClient != 0 {
+		return fmt.Errorf("harness: HotKeySkew, Racy, and OpsPerClient parameterize go-frontend workloads; set Frontend to \"go\"")
 	}
 	if cfg.ShardedCheck && !cfg.Detect {
 		return fmt.Errorf("harness: ShardedCheck distributes the race check and so requires Detect")
@@ -59,4 +70,36 @@ func ValidateRunConfig(cfg RunConfig) error {
 	}
 	return fmt.Errorf("harness: unknown application %q (have %s and chaos apps %s)",
 		cfg.App, strings.Join(apps.Names(), ", "), chaosAppNames())
+}
+
+// validateGoFront gates the go-frontend configurations: the app must be a
+// registered gofront workload, the workload knobs must be in range, and
+// every DSM-only mechanism must be off — the gofront engine has no pages,
+// wire, barrier tree, or checkpoint store to configure.
+func validateGoFront(cfg RunConfig) error {
+	if !gofront.IsWorkload(cfg.App) {
+		return fmt.Errorf("harness: unknown go-frontend workload %q (have %s)",
+			cfg.App, strings.Join(gofront.Workloads(), ", "))
+	}
+	if cfg.HotKeySkew < 0 || cfg.HotKeySkew >= 1 {
+		return fmt.Errorf("harness: HotKeySkew = %g (want [0,1))", cfg.HotKeySkew)
+	}
+	if cfg.OpsPerClient < 0 {
+		return fmt.Errorf("harness: negative OpsPerClient %d", cfg.OpsPerClient)
+	}
+	switch {
+	case cfg.Protocol != dsm.SingleWriter:
+		return fmt.Errorf("harness: the go frontend has no coherence protocol; leave Protocol at its default")
+	case cfg.ShardedCheck:
+		return fmt.Errorf("harness: ShardedCheck is a DSM barrier mechanism; the go frontend checks at sync points")
+	case cfg.BarrierTree != 0:
+		return fmt.Errorf("harness: BarrierTree is a DSM barrier mechanism; the go frontend has no barriers")
+	case cfg.FirstOnly, cfg.PageBitmapOverlap, cfg.WritesFromDiffs:
+		return fmt.Errorf("harness: FirstOnly/PageBitmapOverlap/WritesFromDiffs tune the DSM detector, not the go frontend")
+	case cfg.Faults != nil, cfg.Reliable:
+		return fmt.Errorf("harness: the go frontend has no wire to fault or retransmit")
+	case chaosMode(cfg.CrashMode) != "none", chaosMode(cfg.CorruptMode) != "none":
+		return fmt.Errorf("harness: crash/corruption modes need a DSM chaos app, not a go-frontend workload")
+	}
+	return nil
 }

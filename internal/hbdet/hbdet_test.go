@@ -133,3 +133,45 @@ func TestRacyAddrs(t *testing.T) {
 		t.Fatalf("RacyAddrs = %v", addrs)
 	}
 }
+
+// TestThreeWriterPairLoss pins the documented Djit+-style precision limit:
+// only the most recent write per location is remembered, so when three
+// writers race on one address, the detector reports the adjacent pairs
+// (0,1) and (1,2) but misses (0,2) — while still flagging the address.
+// Cross-validation against the LRC detector (which examines every
+// concurrent interval pair) must therefore compare racy-address sets, not
+// pair lists; this test is the regression tripwire for that contract. If
+// the detector ever starts reporting the (0,2) pair, the comment in
+// hbdet.go and the cross-validation currency can both be revisited.
+func TestThreeWriterPairLoss(t *testing.T) {
+	const a = mem.Addr(8)
+	d := New(3)
+	d.Write(0, a)
+	d.Write(1, a)
+	d.Write(2, a)
+
+	races := d.Races()
+	if len(races) != 2 {
+		t.Fatalf("three concurrent writers: %d race pairs %v, want exactly 2 (adjacent pairs only)", len(races), races)
+	}
+	type pair struct{ prev, cur int }
+	got := map[pair]bool{}
+	for _, r := range races {
+		if !r.PrevWrite || !r.CurWrite || r.Addr != a {
+			t.Fatalf("unexpected race %v", r)
+		}
+		got[pair{r.PrevProc, r.Proc}] = true
+	}
+	if !got[pair{0, 1}] || !got[pair{1, 2}] {
+		t.Fatalf("reported pairs %v, want (0,1) and (1,2)", races)
+	}
+	if got[pair{0, 2}] {
+		t.Fatal("pair (0,2) reported: the documented last-write-only pair loss no longer holds")
+	}
+
+	// The address itself is never lost — the cross-validation currency.
+	addrs := d.RacyAddrs()
+	if len(addrs) != 1 || addrs[0] != a {
+		t.Fatalf("RacyAddrs = %v, want [0x8]", addrs)
+	}
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"lrcrace/internal/sweep"
+)
+
+// TestGoFrontSession is the service half of the gofront acceptance
+// criterion: a go-frontend session is admitted, runs to StatusOK with
+// gofront metrics in its result, and streams its race reports into the
+// durable store as KindRace records — one per report, attributed to the
+// session.
+func TestGoFrontSession(t *testing.T) {
+	req := RunRequest{App: "KV", Frontend: "go", Procs: 3, Racy: true, HotSkew: 0.7, Seed: 3}
+	want := raceKeys(runStandalone(t, req).Races)
+	if len(want) == 0 {
+		t.Fatal("racy KV reference run found no races; streaming check would be vacuous")
+	}
+
+	svc := New(Config{MaxSessions: 2, QueueDepth: 4, SessionTimeout: time.Minute})
+	defer svc.Close()
+
+	sess, err := svc.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sess.Done():
+	case <-time.After(time.Minute):
+		t.Fatalf("session %s never finished", sess.ID())
+	}
+
+	res := sess.Result()
+	if res == nil || res.Status != sweep.StatusOK {
+		t.Fatalf("session result %+v, want StatusOK", res)
+	}
+	if res.Metrics == nil || res.Metrics.CounterTotal("gofront_intervals_total") == 0 {
+		t.Fatalf("session result missing gofront metrics: %s", metricsJSON(t, res))
+	}
+	if got := raceKeys(sess.Races()); len(got) != len(want) {
+		t.Fatalf("session races %v, standalone %v", got, want)
+	}
+
+	recs, _, _ := svc.Store().Since(0, sess.ID(), 0)
+	var raceRecs int
+	for _, r := range recs {
+		if r.Kind == KindRace {
+			raceRecs++
+		}
+	}
+	if raceRecs != len(sess.Races()) {
+		t.Fatalf("%d KindRace records in store, session result has %d reports", raceRecs, len(sess.Races()))
+	}
+
+	// A clean session of the same workload comes back raceless.
+	clean, err := svc.Submit(RunRequest{App: "Sessions", Frontend: "go", Procs: 3, HotSkew: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-clean.Done():
+	case <-time.After(time.Minute):
+		t.Fatalf("session %s never finished", clean.ID())
+	}
+	if res := clean.Result(); res == nil || res.Status != sweep.StatusOK || res.Races != 0 {
+		t.Fatalf("clean Sessions session: %+v", res)
+	}
+}
+
+// TestGoFrontAdmission: malformed go-frontend requests are refused with a
+// typed *RequestError before any pool slot is spent.
+func TestGoFrontAdmission(t *testing.T) {
+	svc := New(Config{MaxSessions: 1})
+	defer svc.Close()
+	cases := []struct {
+		name string
+		req  RunRequest
+	}{
+		{"unknown frontend", RunRequest{App: "KV", Frontend: "rust"}},
+		{"go frontend on dsm app", RunRequest{App: "FFT", Frontend: "go"}},
+		{"gofront workload without frontend", RunRequest{App: "KV"}},
+		{"go with protocol", RunRequest{App: "KV", Frontend: "go", Protocol: "mw"}},
+		{"go with sharded check", RunRequest{App: "KV", Frontend: "go", Sharded: true}},
+		{"go without checkpoint layer", RunRequest{App: "KV", Frontend: "go", Checkpoint: boolPtr(false)}},
+		{"hot skew on dsm app", RunRequest{App: "FFT", HotSkew: 0.5}},
+		{"racy on dsm app", RunRequest{App: "FFT", Racy: true}},
+		{"hot skew out of range", RunRequest{App: "KV", Frontend: "go", HotSkew: 1.5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := svc.Submit(tc.req)
+			var reqErr *RequestError
+			if !errors.As(err, &reqErr) {
+				t.Fatalf("Submit(%+v) = %v, want *RequestError", tc.req, err)
+			}
+		})
+	}
+	if got := len(svc.Sessions()); got != 0 {
+		t.Fatalf("%d sessions admitted by invalid go-frontend requests", got)
+	}
+}

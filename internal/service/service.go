@@ -11,6 +11,7 @@ import (
 
 	"lrcrace/internal/apps"
 	"lrcrace/internal/castore"
+	"lrcrace/internal/gofront"
 	"lrcrace/internal/harness"
 	"lrcrace/internal/race"
 	"lrcrace/internal/sweep"
@@ -37,7 +38,13 @@ type RunRequest struct {
 	CrashMode   string           `json:"crash_mode,omitempty"`
 	CorruptMode string           `json:"corrupt_mode,omitempty"`
 	Seed        int64            `json:"seed,omitempty"`
-	Faults      *sweep.FaultAxis `json:"faults,omitempty"`
+	// Frontend selects the execution engine: "" or "dsm" for the simulated
+	// DSM, "go" for the gofront happens-before frontend, whose apps are
+	// the gofront workloads and whose knobs are HotSkew and Racy.
+	Frontend string           `json:"frontend,omitempty"`
+	HotSkew  float64          `json:"hot_skew,omitempty"`
+	Racy     bool             `json:"racy,omitempty"`
+	Faults   *sweep.FaultAxis `json:"faults,omitempty"`
 	// RealMsgDelayUS overrides the per-app real-latency coupling
 	// (microseconds); 0 keeps the app default.
 	RealMsgDelayUS int64 `json:"real_msg_delay_us,omitempty"`
@@ -60,6 +67,9 @@ func RequestFor(c sweep.Cell, faults *sweep.FaultAxis, realMsgDelayUS int64) Run
 		CrashMode:      c.CrashMode,
 		CorruptMode:    c.CorruptMode,
 		Seed:           c.Seed,
+		Frontend:       c.Frontend,
+		HotSkew:        c.HotSkew,
+		Racy:           c.Racy,
 		Faults:         faults,
 		RealMsgDelayUS: realMsgDelayUS,
 	}
@@ -96,6 +106,15 @@ func (r *RunRequest) plan() *sweep.Plan {
 	if r.CorruptMode != "" {
 		p.CorruptModes = []string{r.CorruptMode}
 	}
+	if r.Frontend != "" {
+		p.Frontends = []string{r.Frontend}
+	}
+	if r.HotSkew != 0 {
+		p.HotSkews = []float64{r.HotSkew}
+	}
+	if r.Racy {
+		p.Racy = []bool{true}
+	}
 	return p
 }
 
@@ -109,10 +128,14 @@ func (r *RunRequest) Cell() (sweep.Cell, harness.RunConfig, error) {
 	if r.App == "" {
 		return sweep.Cell{}, harness.RunConfig{}, &RequestError{Reason: "no application named"}
 	}
+	if !harness.KnownFrontend(r.Frontend) {
+		return sweep.Cell{}, harness.RunConfig{},
+			&RequestError{Reason: fmt.Sprintf("unknown frontend %q (have %v)", r.Frontend, harness.Frontends)}
+	}
 	if !knownApp(r.App) {
 		return sweep.Cell{}, harness.RunConfig{},
-			&RequestError{Reason: fmt.Sprintf("unknown application %q (have %v and chaos apps %v)",
-				r.App, apps.Names(), harness.ChaosAppNames)}
+			&RequestError{Reason: fmt.Sprintf("unknown application %q (have %v, chaos apps %v, and go-frontend workloads %v)",
+				r.App, apps.Names(), harness.ChaosAppNames, gofront.Workloads())}
 	}
 	p := r.plan()
 	cells, err := p.Expand()
@@ -135,7 +158,7 @@ func (r *RunRequest) Cell() (sweep.Cell, harness.RunConfig, error) {
 }
 
 func knownApp(name string) bool {
-	if harness.IsChaosApp(name) {
+	if harness.IsChaosApp(name) || gofront.IsWorkload(name) {
 		return true
 	}
 	for _, n := range apps.Names() {
@@ -153,7 +176,20 @@ func rejectReason(r *RunRequest) string {
 	ckpt := r.Checkpoint == nil || *r.Checkpoint
 	crash := r.CrashMode != "" && r.CrashMode != "none"
 	corrupt := r.CorruptMode != "" && r.CorruptMode != "none"
+	goFr := harness.IsGoFrontend(r.Frontend)
 	switch {
+	case goFr && !gofront.IsWorkload(r.App):
+		return fmt.Sprintf("%q is not a go-frontend workload (have %v)", r.App, gofront.Workloads())
+	case !goFr && gofront.IsWorkload(r.App):
+		return fmt.Sprintf("%q is a go-frontend workload; set frontend to \"go\"", r.App)
+	case goFr && r.Protocol != "" && r.Protocol != "sw":
+		return "the go frontend has no coherence protocol"
+	case goFr && r.Sharded:
+		return "the go frontend checks at sync points, not sharded barriers"
+	case goFr && !ckpt:
+		return "the go frontend has no checkpoint layer to disable"
+	case !goFr && (r.HotSkew != 0 || r.Racy):
+		return "hot_skew and racy parameterize go-frontend workloads; set frontend to \"go\""
 	case r.Sharded && !detect:
 		return "sharded check requires detection"
 	case crash && !harness.IsChaosApp(r.App):

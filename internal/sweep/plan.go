@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lrcrace/internal/dsm"
+	"lrcrace/internal/gofront"
 	"lrcrace/internal/harness"
 	"lrcrace/internal/simnet"
 )
@@ -63,11 +64,26 @@ type Plan struct {
 	// "none", "chunk", "delete"; empty → ["none"]. Non-"none" modes apply
 	// only to cells that also crash.
 	CorruptModes []string `json:"corrupt_modes,omitempty"`
-	// Seeds drive the fault, crash, and corruption plans' PRNGs; empty →
-	// [0]. With no Faults and no non-"none" chaos mode the axis is forced
-	// to its default: seed-varied deterministic runs would be identical
-	// cells under different names.
+	// Seeds drive the fault, crash, and corruption plans' PRNGs — and the
+	// go frontend's scheduler and traffic PRNGs; empty → [0]. With no
+	// Faults, no non-"none" chaos mode, and no "go" frontend the axis is
+	// forced to its default: seed-varied deterministic runs would be
+	// identical cells under different names.
 	Seeds []int64 `json:"seeds,omitempty"`
+	// Frontends select execution engines per cell: "dsm" (the simulated
+	// DSM) or "go" (the gofront happens-before frontend, whose apps are
+	// the registered gofront workloads); empty → ["dsm"]. Each app runs
+	// only under the frontends that know it, so a mixed plan pairs DSM
+	// benchmarks with "dsm" cells and KV workloads with "go" cells. The
+	// default is applied at expansion, not in defaults(), so pre-existing
+	// plan fingerprints are unchanged.
+	Frontends []string `json:"frontends,omitempty"`
+	// HotSkews are go-frontend hot-key-skew probabilities in [0,1);
+	// empty → [0]. Non-default values apply only to "go" cells.
+	HotSkews []float64 `json:"hot_skews,omitempty"`
+	// Racy toggles the go-frontend workloads' planted racy fast path;
+	// empty → [false]. A true value applies only to "go" cells.
+	Racy []bool `json:"racy,omitempty"`
 	// Faults, when non-nil, applies this fault template to every cell,
 	// with the cell's seed. Lossy templates imply the reliable sublayer.
 	Faults *FaultAxis `json:"faults,omitempty"`
@@ -105,6 +121,9 @@ type Cell struct {
 	Checkpoint  bool    `json:"checkpoint"`
 	CrashMode   string  `json:"crash_mode,omitempty"`
 	CorruptMode string  `json:"corrupt_mode,omitempty"`
+	Frontend    string  `json:"frontend,omitempty"` // "" = dsm
+	HotSkew     float64 `json:"hot_skew,omitempty"`
+	Racy        bool    `json:"racy,omitempty"`
 	Seed        int64   `json:"seed"`
 }
 
@@ -129,6 +148,17 @@ func cellID(c Cell) string {
 	}
 	if c.CorruptMode != "" && c.CorruptMode != "none" {
 		id += "-cx" + c.CorruptMode
+	}
+	// Go-frontend suffixes only on "go" cells, so dsm cell names — and
+	// therefore pre-existing sweep checkpoints — are untouched.
+	if c.Frontend == "go" {
+		id += "-go"
+		if c.HotSkew != 0 {
+			id += fmt.Sprintf("-hk%g", c.HotSkew)
+		}
+		if c.Racy {
+			id += "-racy"
+		}
 	}
 	return fmt.Sprintf("%s-seed%d", id, c.Seed)
 }
@@ -172,10 +202,21 @@ func defaults(p *Plan) Plan {
 	if len(d.CorruptModes) == 0 {
 		d.CorruptModes = []string{"none"}
 	}
-	if len(d.Seeds) == 0 || (d.Faults == nil && !d.chaotic()) {
+	if len(d.Seeds) == 0 || (d.Faults == nil && !d.chaotic() && !d.goFront()) {
 		d.Seeds = []int64{0}
 	}
 	return d
+}
+
+// goFront reports whether any cell will run under the go frontend, whose
+// scheduler makes the Seeds axis meaningful without wire or chaos faults.
+func (p *Plan) goFront() bool {
+	for _, f := range p.Frontends {
+		if f == "go" {
+			return true
+		}
+	}
+	return false
 }
 
 // chaotic reports whether any axis value injects seed-driven process
@@ -239,49 +280,105 @@ func (p *Plan) Expand() ([]Cell, error) {
 			return nil, fmt.Errorf("sweep: unknown corrupt mode %q (want %v)", m, harness.CorruptModes)
 		}
 	}
+	// Go-frontend axes default locally (not in defaults()) to keep
+	// pre-existing plan fingerprints stable.
+	fronts := d.Frontends
+	if len(fronts) == 0 {
+		fronts = []string{"dsm"}
+	}
+	for _, f := range fronts {
+		if !harness.KnownFrontend(f) || f == "" {
+			return nil, fmt.Errorf("sweep: unknown frontend %q (want %v)", f, harness.Frontends)
+		}
+	}
+	hotSkews := d.HotSkews
+	if len(hotSkews) == 0 {
+		hotSkews = []float64{0}
+	}
+	for _, hk := range hotSkews {
+		if hk < 0 || hk >= 1 {
+			return nil, fmt.Errorf("sweep: hot-key skew %g out of [0,1)", hk)
+		}
+	}
+	racies := d.Racy
+	if len(racies) == 0 {
+		racies = []bool{false}
+	}
 	var cells []Cell
 	seen := make(map[string]bool)
 	for _, app := range d.Apps {
-		for _, sc := range d.Scales {
-			for _, pc := range d.Procs {
-				for _, proto := range d.Protocols {
-					for _, det := range d.Detect {
-						for _, sh := range d.Sharded {
-							if sh && !det {
-								continue // dsm: sharded check requires detection
-							}
-							for _, bt := range d.BarrierTrees {
-								for _, ck := range d.Checkpoint {
-									for _, cr := range d.CrashModes {
-										crash := cr != "" && cr != "none"
-										if crash && !harness.IsChaosApp(app) {
-											continue // whole-program apps cannot recover
+		for _, front := range fronts {
+			goFr := harness.IsGoFrontend(front)
+			if goFr != gofront.IsWorkload(app) {
+				continue // each app runs only under the frontend that knows it
+			}
+			for _, sc := range d.Scales {
+				for _, pc := range d.Procs {
+					for _, proto := range d.Protocols {
+						if goFr && proto != "sw" {
+							continue // the go frontend has no coherence protocol
+						}
+						for _, det := range d.Detect {
+							for _, sh := range d.Sharded {
+								if sh && !det {
+									continue // dsm: sharded check requires detection
+								}
+								if sh && goFr {
+									continue // go frontend checks at sync points, not barriers
+								}
+								for _, bt := range d.BarrierTrees {
+									if bt != 0 && goFr {
+										continue // go frontend has no barriers
+									}
+									for _, ck := range d.Checkpoint {
+										if !ck && goFr {
+											continue // go frontend has no checkpoint layer
 										}
-										if crash && !ck {
-											continue // dsm: crash plans require checkpointing
-										}
-										if crash && pc < 2 {
-											continue // no valid victim
-										}
-										if cr == "double" && pc < 3 {
-											continue // two distinct victims need three procs
-										}
-										for _, cx := range d.CorruptModes {
-											if cx != "" && cx != "none" && !crash {
-												continue // corruption is only read back under rollback
+										for _, cr := range d.CrashModes {
+											crash := cr != "" && cr != "none"
+											if crash && !harness.IsChaosApp(app) {
+												continue // whole-program apps cannot recover
 											}
-											for _, seed := range d.Seeds {
-												c := Cell{
-													App: app, Scale: sc, Procs: pc, Protocol: proto,
-													Detect: det, Sharded: sh, BarrierTree: bt, Checkpoint: ck,
-													CrashMode: cr, CorruptMode: cx, Seed: seed,
+											if crash && !ck {
+												continue // dsm: crash plans require checkpointing
+											}
+											if crash && pc < 2 {
+												continue // no valid victim
+											}
+											if cr == "double" && pc < 3 {
+												continue // two distinct victims need three procs
+											}
+											for _, cx := range d.CorruptModes {
+												if cx != "" && cx != "none" && !crash {
+													continue // corruption is only read back under rollback
 												}
-												c.ID = cellID(c)
-												if seen[c.ID] {
-													return nil, fmt.Errorf("sweep: duplicate cell %s (repeated axis value?)", c.ID)
+												for _, hk := range hotSkews {
+													if hk != 0 && !goFr {
+														continue // hot-key skew is a go-frontend knob
+													}
+													for _, racy := range racies {
+														if racy && !goFr {
+															continue // racy fast paths are go-frontend plants
+														}
+														for _, seed := range d.Seeds {
+															c := Cell{
+																App: app, Scale: sc, Procs: pc, Protocol: proto,
+																Detect: det, Sharded: sh, BarrierTree: bt, Checkpoint: ck,
+																CrashMode: cr, CorruptMode: cx, Seed: seed,
+																HotSkew: hk, Racy: racy,
+															}
+															if goFr {
+																c.Frontend = front
+															}
+															c.ID = cellID(c)
+															if seen[c.ID] {
+																return nil, fmt.Errorf("sweep: duplicate cell %s (repeated axis value?)", c.ID)
+															}
+															seen[c.ID] = true
+															cells = append(cells, c)
+														}
+													}
 												}
-												seen[c.ID] = true
-												cells = append(cells, c)
 											}
 										}
 									}
@@ -301,6 +398,18 @@ func (p *Plan) RunConfig(c Cell) (harness.RunConfig, error) {
 	proto, err := protocolKind(c.Protocol)
 	if err != nil {
 		return harness.RunConfig{}, err
+	}
+	if c.Frontend == "go" {
+		return harness.RunConfig{
+			App:        c.App,
+			Frontend:   c.Frontend,
+			Scale:      c.Scale,
+			Procs:      c.Procs,
+			Detect:     c.Detect,
+			HotKeySkew: c.HotSkew,
+			Racy:       c.Racy,
+			Seed:       c.Seed,
+		}, nil
 	}
 	cfg := harness.RunConfig{
 		App:          c.App,

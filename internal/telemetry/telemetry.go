@@ -150,6 +150,14 @@ const (
 	// KTreeRelease: a process received the combining-tree release (one hop
 	// of the downward cascade). A=epoch, B=tree children it was forwarded to.
 	KTreeRelease
+	// KGoSync: a gofront synchronization operation committed (goroutine
+	// frontend). Proc=goroutine, A=op code (gofront.Op), B=object id,
+	// C=interval index closed by the op.
+	KGoSync
+	// KGoCheck: the gofront detector checked a newly closed interval
+	// against the retained concurrent history. A=pairs examined,
+	// B=bitmaps compared, C=race reports produced.
+	KGoCheck
 
 	numKinds
 )
@@ -190,6 +198,8 @@ var kindNames = [numKinds]string{
 	KCkptCorrupt:    "CkptCorrupt",
 	KTreeReduce:     "TreeReduce",
 	KTreeRelease:    "TreeRelease",
+	KGoSync:         "GoSync",
+	KGoCheck:        "GoCheck",
 }
 
 func (k Kind) String() string {

@@ -43,6 +43,7 @@ import (
 	"io"
 
 	"lrcrace/internal/dsm"
+	"lrcrace/internal/gofront"
 	"lrcrace/internal/harness"
 	"lrcrace/internal/hbdet"
 	"lrcrace/internal/mem"
@@ -279,3 +280,24 @@ func WriteTable2(w io.Writer) { harness.Table2(w) }
 func Apps() []string {
 	return []string{"FFT", "SOR", "TSP", "Water"}
 }
+
+// Go-native frontend (internal/gofront, docs/GOFRONT.md): the same
+// interval/vector-clock detector applied to Go concurrency primitives —
+// goroutines, channels, mutexes, wait groups — instead of DSM pages.
+// Select it with ExperimentConfig.Frontend = "go" and one of the
+// GoWorkloads; the run's result comes back in ExperimentResult.GoFront.
+type (
+	// GoFrontResult is a go-frontend run's outcome: race reports, racy
+	// address set, the replayable sync/access trace, and detector stats.
+	GoFrontResult = gofront.Result
+	// GoFrontStats are the frontend's work counters (intervals built,
+	// pairs examined, bitmaps compared, records GCed, ...).
+	GoFrontStats = gofront.Stats
+)
+
+// Frontends lists the execution frontends an ExperimentConfig can select:
+// "dsm" (the default, also spelled "") and "go".
+func Frontends() []string { return append([]string(nil), harness.Frontends...) }
+
+// GoWorkloads lists the registered go-frontend workloads (KV, Sessions).
+func GoWorkloads() []string { return gofront.Workloads() }
